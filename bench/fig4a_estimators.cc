@@ -1,0 +1,85 @@
+// Regenerates the paper's Figure 4(a): error development over estimation time
+// of three global parameter-search algorithms — Random-Restart Nelder-Mead,
+// Simulated Annealing and Random Search — fitting the HWT triple-seasonal
+// exponential smoothing model.
+//
+// The paper used the UK NationalGrid half-hourly demand dataset; we use the
+// synthetic triple-seasonal demand generator (see DESIGN.md substitutions).
+// Accuracy is the SMAPE of a one-day-ahead forecast on a holdout day, sampled
+// along each estimator's best-so-far trajectory.
+//
+// Paper shape to check: all three converge to similar accuracy; RRNM is
+// slightly ahead over most of the time axis.
+#include <cstdlib>
+#include <limits>
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/math_util.h"
+#include "datagen/energy_series_generator.h"
+#include "forecasting/estimator.h"
+#include "forecasting/hwt_model.h"
+
+using namespace mirabel;               // NOLINT: bench brevity
+using namespace mirabel::forecasting;  // NOLINT
+
+int main() {
+  bool small = std::getenv("MIRABEL_BENCH_SMALL") != nullptr;
+  const double budget_s = small ? 3.0 : 12.0;
+
+  // 8 weeks of half-hourly demand + 1 holdout day.
+  datagen::DemandSeriesConfig cfg;
+  cfg.periods_per_day = 48;
+  cfg.days = 57;
+  cfg.seed = 7;
+  std::vector<double> values = datagen::GenerateDemandSeries(cfg);
+  const size_t holdout = 48;
+  TimeSeries full(values, 48);
+  auto split = full.Split(full.size() - holdout);
+  const TimeSeries& train = split->first;
+  const std::vector<double>& actual = split->second.values();
+
+  const std::vector<int> seasons = {48, 336};
+
+  CsvTable table({"estimator", "time_s", "sse", "holdout_smape", "evals"});
+  for (const std::string name :
+       {"RandomRestartNelderMead", "SimulatedAnnealing", "RandomSearch"}) {
+    auto estimator = MakeEstimator(name);
+    HwtModel model(seasons);
+    Objective objective = [&model, &train](const std::vector<double>& p) {
+      Result<double> sse = model.FitWithParams(train, p);
+      return sse.ok() ? *sse : std::numeric_limits<double>::infinity();
+    };
+    EstimatorOptions options;
+    options.time_budget_s = budget_s;
+    options.seed = 2012;
+    EstimationResult est =
+        estimator->Estimate(objective, model.Bounds(), options);
+
+    // Evaluate the best-so-far trajectory on the holdout day.
+    for (const TracePoint& tp : est.trace) {
+      HwtModel snapshot(seasons);
+      auto sse = snapshot.FitWithParams(train, tp.params);
+      if (!sse.ok()) continue;
+      auto forecast = snapshot.Forecast(static_cast<int>(holdout));
+      if (!forecast.ok()) continue;
+      auto smape = Smape(actual, *forecast);
+      if (!smape.ok()) continue;
+      table.BeginRow();
+      table.AddCell(name);
+      table.AddNumber(tp.time_s, 3);
+      table.AddNumber(tp.best_value, 1);
+      table.AddNumber(*smape, 5);
+      table.AddInt(tp.evals);
+    }
+    std::printf("%-26s final SSE %.1f after %d evals\n", name.c_str(),
+                est.best_value, est.evals);
+  }
+
+  std::cout << "\n=== Figure 4(a): accuracy (holdout SMAPE) vs estimation "
+               "time ===\n";
+  table.WritePretty(std::cout);
+  std::printf("\npaper shape: all estimators converge to similar SMAPE; "
+              "Random Restart Nelder Mead slightly ahead.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Regenerates the paper's Figure 4(b): forecast accuracy (SMAPE) as a
+// function of the forecast horizon (0-4 days), for an energy *demand* series
+// and a wind *supply* series, both forecast with the HWT model.
+//
+// The paper used the UK NationalGrid demand data and the NREL wind
+// integration dataset; we substitute the synthetic demand and wind
+// generators (DESIGN.md). No external information (wind speed forecasts) is
+// used, exactly as in the paper's experiment.
+//
+// Paper shape to check: error grows with the horizon for both series; the
+// supply series is much harder (steeper degradation), since it carries fewer
+// seasonal effects.
+#include <cstdlib>
+#include <limits>
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/math_util.h"
+#include "datagen/energy_series_generator.h"
+#include "forecasting/estimator.h"
+#include "forecasting/hwt_model.h"
+
+using namespace mirabel;               // NOLINT: bench brevity
+using namespace mirabel::forecasting;  // NOLINT
+
+namespace {
+
+/// Trains HWT on all but the last 4 days and returns SMAPE per horizon.
+std::vector<std::pair<double, double>> HorizonSweep(
+    const std::vector<double>& values, double estimation_budget_s) {
+  const int ppd = 48;
+  const size_t holdout = 4 * ppd;
+  TimeSeries full(values, ppd);
+  auto split = full.Split(full.size() - holdout);
+  const TimeSeries& train = split->first;
+  const std::vector<double>& actual = split->second.values();
+
+  HwtModel model({ppd, 7 * ppd});
+  RandomRestartNelderMeadEstimator estimator;
+  Objective objective = [&model, &train](const std::vector<double>& p) {
+    Result<double> sse = model.FitWithParams(train, p);
+    return sse.ok() ? *sse : std::numeric_limits<double>::infinity();
+  };
+  EstimatorOptions options;
+  options.time_budget_s = estimation_budget_s;
+  options.seed = 30;
+  EstimationResult est =
+      estimator.Estimate(objective, model.Bounds(), options);
+  auto sse = model.FitWithParams(train, est.best_params);
+  if (!sse.ok()) {
+    std::cerr << "fit failed: " << sse.status() << "\n";
+    std::exit(1);
+  }
+  auto forecast = model.Forecast(static_cast<int>(holdout));
+  if (!forecast.ok()) {
+    std::cerr << "forecast failed: " << forecast.status() << "\n";
+    std::exit(1);
+  }
+
+  // SMAPE over the window [0, h) for growing horizons h.
+  std::vector<std::pair<double, double>> out;
+  for (int h : {6, 12, 24, 48, 96, 144, 192}) {
+    std::vector<double> a(actual.begin(), actual.begin() + h);
+    std::vector<double> f(forecast->begin(), forecast->begin() + h);
+    auto smape = Smape(a, f);
+    if (smape.ok()) {
+      out.emplace_back(static_cast<double>(h) / ppd, *smape);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bool small = std::getenv("MIRABEL_BENCH_SMALL") != nullptr;
+  const double budget = small ? 1.0 : 5.0;
+
+  datagen::DemandSeriesConfig demand_cfg;
+  demand_cfg.periods_per_day = 48;
+  demand_cfg.days = 60;
+  demand_cfg.seed = 7;
+  std::vector<double> demand = datagen::GenerateDemandSeries(demand_cfg);
+
+  datagen::WindSeriesConfig wind_cfg;
+  wind_cfg.periods_per_day = 48;
+  wind_cfg.days = 60;
+  wind_cfg.seed = 11;
+  std::vector<double> wind = datagen::GenerateWindSeries(wind_cfg);
+
+  CsvTable table({"series", "horizon_days", "smape"});
+  for (auto& [h, smape] : HorizonSweep(demand, budget)) {
+    table.BeginRow();
+    table.AddCell("demand");
+    table.AddNumber(h, 3);
+    table.AddNumber(smape, 5);
+  }
+  for (auto& [h, smape] : HorizonSweep(wind, budget)) {
+    table.BeginRow();
+    table.AddCell("wind_supply");
+    table.AddNumber(h, 3);
+    table.AddNumber(smape, 5);
+  }
+
+  std::cout << "=== Figure 4(b): accuracy vs forecast horizon ===\n";
+  table.WritePretty(std::cout);
+  std::printf("\npaper shape: error grows with horizon; wind supply degrades "
+              "much faster than demand.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces the paper's §6 optimality study in miniature: "in a preliminary
+// experiment with 10 flex-offers without energy constraints it took almost
+// three hours to explore all (almost 850 million) sensible solutions".
+//
+// We shrink the instance (time-flexibility windows) so the full enumeration
+// finishes in seconds, find the true optimum, and report how close the two
+// metaheuristics get — the point of the study: exhaustive search is hopeless
+// at scale, the metaheuristics land near the optimum in a fraction of the
+// time.
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/stopwatch.h"
+#include "scheduling/scenario.h"
+#include "scheduling/scheduler.h"
+
+using namespace mirabel;              // NOLINT: bench brevity
+using namespace mirabel::scheduling;  // NOLINT
+
+int main() {
+  // 10 offers, no energy flexibility (fixed profiles), windows <= 6 slices:
+  // ~7^10 would still be 282M, so cap flexibility at 4 -> <= 5^10 ~ 9.7M.
+  ScenarioConfig cfg;
+  cfg.num_offers = 10;
+  cfg.no_energy_flexibility = true;
+  cfg.max_time_flexibility = 4;
+  cfg.seed = 4242;
+  cfg.imbalance_amplitude_kwh = 40.0;
+  SchedulingProblem problem = MakeScenario(cfg);
+
+  uint64_t combos = ExhaustiveScheduler::CountCombinations(problem);
+  std::printf("instance: %zu flex-offers, %llu start-time combinations\n",
+              problem.offers.size(),
+              static_cast<unsigned long long>(combos));
+
+  CsvTable table({"algorithm", "time_s", "cost_eur", "gap_vs_optimal_eur"});
+
+  Stopwatch ex_watch;
+  ExhaustiveScheduler exhaustive;
+  SchedulerOptions ex_options;
+  ex_options.time_budget_s = 600.0;
+  auto optimal = exhaustive.Run(problem, ex_options);
+  if (!optimal.ok()) {
+    std::cerr << "exhaustive failed: " << optimal.status() << "\n";
+    return 1;
+  }
+  double opt_cost = optimal->cost.total();
+  table.BeginRow();
+  table.AddCell("Exhaustive(optimal)");
+  table.AddNumber(ex_watch.ElapsedSeconds(), 2);
+  table.AddNumber(opt_cost, 2);
+  table.AddNumber(0.0, 2);
+
+  for (const std::string algo : {"GreedySearch", "EvolutionaryAlgorithm"}) {
+    Stopwatch watch;
+    auto scheduler = MakeScheduler(algo);
+    SchedulerOptions options;
+    options.time_budget_s = 1.0;
+    options.seed = 5;
+    auto result = scheduler->Run(problem, options);
+    if (!result.ok()) {
+      std::cerr << algo << " failed: " << result.status() << "\n";
+      return 1;
+    }
+    table.BeginRow();
+    table.AddCell(algo);
+    table.AddNumber(watch.ElapsedSeconds(), 2);
+    table.AddNumber(result->cost.total(), 2);
+    table.AddNumber(result->cost.total() - opt_cost, 2);
+  }
+
+  std::cout << "\n=== Optimality study (shrunk instance of paper Sec. 6) "
+               "===\n";
+  table.WritePretty(std::cout);
+  std::printf("\npaper point: exhaustive enumeration explodes (850M combos "
+              "~ 3h for 10 offers); metaheuristics approach the optimum in "
+              "seconds.\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// A balance-responsible party's trading day at realistic scale: forecast the
+// area's demand and wind supply with the forecasting component, collect and
+// negotiate thousands of prosumer flex-offers, aggregate them (P2-style
+// parameters plus bin-packer), schedule the macro offers with the
+// evolutionary algorithm, and disaggregate back to micro schedules.
+#include <cstdio>
+#include <limits>
+#include <iostream>
+
+#include "aggregation/pipeline.h"
+#include "common/stopwatch.h"
+#include "datagen/energy_series_generator.h"
+#include "datagen/flex_offer_generator.h"
+#include "forecasting/forecaster.h"
+#include "negotiation/negotiator.h"
+#include "scheduling/scheduler.h"
+
+using namespace mirabel;             // NOLINT: example brevity
+using namespace mirabel::flexoffer;  // NOLINT
+
+int main() {
+  Stopwatch total_watch;
+
+  // --- Forecasting: train HWT on 4 weeks of area history -------------------
+  datagen::DemandSeriesConfig demand_cfg;
+  demand_cfg.periods_per_day = kSlicesPerDay;
+  demand_cfg.days = 29;
+  demand_cfg.base_load_mw = 5000.0;  // kWh per slice at BRP scale
+  demand_cfg.daily_amplitude = 1500.0;
+  demand_cfg.weekly_amplitude = 400.0;
+  demand_cfg.noise_stddev = 60.0;
+  std::vector<double> demand_history =
+      datagen::GenerateDemandSeries(demand_cfg);
+
+  datagen::WindSeriesConfig wind_cfg;
+  wind_cfg.periods_per_day = kSlicesPerDay;
+  wind_cfg.days = 29;
+  wind_cfg.capacity_mw = 4000.0;
+  std::vector<double> wind_history = datagen::GenerateWindSeries(wind_cfg);
+
+  // Hold out the final day: that's the trading day we schedule.
+  size_t train = static_cast<size_t>(28 * kSlicesPerDay);
+  forecasting::ForecasterConfig fc;
+  fc.seasonal_periods = {kSlicesPerDay, 7 * kSlicesPerDay};
+  fc.initial_estimation = {0.5, 0, 11};
+  forecasting::Forecaster demand_forecaster(fc);
+  forecasting::Forecaster wind_forecaster(fc);
+  {
+    forecasting::TimeSeries demand_series(
+        std::vector<double>(demand_history.begin(),
+                            demand_history.begin() + train),
+        kSlicesPerDay);
+    forecasting::TimeSeries wind_series(
+        std::vector<double>(wind_history.begin(),
+                            wind_history.begin() + train),
+        kSlicesPerDay);
+    if (!demand_forecaster.Train(demand_series).ok() ||
+        !wind_forecaster.Train(wind_series).ok()) {
+      std::cerr << "forecaster training failed\n";
+      return 1;
+    }
+  }
+  auto demand_fc = demand_forecaster.Forecast(kSlicesPerDay);
+  auto wind_fc = wind_forecaster.Forecast(kSlicesPerDay);
+  if (!demand_fc.ok() || !wind_fc.ok()) {
+    std::cerr << "forecast failed\n";
+    return 1;
+  }
+  std::puts("forecasts for the trading day ready (demand + wind, HWT)");
+
+  // --- Offers: 10k prosumer flex-offers, negotiated then aggregated --------
+  datagen::FlexOfferWorkloadConfig workload;
+  workload.count = 10000;
+  workload.seed = 99;
+  workload.horizon_days = 1;
+  std::vector<FlexOffer> offers = datagen::GenerateFlexOffers(workload);
+
+  negotiation::Negotiator negotiator;
+  aggregation::PipelineConfig agg_cfg;
+  agg_cfg.params = aggregation::AggregationParams::P2();
+  aggregation::BinPackerBounds bounds;
+  bounds.max_offers = 256;
+  agg_cfg.bin_packer = bounds;
+  aggregation::AggregationPipeline pipeline(agg_cfg);
+
+  int accepted = 0;
+  int rejected = 0;
+  double payments = 0.0;
+  for (const FlexOffer& fo : offers) {
+    auto outcome = negotiator.Negotiate(fo, 0.0);
+    if (outcome.decision ==
+        negotiation::NegotiationOutcome::Decision::kAgreed) {
+      if (pipeline.Insert(fo).ok()) {
+        ++accepted;
+        payments += outcome.agreed_price_eur;
+        continue;
+      }
+    }
+    ++rejected;
+  }
+  Stopwatch agg_watch;
+  pipeline.Flush();
+  auto stats = pipeline.Stats();
+  std::printf("negotiation: %d accepted, %d rejected, %.0f EUR flexibility "
+              "payments\n",
+              accepted, rejected, payments);
+  std::printf("aggregation: %zu offers -> %zu macros (%.1fx) in %.2fs, "
+              "avg tf loss %.2f slices\n",
+              stats.offer_count, stats.aggregate_count,
+              stats.compression_ratio, agg_watch.ElapsedSeconds(),
+              stats.avg_time_flexibility_loss);
+
+  // --- Scheduling: balance the day with the macro offers --------------------
+  scheduling::SchedulingProblem problem;
+  problem.horizon_start = 0;
+  problem.horizon_length = 2 * kSlicesPerDay;  // day + spill-over for tails
+  size_t h = static_cast<size_t>(problem.horizon_length);
+  problem.baseline_imbalance_kwh.assign(h, 0.0);
+  for (size_t s = 0; s < h; ++s) {
+    size_t idx = s % static_cast<size_t>(kSlicesPerDay);
+    problem.baseline_imbalance_kwh[s] =
+        ((*demand_fc)[idx] - (*wind_fc)[idx]) / 100.0;  // scale to flex size
+  }
+  problem.imbalance_penalty_eur.assign(h, 0.25);
+  problem.market.buy_price_eur.assign(h, 0.12);
+  problem.market.sell_price_eur.assign(h, 0.05);
+  problem.market.max_buy_kwh = 40.0;
+  problem.market.max_sell_kwh = 40.0;
+  for (const auto& [id, agg] : pipeline.aggregates()) {
+    const FlexOffer& m = agg.macro;
+    if (m.earliest_start >= 0 &&
+        m.LatestEnd() <= problem.horizon_length) {
+      problem.offers.push_back(m);
+    }
+  }
+  std::printf("scheduling %zu macro offers...\n", problem.offers.size());
+
+  scheduling::EvolutionaryScheduler scheduler;
+  scheduling::SchedulerOptions options;
+  options.time_budget_s = 3.0;
+  options.seed = 7;
+  auto run = scheduler.Run(problem, options);
+  if (!run.ok()) {
+    std::cerr << "scheduling failed: " << run.status() << "\n";
+    return 1;
+  }
+  std::printf("schedule cost %.0f EUR after %d generations\n",
+              run->cost.total(), run->iterations);
+
+  // --- Disaggregation: macro schedules back to prosumers --------------------
+  scheduling::CostEvaluator evaluator(problem);
+  (void)evaluator.SetSchedule(run->schedule);
+  Stopwatch disagg_watch;
+  size_t micro_count = 0;
+  for (const auto& macro_schedule : evaluator.ToScheduledOffers()) {
+    auto micro = pipeline.DisaggregateSchedule(macro_schedule);
+    if (micro.ok()) micro_count += micro->size();
+  }
+  std::printf("disaggregated to %zu micro schedules in %.2fs\n", micro_count,
+              disagg_watch.ElapsedSeconds());
+  std::printf("trading day done in %.1fs\n", total_watch.ElapsedSeconds());
+  return 0;
+}

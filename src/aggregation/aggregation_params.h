@@ -1,0 +1,55 @@
+#ifndef MIRABEL_AGGREGATION_AGGREGATION_PARAMS_H_
+#define MIRABEL_AGGREGATION_AGGREGATION_PARAMS_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "flexoffer/flex_offer.h"
+
+namespace mirabel::aggregation {
+
+/// User-defined aggregation thresholds (paper §4): two flex-offers may be
+/// aggregated together only if their attribute values deviate by no more than
+/// these tolerances. A tolerance of 0 demands identical values; -1 disables
+/// grouping on that attribute entirely (any value matches).
+///
+/// The four parameter combinations of the paper's aggregation experiment
+/// (§9, Fig. 5) are provided as factory functions:
+///  * P0 - Start-After-Time and Time-Flexibility must be equal,
+///  * P1 - small Time-Flexibility variation allowed, SAT equal,
+///  * P2 - small SAT variation allowed, Time-Flexibility equal,
+///  * P3 - small variation of both.
+struct AggregationParams {
+  /// Max deviation of earliest_start ("start after time"), in slices.
+  int64_t start_after_tolerance = 0;
+  /// Max deviation of the time flexibility (latest - earliest), in slices.
+  int64_t time_flexibility_tolerance = 0;
+  /// Max deviation of the profile duration; -1 ignores duration.
+  int64_t duration_tolerance = -1;
+
+  static AggregationParams P0() { return {0, 0, -1}; }
+  static AggregationParams P1() { return {0, 8, -1}; }
+  static AggregationParams P2() { return {8, 0, -1}; }
+  static AggregationParams P3() { return {8, 8, -1}; }
+
+  std::string ToString() const;
+};
+
+/// Quantised grouping key derived from a flex-offer under given params. Two
+/// offers with equal keys deviate by at most the configured tolerances.
+struct GroupKey {
+  int64_t start_after_bucket = 0;
+  int64_t time_flexibility_bucket = 0;
+  int64_t duration_bucket = 0;
+
+  auto operator<=>(const GroupKey&) const = default;
+};
+
+/// Computes the grouping key of `offer` under `params`.
+GroupKey MakeGroupKey(const flexoffer::FlexOffer& offer,
+                      const AggregationParams& params);
+
+}  // namespace mirabel::aggregation
+
+#endif  // MIRABEL_AGGREGATION_AGGREGATION_PARAMS_H_

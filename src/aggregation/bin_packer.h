@@ -1,0 +1,81 @@
+#ifndef MIRABEL_AGGREGATION_BIN_PACKER_H_
+#define MIRABEL_AGGREGATION_BIN_PACKER_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "aggregation/group_builder.h"
+
+namespace mirabel::aggregation {
+
+/// Identifier of a bounds-satisfying sub-group produced by the BinPacker.
+using SubGroupId = uint64_t;
+
+/// Bounds on the composition of a single aggregate (paper §4): "lower and
+/// upper bounds on ... (1) the number of flex-offers included into a single
+/// aggregate, (2) the amount of energy (or time flexibility) an aggregated
+/// flex-offer has to offer". Upper bounds are hard; lower bounds are
+/// satisfied best-effort by merging an undersized trailing sub-group into its
+/// predecessor (a group smaller than the lower bound necessarily violates it).
+struct BinPackerBounds {
+  int64_t min_offers = 1;
+  int64_t max_offers = std::numeric_limits<int64_t>::max();
+  /// Upper bound on the sum of |total max energy| over members, kWh.
+  double max_total_energy_kwh = std::numeric_limits<double>::infinity();
+  /// Upper bound on the summed time flexibility (slices) over members.
+  int64_t max_total_time_flexibility = std::numeric_limits<int64_t>::max();
+};
+
+/// Change of one sub-group. Because repacking can move offers between the
+/// sub-groups of a group, updates carry the *full* new membership; consumers
+/// diff against their previous state if they want deltas.
+struct SubGroupUpdate {
+  UpdateKind kind = UpdateKind::kCreated;
+  SubGroupId sub_group = 0;
+  /// Complete membership after the update (empty for kDeleted).
+  std::vector<flexoffer::FlexOffer> members;
+};
+
+/// Second, optional stage of the aggregation pipeline: splits each similarity
+/// group into sub-groups that satisfy the configured bounds. Without a
+/// bin-packer, a large number of identical flex-offers would collapse into a
+/// single huge aggregate, losing the ability to schedule them individually
+/// (paper §4).
+///
+/// Packing is deterministic: offers are ordered by id and packed first-fit
+/// into consecutive bins; each group's bins are repacked when the group
+/// changes (packing is local to the changed group, so the pipeline stays
+/// incremental at group granularity).
+class BinPacker {
+ public:
+  explicit BinPacker(const BinPackerBounds& bounds);
+
+  /// Consumes group updates and emits sub-group updates.
+  std::vector<SubGroupUpdate> Process(const std::vector<GroupUpdate>& updates);
+
+  size_t num_sub_groups() const { return sub_group_members_.size(); }
+  const BinPackerBounds& bounds() const { return bounds_; }
+
+ private:
+  struct GroupState {
+    // Current membership, kept sorted by offer id for deterministic packing.
+    std::vector<flexoffer::FlexOffer> offers;
+    // Sub-groups currently allocated to this group, in packing order.
+    std::vector<SubGroupId> sub_groups;
+  };
+
+  /// Splits `offers` into bins respecting the bounds.
+  std::vector<std::vector<flexoffer::FlexOffer>> Pack(
+      const std::vector<flexoffer::FlexOffer>& offers) const;
+
+  BinPackerBounds bounds_;
+  SubGroupId next_sub_group_id_ = 1;
+  std::unordered_map<GroupId, GroupState> groups_;
+  std::unordered_map<SubGroupId, size_t> sub_group_members_;  // member count
+};
+
+}  // namespace mirabel::aggregation
+
+#endif  // MIRABEL_AGGREGATION_BIN_PACKER_H_

@@ -1,0 +1,63 @@
+#include "common/csv.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace mirabel {
+
+CsvTable::CsvTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvTable::BeginRow() { rows_.emplace_back(); }
+
+void CsvTable::AddCell(std::string value) {
+  assert(!rows_.empty());
+  rows_.back().push_back(std::move(value));
+}
+
+void CsvTable::AddNumber(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  AddCell(buf);
+}
+
+void CsvTable::AddInt(int64_t value) {
+  AddCell(std::to_string(value));
+}
+
+void CsvTable::WriteCsv(std::ostream& os) const {
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << headers_[i];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+}
+
+void CsvTable::WritePretty(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << cell << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace mirabel

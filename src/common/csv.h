@@ -1,0 +1,45 @@
+#ifndef MIRABEL_COMMON_CSV_H_
+#define MIRABEL_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mirabel {
+
+/// Accumulates a rectangular table and renders it either as CSV or as an
+/// aligned text table. The benchmark harnesses use this to print the series
+/// behind each figure of the paper.
+class CsvTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit CsvTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent Add* calls fill it left to right.
+  void BeginRow();
+
+  /// Appends a string cell to the current row.
+  void AddCell(std::string value);
+
+  /// Appends a numeric cell, formatted with `precision` significant decimals.
+  void AddNumber(double value, int precision = 4);
+
+  /// Appends an integer cell.
+  void AddInt(int64_t value);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Writes comma-separated values including the header line.
+  void WriteCsv(std::ostream& os) const;
+
+  /// Writes an aligned, human-readable table.
+  void WritePretty(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mirabel
+
+#endif  // MIRABEL_COMMON_CSV_H_

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <cstring>
+#include <iostream>
+
+namespace mirabel {
+
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << '[' << LevelName(level) << ' ' << Basename(file) << ':' << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::cerr << stream_.str() << std::endl;
+  (void)level_;
+}
+
+}  // namespace internal
+
+}  // namespace mirabel

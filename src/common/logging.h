@@ -1,0 +1,50 @@
+#ifndef MIRABEL_COMMON_LOGGING_H_
+#define MIRABEL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mirabel {
+
+/// Log severity levels, coarsest filter wins.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Use via the MIRABEL_LOG
+/// macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Stream-style logging:
+///   MIRABEL_LOG(kInfo) << "aggregated " << n << " offers";
+#define MIRABEL_LOG(level)                                          \
+  if (::mirabel::LogLevel::level < ::mirabel::GetLogLevel()) {      \
+  } else                                                            \
+    ::mirabel::internal::LogMessage(::mirabel::LogLevel::level,     \
+                                    __FILE__, __LINE__)             \
+        .stream()
+
+}  // namespace mirabel
+
+#endif  // MIRABEL_COMMON_LOGGING_H_

@@ -1,0 +1,120 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace mirabel {
+
+Matrix Matrix::TransposeTimesSelf() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (size_t i = 0; i < cols_; ++i) {
+      if (row[i] == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) {
+        out.At(i, j) += row[i] * row[j];
+      }
+    }
+  }
+  // Mirror the upper triangle.
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) out.At(i, j) = out.At(j, i);
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposeTimesVector(
+    const std::vector<double>& v) const {
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * v[r];
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TimesVector(const std::vector<double>& v) const {
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+namespace {
+
+// In-place Cholesky of the lower triangle; returns false when a pivot is
+// non-positive (matrix not positive definite).
+bool CholeskyDecompose(Matrix* a) {
+  size_t n = a->rows();
+  for (size_t j = 0; j < n; ++j) {
+    double d = a->At(j, j);
+    for (size_t k = 0; k < j; ++k) d -= a->At(j, k) * a->At(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    double lj = std::sqrt(d);
+    a->At(j, j) = lj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a->At(i, j);
+      for (size_t k = 0; k < j; ++k) s -= a->At(i, k) * a->At(j, k);
+      a->At(i, j) = s / lj;
+    }
+  }
+  return true;
+}
+
+std::vector<double> CholeskySolve(const Matrix& l,
+                                  const std::vector<double>& b) {
+  size_t n = l.rows();
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l.At(i, k) * y[k];
+    y[i] = s / l.At(i, i);
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double s = y[i];
+    for (size_t k = i + 1; k < n; ++k) s -= l.At(k, i) * x[k];
+    x[i] = s / l.At(i, i);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveSpd requires a square matrix");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveSpd dimension mismatch");
+  }
+  // Try plain Cholesky, then progressively stronger ridge regularisation.
+  for (double ridge : {0.0, 1e-9, 1e-6, 1e-3}) {
+    Matrix work = a;
+    for (size_t i = 0; i < work.rows(); ++i) {
+      work.At(i, i) += ridge * (1.0 + std::fabs(a.At(i, i)));
+    }
+    if (CholeskyDecompose(&work)) return CholeskySolve(work, b);
+  }
+  return Status::Internal("matrix is singular");
+}
+
+Result<std::vector<double>> SolveLeastSquares(const Matrix& x,
+                                              const std::vector<double>& y) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("design matrix / target size mismatch");
+  }
+  if (x.rows() < x.cols()) {
+    return Status::InvalidArgument("underdetermined least-squares system");
+  }
+  Matrix gram = x.TransposeTimesSelf();
+  std::vector<double> rhs = x.TransposeTimesVector(y);
+  return SolveSpd(gram, rhs);
+}
+
+}  // namespace mirabel

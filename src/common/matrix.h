@@ -1,0 +1,55 @@
+#ifndef MIRABEL_COMMON_MATRIX_H_
+#define MIRABEL_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mirabel {
+
+/// Minimal dense row-major matrix of doubles, sufficient for the ordinary
+/// least squares solver used by the EGRV multi-equation forecast model.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Creates a rows x cols matrix initialised to zero.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Returns this^T * this (the normal-equations Gram matrix).
+  Matrix TransposeTimesSelf() const;
+
+  /// Returns this^T * v. Requires v.size() == rows().
+  std::vector<double> TransposeTimesVector(const std::vector<double>& v) const;
+
+  /// Returns this * v. Requires v.size() == cols().
+  std::vector<double> TimesVector(const std::vector<double>& v) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the symmetric positive-definite system A * x = b via Cholesky
+/// decomposition with a small ridge fallback for near-singular systems.
+/// Returns InvalidArgument on dimension mismatch, Internal when the system is
+/// singular even after regularisation.
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b);
+
+/// Ordinary least squares: finds beta minimising ||X * beta - y||^2.
+/// Requires X.rows() == y.size() and X.rows() >= X.cols().
+Result<std::vector<double>> SolveLeastSquares(const Matrix& x,
+                                              const std::vector<double>& y);
+
+}  // namespace mirabel
+
+#endif  // MIRABEL_COMMON_MATRIX_H_

@@ -1,0 +1,32 @@
+#ifndef MIRABEL_COMMON_STOPWATCH_H_
+#define MIRABEL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mirabel {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock, used by the benchmark
+/// harnesses and the time-budgeted optimisers (estimators, schedulers).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mirabel
+
+#endif  // MIRABEL_COMMON_STOPWATCH_H_

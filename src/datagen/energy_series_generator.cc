@@ -1,0 +1,118 @@
+#include "datagen/energy_series_generator.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mirabel::datagen {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+bool IsHolidayDayOfYear(int day_of_year) {
+  int d = ((day_of_year % 365) + 365) % 365;
+  // New year, Easter-ish spring holiday, May day, summer bank holiday,
+  // Christmas period.
+  switch (d) {
+    case 0:
+    case 1:
+    case 99:
+    case 100:
+    case 120:
+    case 242:
+    case 358:
+    case 359:
+    case 360:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<double> GenerateDemandSeries(const DemandSeriesConfig& config) {
+  Rng rng(config.seed);
+  const int n = config.days * config.periods_per_day;
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+
+  double noise = 0.0;
+  for (int t = 0; t < n; ++t) {
+    int period = t % config.periods_per_day;
+    int day = t / config.periods_per_day;
+    int day_of_week = day % 7;  // day 0 is a Monday
+    int day_of_year = (config.start_day_of_year + day) % 365;
+
+    double frac_of_day =
+        static_cast<double>(period) / config.periods_per_day;
+
+    // Intra-day shape: a morning peak (~08:30) and a higher evening peak
+    // (~18:00), night trough. Two raised cosines approximate the classic
+    // double-hump load curve.
+    double daily = 0.0;
+    daily += 0.8 * std::exp(-std::pow((frac_of_day - 0.354) / 0.09, 2));
+    daily += 1.0 * std::exp(-std::pow((frac_of_day - 0.75) / 0.11, 2));
+    daily -= 0.6 * std::exp(-std::pow((frac_of_day - 0.08) / 0.10, 2));
+
+    // Weekly shape: weekend demand is lower, Friday slightly lower.
+    double weekly = 0.0;
+    if (day_of_week == 5) weekly = -0.8;       // Saturday
+    else if (day_of_week == 6) weekly = -1.0;  // Sunday
+    else if (day_of_week == 4) weekly = -0.2;  // Friday
+    // Annual shape: winter-high cosine (peak near day-of-year 0).
+    double annual = std::cos(2.0 * kPi * day_of_year / 365.0);
+
+    double level = config.base_load_mw +
+                   config.daily_amplitude * daily +
+                   config.weekly_amplitude * weekly +
+                   config.annual_amplitude * annual;
+
+    if (IsHolidayDayOfYear(day_of_year)) {
+      level *= (1.0 - config.holiday_dip);
+    }
+
+    noise = config.noise_ar1 * noise +
+            rng.Gaussian(0.0, config.noise_stddev);
+    out.push_back(level + noise);
+  }
+  return out;
+}
+
+std::vector<double> GenerateWindSeries(const WindSeriesConfig& config) {
+  Rng rng(config.seed);
+  const int n = config.days * config.periods_per_day;
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+
+  double speed_dev = 0.0;  // deviation from the (diurnal) mean speed
+  for (int t = 0; t < n; ++t) {
+    int period = t % config.periods_per_day;
+    double frac_of_day =
+        static_cast<double>(period) / config.periods_per_day;
+    double mean = config.mean_speed +
+                  config.diurnal_amplitude *
+                      std::sin(2.0 * kPi * (frac_of_day - 0.25));
+
+    speed_dev = config.speed_ar1 * speed_dev +
+                rng.Gaussian(0.0, config.speed_noise);
+    double speed = mean + speed_dev;
+    if (speed < 0.0) speed = 0.0;
+
+    // Cubic power curve between cut-in and rated, flat to cut-out.
+    double power = 0.0;
+    if (speed >= config.cut_in_speed && speed < config.cut_out_speed) {
+      if (speed >= config.rated_speed) {
+        power = config.capacity_mw;
+      } else {
+        double num = std::pow(speed, 3) - std::pow(config.cut_in_speed, 3);
+        double den =
+            std::pow(config.rated_speed, 3) - std::pow(config.cut_in_speed, 3);
+        power = config.capacity_mw * num / den;
+      }
+    }
+    out.push_back(power);
+  }
+  return out;
+}
+
+}  // namespace mirabel::datagen

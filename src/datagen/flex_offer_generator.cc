@@ -1,0 +1,83 @@
+#include "datagen/flex_offer_generator.h"
+
+#include <algorithm>
+
+namespace mirabel::datagen {
+
+using flexoffer::FlexOffer;
+using flexoffer::kSlicesPerDay;
+using flexoffer::TimeSlice;
+
+FlexOfferGenerator::FlexOfferGenerator(const FlexOfferWorkloadConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+FlexOffer FlexOfferGenerator::Next() {
+  FlexOffer fo;
+  fo.id = next_id_++;
+  fo.owner = static_cast<flexoffer::ActorId>(
+      rng_.UniformInt(1, std::max<int64_t>(1, config_.num_owners)));
+
+  // Creation spread over the horizon.
+  TimeSlice horizon = static_cast<TimeSlice>(config_.horizon_days) *
+                      kSlicesPerDay;
+  fo.creation_time = rng_.UniformInt(0, std::max<TimeSlice>(0, horizon - 1));
+
+  // Duration, quantised so that device classes repeat.
+  int dur = static_cast<int>(rng_.UniformInt(config_.min_duration_slices,
+                                             config_.max_duration_slices));
+  if (config_.duration_step > 1) {
+    dur = std::max(config_.min_duration_slices,
+                   (dur / config_.duration_step) * config_.duration_step);
+  }
+
+  // Time flexibility, quantised.
+  int tf = static_cast<int>(rng_.UniformInt(config_.min_time_flexibility,
+                                            config_.max_time_flexibility));
+  if (config_.time_flexibility_step > 1) {
+    tf = (tf / config_.time_flexibility_step) * config_.time_flexibility_step;
+  }
+
+  // The window opens 2..8 hours after creation; the assignment deadline sits
+  // 1 hour before the window opens.
+  TimeSlice lead = rng_.UniformInt(8, 32);
+  fo.earliest_start = fo.creation_time + lead;
+  fo.latest_start = fo.earliest_start + tf;
+  fo.assignment_before = fo.earliest_start - std::min<TimeSlice>(4, lead - 1);
+  if (fo.assignment_before < fo.creation_time) {
+    fo.assignment_before = fo.creation_time;
+  }
+
+  bool production = rng_.Bernoulli(config_.production_fraction);
+
+  fo.profile.reserve(static_cast<size_t>(dur));
+  for (int i = 0; i < dur; ++i) {
+    double emax = rng_.Uniform(config_.min_slice_energy_kwh,
+                               config_.max_slice_energy_kwh);
+    double flex_fraction = rng_.Uniform(0.0, config_.max_energy_flex);
+    double emin = emax * (1.0 - flex_fraction);
+    flexoffer::EnergyRange r;
+    if (production) {
+      // Production offers commit negative energy: min <= max <= 0.
+      r.min_kwh = -emax;
+      r.max_kwh = -emin;
+    } else {
+      r.min_kwh = emin;
+      r.max_kwh = emax;
+    }
+    fo.profile.push_back(r);
+  }
+
+  fo.unit_price_eur = rng_.Uniform(0.01, 0.06);
+  return fo;
+}
+
+std::vector<FlexOffer> GenerateFlexOffers(
+    const FlexOfferWorkloadConfig& config) {
+  FlexOfferGenerator gen(config);
+  std::vector<FlexOffer> out;
+  out.reserve(static_cast<size_t>(config.count));
+  for (int64_t i = 0; i < config.count; ++i) out.push_back(gen.Next());
+  return out;
+}
+
+}  // namespace mirabel::datagen

@@ -1,0 +1,85 @@
+#ifndef MIRABEL_DATAGEN_FLEX_OFFER_GENERATOR_H_
+#define MIRABEL_DATAGEN_FLEX_OFFER_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "flexoffer/flex_offer.h"
+
+namespace mirabel::datagen {
+
+/// Parameters of the synthetic flex-offer workload.
+///
+/// The aggregation experiment of the paper (§9, Fig. 5) uses "around 800000
+/// artificially generated flex-offers". This generator reproduces such a
+/// dataset: household-style consumption offers (EV charging, dishwashers,
+/// heat pumps, ...) whose attributes are drawn from simple, documented
+/// distributions. All draws are deterministic given `seed`.
+struct FlexOfferWorkloadConfig {
+  /// Number of offers to generate.
+  int64_t count = 1000;
+  /// Seed for the deterministic generator.
+  uint64_t seed = 42;
+
+  /// Offers are created uniformly over this many days; the start window of an
+  /// offer opens a few hours after its creation.
+  int horizon_days = 1;
+
+  /// Profile duration is drawn uniformly from [min, max] slices
+  /// (default: 30 min .. 4 h at 15-minute slices).
+  int min_duration_slices = 2;
+  int max_duration_slices = 16;
+
+  /// Time flexibility (latest_start - earliest_start) drawn uniformly from
+  /// [min, max] slices (default: 0 .. 8 h).
+  int min_time_flexibility = 0;
+  int max_time_flexibility = 32;
+
+  /// Per-slice maximum energy drawn uniformly from [min, max] kWh.
+  double min_slice_energy_kwh = 0.25;
+  double max_slice_energy_kwh = 2.5;
+
+  /// Each slice's minimum energy = max energy * (1 - energy_flex_fraction),
+  /// where the fraction is drawn uniformly from [0, max_energy_flex].
+  double max_energy_flex = 0.5;
+
+  /// Fraction of offers that are production (negative energy) offers, e.g.
+  /// private solar panels committing output (paper §1).
+  double production_fraction = 0.0;
+
+  /// Number of distinct prosumers that own the offers.
+  int64_t num_owners = 1000;
+
+  /// Quantisation of attribute values. Real device classes produce many
+  /// *identical* offers (the paper's motivation for the bin-packer); larger
+  /// buckets yield more duplicates. Attributes are rounded to multiples of
+  /// these steps.
+  int time_flexibility_step = 4;
+  int duration_step = 2;
+};
+
+/// Generates `config.count` valid flex-offers. Ids are 1..count.
+std::vector<flexoffer::FlexOffer> GenerateFlexOffers(
+    const FlexOfferWorkloadConfig& config);
+
+/// Generates offers with a fresh Rng owned by the caller (for streaming use).
+class FlexOfferGenerator {
+ public:
+  explicit FlexOfferGenerator(const FlexOfferWorkloadConfig& config);
+
+  /// Returns the next offer of the stream.
+  flexoffer::FlexOffer Next();
+
+  /// Number of offers generated so far.
+  int64_t generated() const { return next_id_ - 1; }
+
+ private:
+  FlexOfferWorkloadConfig config_;
+  Rng rng_;
+  flexoffer::FlexOfferId next_id_ = 1;
+};
+
+}  // namespace mirabel::datagen
+
+#endif  // MIRABEL_DATAGEN_FLEX_OFFER_GENERATOR_H_

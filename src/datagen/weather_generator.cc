@@ -1,0 +1,39 @@
+#include "datagen/weather_generator.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mirabel::datagen {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+std::vector<double> GenerateTemperatureSeries(const WeatherConfig& config) {
+  Rng rng(config.seed);
+  const int n = config.days * config.periods_per_day;
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+
+  double front = 0.0;
+  for (int t = 0; t < n; ++t) {
+    int period = t % config.periods_per_day;
+    int day = t / config.periods_per_day;
+    int day_of_year = (config.start_day_of_year + day) % 365;
+    double frac_of_day = static_cast<double>(period) / config.periods_per_day;
+
+    // Summer-high annual cycle (peak near day-of-year 200).
+    double annual = -std::cos(2.0 * kPi * (day_of_year - 20) / 365.0);
+    // Afternoon-high diurnal cycle (peak ~15:00).
+    double diurnal = std::cos(2.0 * kPi * (frac_of_day - 0.625));
+
+    front = config.front_ar1 * front + rng.Gaussian(0.0, config.front_noise);
+
+    out.push_back(config.mean_temp_c + config.annual_amplitude * annual +
+                  config.diurnal_amplitude * diurnal + front);
+  }
+  return out;
+}
+
+}  // namespace mirabel::datagen

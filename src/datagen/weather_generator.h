@@ -1,0 +1,34 @@
+#ifndef MIRABEL_DATAGEN_WEATHER_GENERATOR_H_
+#define MIRABEL_DATAGEN_WEATHER_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mirabel::datagen {
+
+/// Synthetic outside-temperature series used as the external regressor of
+/// the EGRV multi-equation forecast model (paper §5: "weather information ...
+/// are included"). Annual cosine + diurnal cycle + AR(1) weather fronts.
+struct WeatherConfig {
+  int periods_per_day = 48;
+  int days = 56;
+  /// Annual mean temperature in degrees Celsius.
+  double mean_temp_c = 10.0;
+  /// Amplitude of the annual cycle (summer-high).
+  double annual_amplitude = 8.0;
+  /// Amplitude of the diurnal cycle (afternoon-high).
+  double diurnal_amplitude = 4.0;
+  /// AR(1) coefficient of the weather-front process.
+  double front_ar1 = 0.995;
+  /// Innovation stddev of the front process.
+  double front_noise = 0.25;
+  int start_day_of_year = 0;
+  uint64_t seed = 23;
+};
+
+/// Generates one temperature value (deg C) per period.
+std::vector<double> GenerateTemperatureSeries(const WeatherConfig& config);
+
+}  // namespace mirabel::datagen
+
+#endif  // MIRABEL_DATAGEN_WEATHER_GENERATOR_H_

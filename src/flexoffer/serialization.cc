@@ -1,0 +1,246 @@
+#include "flexoffer/serialization.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mirabel::flexoffer {
+
+namespace {
+
+void AppendDouble(double v, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+/// Minimal strict tokenizer over the JSON subset used by the wire format.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Status ExpectChar(char c) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  /// True (and consumes) when the next token is `c`.
+  bool ConsumeIf(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseKey() {
+    MIRABEL_RETURN_NOT_OK(ExpectChar('"'));
+    std::string key;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      key += text_[pos_++];
+    }
+    MIRABEL_RETURN_NOT_OK(ExpectChar('"'));
+    MIRABEL_RETURN_NOT_OK(ExpectChar(':'));
+    return key;
+  }
+
+  Result<double> ParseNumber() {
+    SkipWhitespace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected a number at offset " +
+                                     std::to_string(start));
+    }
+    char* end = nullptr;
+    std::string token = text_.substr(start, pos_ - start);
+    double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      return Status::InvalidArgument("malformed number '" + token + "'");
+    }
+    return v;
+  }
+
+  Result<int64_t> ParseInt() {
+    MIRABEL_ASSIGN_OR_RETURN(double v, ParseNumber());
+    double rounded = std::nearbyint(v);
+    if (std::fabs(v - rounded) > 1e-9) {
+      return Status::InvalidArgument("expected an integer");
+    }
+    return static_cast<int64_t>(rounded);
+  }
+
+  /// Parses "[x, y, ...]" of numbers.
+  Result<std::vector<double>> ParseNumberArray() {
+    MIRABEL_RETURN_NOT_OK(ExpectChar('['));
+    std::vector<double> out;
+    if (ConsumeIf(']')) return out;
+    while (true) {
+      MIRABEL_ASSIGN_OR_RETURN(double v, ParseNumber());
+      out.push_back(v);
+      if (ConsumeIf(']')) break;
+      MIRABEL_RETURN_NOT_OK(ExpectChar(','));
+    }
+    return out;
+  }
+
+  /// Parses "[[min,max], ...]".
+  Result<std::vector<EnergyRange>> ParseProfile() {
+    MIRABEL_RETURN_NOT_OK(ExpectChar('['));
+    std::vector<EnergyRange> out;
+    if (ConsumeIf(']')) return out;
+    while (true) {
+      MIRABEL_ASSIGN_OR_RETURN(std::vector<double> pair, ParseNumberArray());
+      if (pair.size() != 2) {
+        return Status::InvalidArgument("profile slice must be [min, max]");
+      }
+      out.push_back({pair[0], pair[1]});
+      if (ConsumeIf(']')) break;
+      MIRABEL_RETURN_NOT_OK(ExpectChar(','));
+    }
+    return out;
+  }
+
+  Status ExpectEnd() {
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ToJson(const FlexOffer& offer) {
+  std::string out = "{\"id\":" + std::to_string(offer.id);
+  out += ",\"owner\":" + std::to_string(offer.owner);
+  out += ",\"created\":" + std::to_string(offer.creation_time);
+  out += ",\"assign_before\":" + std::to_string(offer.assignment_before);
+  out += ",\"earliest\":" + std::to_string(offer.earliest_start);
+  out += ",\"latest\":" + std::to_string(offer.latest_start);
+  out += ",\"unit_price\":";
+  AppendDouble(offer.unit_price_eur, &out);
+  out += ",\"profile\":[";
+  for (size_t i = 0; i < offer.profile.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '[';
+    AppendDouble(offer.profile[i].min_kwh, &out);
+    out += ',';
+    AppendDouble(offer.profile[i].max_kwh, &out);
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToJson(const ScheduledFlexOffer& schedule) {
+  std::string out = "{\"offer_id\":" + std::to_string(schedule.offer_id);
+  out += ",\"start\":" + std::to_string(schedule.start);
+  out += ",\"energies\":[";
+  for (size_t i = 0; i < schedule.energies_kwh.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendDouble(schedule.energies_kwh[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+Result<FlexOffer> FlexOfferFromJson(const std::string& json) {
+  Parser parser(json);
+  MIRABEL_RETURN_NOT_OK(parser.ExpectChar('{'));
+  FlexOffer offer;
+  bool saw_id = false;
+  bool saw_profile = false;
+  while (true) {
+    MIRABEL_ASSIGN_OR_RETURN(std::string key, parser.ParseKey());
+    if (key == "id") {
+      MIRABEL_ASSIGN_OR_RETURN(int64_t v, parser.ParseInt());
+      offer.id = static_cast<FlexOfferId>(v);
+      saw_id = true;
+    } else if (key == "owner") {
+      MIRABEL_ASSIGN_OR_RETURN(int64_t v, parser.ParseInt());
+      offer.owner = static_cast<ActorId>(v);
+    } else if (key == "created") {
+      MIRABEL_ASSIGN_OR_RETURN(offer.creation_time, parser.ParseInt());
+    } else if (key == "assign_before") {
+      MIRABEL_ASSIGN_OR_RETURN(offer.assignment_before, parser.ParseInt());
+    } else if (key == "earliest") {
+      MIRABEL_ASSIGN_OR_RETURN(offer.earliest_start, parser.ParseInt());
+    } else if (key == "latest") {
+      MIRABEL_ASSIGN_OR_RETURN(offer.latest_start, parser.ParseInt());
+    } else if (key == "unit_price") {
+      MIRABEL_ASSIGN_OR_RETURN(offer.unit_price_eur, parser.ParseNumber());
+    } else if (key == "profile") {
+      MIRABEL_ASSIGN_OR_RETURN(offer.profile, parser.ParseProfile());
+      saw_profile = true;
+    } else {
+      return Status::InvalidArgument("unknown key '" + key + "'");
+    }
+    if (parser.ConsumeIf('}')) break;
+    MIRABEL_RETURN_NOT_OK(parser.ExpectChar(','));
+  }
+  MIRABEL_RETURN_NOT_OK(parser.ExpectEnd());
+  if (!saw_id || !saw_profile) {
+    return Status::InvalidArgument("missing required key");
+  }
+  MIRABEL_RETURN_NOT_OK(offer.Validate());
+  return offer;
+}
+
+Result<ScheduledFlexOffer> ScheduledFlexOfferFromJson(const std::string& json) {
+  Parser parser(json);
+  MIRABEL_RETURN_NOT_OK(parser.ExpectChar('{'));
+  ScheduledFlexOffer schedule;
+  bool saw_id = false;
+  bool saw_energies = false;
+  while (true) {
+    MIRABEL_ASSIGN_OR_RETURN(std::string key, parser.ParseKey());
+    if (key == "offer_id") {
+      MIRABEL_ASSIGN_OR_RETURN(int64_t v, parser.ParseInt());
+      schedule.offer_id = static_cast<FlexOfferId>(v);
+      saw_id = true;
+    } else if (key == "start") {
+      MIRABEL_ASSIGN_OR_RETURN(schedule.start, parser.ParseInt());
+    } else if (key == "energies") {
+      MIRABEL_ASSIGN_OR_RETURN(schedule.energies_kwh,
+                               parser.ParseNumberArray());
+      saw_energies = true;
+    } else {
+      return Status::InvalidArgument("unknown key '" + key + "'");
+    }
+    if (parser.ConsumeIf('}')) break;
+    MIRABEL_RETURN_NOT_OK(parser.ExpectChar(','));
+  }
+  MIRABEL_RETURN_NOT_OK(parser.ExpectEnd());
+  if (!saw_id || !saw_energies) {
+    return Status::InvalidArgument("missing required key");
+  }
+  return schedule;
+}
+
+}  // namespace mirabel::flexoffer

@@ -1,0 +1,43 @@
+#ifndef MIRABEL_FLEXOFFER_SERIALIZATION_H_
+#define MIRABEL_FLEXOFFER_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "flexoffer/flex_offer.h"
+
+namespace mirabel::flexoffer {
+
+/// JSON wire format for flex-offers and schedules.
+///
+/// The EDMS nodes exchange flex-offers over a wide-area network and persist
+/// them in the Data Management component; both need a stable, human-readable
+/// encoding. The format is a strict subset of JSON:
+///
+///   {"id":42,"owner":7,"created":0,"assign_before":80,
+///    "earliest":88,"latest":100,"unit_price":0.03,
+///    "profile":[[1.0,2.0],[0.5,0.5]]}
+///
+/// and for schedules
+///
+///   {"offer_id":42,"start":90,"energies":[1.5,0.5]}
+///
+/// Numbers are emitted with enough precision to round-trip doubles exactly.
+/// The parser accepts arbitrary whitespace between tokens, rejects unknown
+/// keys, and never throws — malformed input yields InvalidArgument.
+
+/// Encodes `offer` as a single-line JSON object.
+std::string ToJson(const FlexOffer& offer);
+
+/// Encodes `schedule` as a single-line JSON object.
+std::string ToJson(const ScheduledFlexOffer& schedule);
+
+/// Parses a flex-offer from `json`. All keys are required.
+Result<FlexOffer> FlexOfferFromJson(const std::string& json);
+
+/// Parses a scheduled flex-offer from `json`. All keys are required.
+Result<ScheduledFlexOffer> ScheduledFlexOfferFromJson(const std::string& json);
+
+}  // namespace mirabel::flexoffer
+
+#endif  // MIRABEL_FLEXOFFER_SERIALIZATION_H_

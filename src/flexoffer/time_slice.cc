@@ -1,0 +1,18 @@
+#include "flexoffer/time_slice.h"
+
+#include <cstdio>
+
+namespace mirabel::flexoffer {
+
+std::string FormatTimeSlice(TimeSlice t) {
+  int64_t day = DayOf(t);
+  int slice = SliceOfDay(t);
+  int hour = slice / kSlicesPerHour;
+  int minute = (slice % kSlicesPerHour) * 15;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%lld %02d:%02d",
+                static_cast<long long>(day), hour, minute);
+  return buf;
+}
+
+}  // namespace mirabel::flexoffer

@@ -1,0 +1,69 @@
+#ifndef MIRABEL_FLEXOFFER_TIME_SLICE_H_
+#define MIRABEL_FLEXOFFER_TIME_SLICE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mirabel::flexoffer {
+
+/// Discrete time in the MIRABEL system.
+///
+/// The European market model underlying MIRABEL settles energy in fixed-size
+/// metering periods. We model time as an integer index of 15-minute slices
+/// since an arbitrary epoch (slice 0 = midnight of day 0). All flex-offer
+/// times (earliest/latest start, assignment deadline) and all schedules are
+/// expressed in slices.
+using TimeSlice = int64_t;
+
+/// Number of slices per hour at 15-minute granularity.
+inline constexpr int kSlicesPerHour = 4;
+/// Number of slices per day.
+inline constexpr int kSlicesPerDay = 24 * kSlicesPerHour;
+/// Number of slices per week.
+inline constexpr int kSlicesPerWeek = 7 * kSlicesPerDay;
+
+/// Converts whole hours to slices.
+constexpr TimeSlice HoursToSlices(int64_t hours) {
+  return hours * kSlicesPerHour;
+}
+
+/// Converts whole days to slices.
+constexpr TimeSlice DaysToSlices(int64_t days) { return days * kSlicesPerDay; }
+
+/// Hour-of-day (0-23) of a slice.
+constexpr int HourOfDay(TimeSlice t) {
+  int64_t in_day = t % kSlicesPerDay;
+  if (in_day < 0) in_day += kSlicesPerDay;
+  return static_cast<int>(in_day / kSlicesPerHour);
+}
+
+/// Slice-of-day (0-95) of a slice.
+constexpr int SliceOfDay(TimeSlice t) {
+  int64_t in_day = t % kSlicesPerDay;
+  if (in_day < 0) in_day += kSlicesPerDay;
+  return static_cast<int>(in_day);
+}
+
+/// Day index (may be negative before the epoch).
+constexpr int64_t DayOf(TimeSlice t) {
+  int64_t d = t / kSlicesPerDay;
+  if (t % kSlicesPerDay < 0) --d;
+  return d;
+}
+
+/// Day-of-week in 0..6 with day 0 of the epoch defined as a Monday.
+constexpr int DayOfWeek(TimeSlice t) {
+  int64_t d = DayOf(t) % 7;
+  if (d < 0) d += 7;
+  return static_cast<int>(d);
+}
+
+/// True for Saturday (5) and Sunday (6).
+constexpr bool IsWeekend(TimeSlice t) { return DayOfWeek(t) >= 5; }
+
+/// Formats a slice as "d<day> hh:mm" for logs and examples.
+std::string FormatTimeSlice(TimeSlice t);
+
+}  // namespace mirabel::flexoffer
+
+#endif  // MIRABEL_FLEXOFFER_TIME_SLICE_H_

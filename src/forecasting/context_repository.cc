@@ -1,0 +1,71 @@
+#include "forecasting/context_repository.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace mirabel::forecasting {
+
+Status ContextRepository::Store(std::vector<double> context,
+                                std::vector<double> params, double score) {
+  if (!entries_.empty() && context.size() != entries_.front().context.size()) {
+    return Status::InvalidArgument("context dimensionality mismatch");
+  }
+  entries_.push_back({std::move(context), std::move(params), score});
+  return Status::OK();
+}
+
+Result<size_t> ContextRepository::NearestIndex(
+    const std::vector<double>& context) const {
+  if (entries_.empty()) return Status::NotFound("repository is empty");
+  if (context.size() != entries_.front().context.size()) {
+    return Status::InvalidArgument("context dimensionality mismatch");
+  }
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    double d = 0.0;
+    for (size_t j = 0; j < context.size(); ++j) {
+      double diff = context[j] - entries_[i].context[j];
+      d += diff * diff;
+    }
+    bool better = d < best_dist - 1e-9 ||
+                  (std::fabs(d - best_dist) <= 1e-9 &&
+                   entries_[i].score < entries_[best].score);
+    if (better) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Result<std::vector<double>> ContextRepository::FindNearest(
+    const std::vector<double>& context) const {
+  MIRABEL_ASSIGN_OR_RETURN(size_t idx, NearestIndex(context));
+  return entries_[idx].params;
+}
+
+Result<double> ContextRepository::NearestDistance(
+    const std::vector<double>& context) const {
+  MIRABEL_ASSIGN_OR_RETURN(size_t idx, NearestIndex(context));
+  double d = 0.0;
+  for (size_t j = 0; j < context.size(); ++j) {
+    double diff = context[j] - entries_[idx].context[j];
+    d += diff * diff;
+  }
+  return std::sqrt(d);
+}
+
+std::vector<double> MakeSeriesContext(const std::vector<double>& values,
+                                      int periods_per_day) {
+  size_t window = std::min(values.size(), static_cast<size_t>(periods_per_day));
+  std::vector<double> day(values.end() - static_cast<ptrdiff_t>(window),
+                          values.end());
+  double day_of_week =
+      static_cast<double>((values.size() / static_cast<size_t>(periods_per_day)) % 7);
+  return {Mean(day), StdDev(day), day_of_week};
+}
+
+}  // namespace mirabel::forecasting

@@ -1,0 +1,57 @@
+#ifndef MIRABEL_FORECASTING_CONTEXT_REPOSITORY_H_
+#define MIRABEL_FORECASTING_CONTEXT_REPOSITORY_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace mirabel::forecasting {
+
+/// Case-based repository of previously estimated model parameters keyed by
+/// the time-series context in which they were estimated (paper §5
+/// "Context-Aware Model Adaptation", [2]).
+///
+/// A context descriptor is a small feature vector characterising the series
+/// around estimation time (e.g. mean level, variability, weekday). When a
+/// similar context reoccurs, the stored parameters are reused as warm start,
+/// which "achieves a higher forecast accuracy in less time".
+class ContextRepository {
+ public:
+  /// One stored case.
+  struct Entry {
+    std::vector<double> context;
+    std::vector<double> params;
+    /// Objective value (e.g. SSE or SMAPE) achieved with these params.
+    double score = 0.0;
+  };
+
+  /// Stores a case. Contexts of differing dimensionality are rejected.
+  Status Store(std::vector<double> context, std::vector<double> params,
+               double score);
+
+  /// Returns the parameters of the entry with the closest context (Euclidean
+  /// distance); among near-ties (within 1e-9) prefers the better score.
+  /// NotFound when empty; InvalidArgument on dimension mismatch.
+  Result<std::vector<double>> FindNearest(
+      const std::vector<double>& context) const;
+
+  /// Distance of the closest stored context, for cache-hit heuristics.
+  Result<double> NearestDistance(const std::vector<double>& context) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  Result<size_t> NearestIndex(const std::vector<double>& context) const;
+
+  std::vector<Entry> entries_;
+};
+
+/// Builds the context descriptor used by the Forecaster: {mean of the last
+/// day, stddev of the last day, day-of-week of the last observation}.
+std::vector<double> MakeSeriesContext(const std::vector<double>& values,
+                                      int periods_per_day);
+
+}  // namespace mirabel::forecasting
+
+#endif  // MIRABEL_FORECASTING_CONTEXT_REPOSITORY_H_

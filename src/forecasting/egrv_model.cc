@@ -1,0 +1,175 @@
+#include "forecasting/egrv_model.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/matrix.h"
+
+namespace mirabel::forecasting {
+
+Status ExogenousData::CheckSize(size_t expected) const {
+  if (temperature_c.size() != expected || holiday.size() != expected) {
+    return Status::InvalidArgument("exogenous data size mismatch");
+  }
+  return Status::OK();
+}
+
+EgrvModel::EgrvModel(int periods_per_day)
+    : periods_per_day_(periods_per_day),
+      coefficients_(static_cast<size_t>(periods_per_day)) {}
+
+std::vector<double> EgrvModel::MakeRow(const std::vector<double>& values,
+                                       double temperature, bool holiday,
+                                       size_t t) const {
+  const size_t day_lag = static_cast<size_t>(periods_per_day_);
+  const size_t week_lag = 7 * day_lag;
+  size_t day = t / day_lag;
+  bool weekend = (day % 7) >= 5;  // day 0 is a Monday
+  double trend = static_cast<double>(t) / static_cast<double>(week_lag);
+  return {1.0,
+          values[t - day_lag],
+          values[t - week_lag],
+          temperature,
+          temperature * temperature,
+          holiday ? 1.0 : 0.0,
+          weekend ? 1.0 : 0.0,
+          trend};
+}
+
+Status EgrvModel::FitRange(const TimeSeries& series, const ExogenousData& exog,
+                           int begin, int end) {
+  const std::vector<double>& y = series.values();
+  const size_t week_lag = 7 * static_cast<size_t>(periods_per_day_);
+  for (int p = begin; p < end; ++p) {
+    // Horizontal partition: observations of intra-day period p with full lags.
+    std::vector<size_t> rows;
+    for (size_t t = week_lag + static_cast<size_t>(p); t < y.size();
+         t += static_cast<size_t>(periods_per_day_)) {
+      rows.push_back(t);
+    }
+    if (rows.size() < static_cast<size_t>(kNumRegressors)) {
+      return Status::InvalidArgument(
+          "not enough observations for intra-day period " + std::to_string(p));
+    }
+    Matrix x(rows.size(), kNumRegressors);
+    std::vector<double> target(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      size_t t = rows[r];
+      std::vector<double> reg =
+          MakeRow(y, exog.temperature_c[t], exog.holiday[t], t);
+      for (int c = 0; c < kNumRegressors; ++c) {
+        x.At(r, static_cast<size_t>(c)) = reg[static_cast<size_t>(c)];
+      }
+      target[r] = y[t];
+    }
+    MIRABEL_ASSIGN_OR_RETURN(std::vector<double> beta,
+                             SolveLeastSquares(x, target));
+    coefficients_[static_cast<size_t>(p)] = std::move(beta);
+  }
+  return Status::OK();
+}
+
+Status EgrvModel::Fit(const TimeSeries& series, const ExogenousData& exog) {
+  return FitParallel(series, exog, 1);
+}
+
+Status EgrvModel::FitParallel(const TimeSeries& series,
+                              const ExogenousData& exog, int num_threads) {
+  MIRABEL_RETURN_NOT_OK(exog.CheckSize(series.size()));
+  const size_t week_lag = 7 * static_cast<size_t>(periods_per_day_);
+  if (series.size() < 2 * week_lag) {
+    return Status::InvalidArgument("EGRV requires at least 14 days of data");
+  }
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+
+  if (num_threads == 1) {
+    MIRABEL_RETURN_NOT_OK(FitRange(series, exog, 0, periods_per_day_));
+  } else {
+    int workers = std::min(num_threads, periods_per_day_);
+    std::vector<Status> statuses(static_cast<size_t>(workers), Status::OK());
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    int per_worker = (periods_per_day_ + workers - 1) / workers;
+    for (int w = 0; w < workers; ++w) {
+      int begin = w * per_worker;
+      int end = std::min(periods_per_day_, begin + per_worker);
+      threads.emplace_back([this, &series, &exog, begin, end, w, &statuses] {
+        statuses[static_cast<size_t>(w)] = FitRange(series, exog, begin, end);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const Status& st : statuses) {
+      MIRABEL_RETURN_NOT_OK(st);
+    }
+  }
+
+  // Keep the last week of observations for lagged regressors at forecast time.
+  const std::vector<double>& y = series.values();
+  history_tail_.assign(y.end() - static_cast<ptrdiff_t>(week_lag), y.end());
+  train_size_ = y.size();
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> EgrvModel::Forecast(
+    int horizon, const std::vector<double>& future_temperature,
+    const std::vector<bool>& future_holiday) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("model has not been fitted");
+  }
+  if (horizon <= 0) {
+    return Status::InvalidArgument("horizon must be positive");
+  }
+  if (future_temperature.size() < static_cast<size_t>(horizon) ||
+      future_holiday.size() < static_cast<size_t>(horizon)) {
+    return Status::InvalidArgument(
+        "need exogenous data for the whole forecast window");
+  }
+
+  const size_t week_lag = 7 * static_cast<size_t>(periods_per_day_);
+  // `extended` holds one week of history followed by the forecasts; global
+  // index (train_size_ - week_lag + i) maps to extended[i].
+  std::vector<double> extended = history_tail_;
+  extended.reserve(week_lag + static_cast<size_t>(horizon));
+
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(horizon));
+  for (int h = 0; h < horizon; ++h) {
+    size_t t = train_size_ + static_cast<size_t>(h);
+    int p = static_cast<int>(t % static_cast<size_t>(periods_per_day_));
+    // MakeRow indexes `values[t - lag]`; shift into the `extended` frame.
+    size_t offset = train_size_ - week_lag;
+    size_t local_t = t - offset;
+    std::vector<double> reg =
+        MakeRow(extended, future_temperature[static_cast<size_t>(h)],
+                future_holiday[static_cast<size_t>(h)], local_t);
+    // MakeRow's trend/weekend derive day from the local index; recompute from
+    // the global index for correctness.
+    size_t day = t / static_cast<size_t>(periods_per_day_);
+    reg[6] = (day % 7) >= 5 ? 1.0 : 0.0;
+    reg[7] = static_cast<double>(t) / static_cast<double>(week_lag);
+
+    const std::vector<double>& beta = coefficients_[static_cast<size_t>(p)];
+    double value = 0.0;
+    for (int c = 0; c < kNumRegressors; ++c) {
+      value += beta[static_cast<size_t>(c)] * reg[static_cast<size_t>(c)];
+    }
+    out.push_back(value);
+    extended.push_back(value);
+  }
+  return out;
+}
+
+Result<std::vector<double>> EgrvModel::Coefficients(int period) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("model has not been fitted");
+  }
+  if (period < 0 || period >= periods_per_day_) {
+    return Status::OutOfRange("period outside [0, periods_per_day)");
+  }
+  return coefficients_[static_cast<size_t>(period)];
+}
+
+}  // namespace mirabel::forecasting

@@ -1,0 +1,88 @@
+#ifndef MIRABEL_FORECASTING_EGRV_MODEL_H_
+#define MIRABEL_FORECASTING_EGRV_MODEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "forecasting/time_series.h"
+
+namespace mirabel::forecasting {
+
+/// External regressors aligned with a series (one entry per observation):
+/// weather information and calendar events (paper §5: "weather information,
+/// calendar events (e.g., holidays) and context knowledge ... are included").
+struct ExogenousData {
+  std::vector<double> temperature_c;
+  std::vector<bool> holiday;
+
+  /// Validates that both vectors have exactly `expected` entries.
+  Status CheckSize(size_t expected) const;
+};
+
+/// The EGRV (Engle, Granger, Ramanathan, Vahid-Araghi) multi-equation energy
+/// demand forecast model [11]: "an individual model for each intra-day
+/// period (e.g., one model for each hour)" (paper §5).
+///
+/// For each intra-day period p (0..periods_per_day-1) an independent OLS
+/// regression is fitted on the observations of that period:
+///
+///   y_t = b0 + b1 * y_{t-1d} + b2 * y_{t-1w} + b3 * temp_t + b4 * temp_t^2
+///         + b5 * holiday_t + b6 * weekend_t + b7 * trend_t + e_t
+///
+/// Because the per-period models are independent, model creation can be
+/// parallelised by horizontally partitioning the series according to the
+/// multi-equation access pattern (paper §5 "Parallelized Model Creation");
+/// see FitParallel().
+class EgrvModel {
+ public:
+  explicit EgrvModel(int periods_per_day);
+
+  /// Number of regressors per equation.
+  static constexpr int kNumRegressors = 8;
+
+  /// Fits all per-period equations sequentially.
+  /// Requires series length >= 14 days and exogenous data of equal length.
+  Status Fit(const TimeSeries& series, const ExogenousData& exog);
+
+  /// Fits the independent per-period equations on `num_threads` threads.
+  /// Produces results identical to Fit().
+  Status FitParallel(const TimeSeries& series, const ExogenousData& exog,
+                     int num_threads);
+
+  /// Forecasts the `horizon` observations following the training series.
+  /// `future_temperature` / `future_holiday` must each provide `horizon`
+  /// entries (the weather forecast and calendar for the forecast window).
+  /// Lagged loads beyond the training data use the model's own predictions
+  /// (recursive multi-step forecasting).
+  Result<std::vector<double>> Forecast(
+      int horizon, const std::vector<double>& future_temperature,
+      const std::vector<bool>& future_holiday) const;
+
+  bool fitted() const { return fitted_; }
+  int periods_per_day() const { return periods_per_day_; }
+
+  /// Coefficients of the equation for intra-day period `p` (fitted only).
+  Result<std::vector<double>> Coefficients(int period) const;
+
+ private:
+  /// Builds the regressor vector for global index t.
+  std::vector<double> MakeRow(const std::vector<double>& values,
+                              double temperature, bool holiday,
+                              size_t t) const;
+
+  /// Fits the equations for periods [begin, end); used by both fit paths.
+  Status FitRange(const TimeSeries& series, const ExogenousData& exog,
+                  int begin, int end);
+
+  int periods_per_day_;
+  bool fitted_ = false;
+  /// One coefficient vector per intra-day period.
+  std::vector<std::vector<double>> coefficients_;
+  /// Trailing training data needed for lagged regressors at forecast time.
+  std::vector<double> history_tail_;
+  size_t train_size_ = 0;
+};
+
+}  // namespace mirabel::forecasting
+
+#endif  // MIRABEL_FORECASTING_EGRV_MODEL_H_

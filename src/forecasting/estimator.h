@@ -1,0 +1,129 @@
+#ifndef MIRABEL_FORECASTING_ESTIMATOR_H_
+#define MIRABEL_FORECASTING_ESTIMATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forecasting/hwt_model.h"
+
+namespace mirabel::forecasting {
+
+/// Objective minimised by the parameter estimators; typically the in-sample
+/// SSE returned by HwtModel::FitWithParams. Must tolerate any point inside
+/// the bounds and return +inf for invalid evaluations.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Budget and seeding of one estimation run. Estimation stops when either
+/// budget is exhausted (paper §5: "trade off between forecast accuracy and
+/// runtime of parameter estimation").
+struct EstimatorOptions {
+  /// Wall-clock budget in seconds (<= 0: unlimited).
+  double time_budget_s = 1.0;
+  /// Max objective evaluations (<= 0: unlimited).
+  int max_evals = 0;
+  uint64_t seed = 1;
+};
+
+/// One point of the error-development trace (Fig. 4(a) plots best objective
+/// value against elapsed estimation time).
+struct TracePoint {
+  double time_s = 0.0;
+  double best_value = 0.0;
+  int evals = 0;
+  /// Parameter vector that achieved best_value (for post-hoc accuracy
+  /// evaluation of the error-development curve).
+  std::vector<double> params;
+};
+
+/// Outcome of an estimation run.
+struct EstimationResult {
+  std::vector<double> best_params;
+  double best_value = 0.0;
+  int evals = 0;
+  /// Best-so-far improvements over time.
+  std::vector<TracePoint> trace;
+};
+
+/// Interface of the global/local search algorithms used for initial
+/// parameter estimation (paper §5: "we reuse existing well-established local
+/// (e.g., Downhill-Simplex) and global (e.g., Simulated Annealing) parameter
+/// estimators").
+class ParameterEstimator {
+ public:
+  virtual ~ParameterEstimator() = default;
+  virtual std::string Name() const = 0;
+
+  /// Minimises `objective` inside `bounds`.
+  virtual EstimationResult Estimate(const Objective& objective,
+                                    const std::vector<ParamBound>& bounds,
+                                    const EstimatorOptions& options) = 0;
+};
+
+/// Nelder-Mead downhill simplex [8], run once from a given start point.
+/// Primarily a building block of RandomRestartNelderMead; also used for warm
+/// restarts during model adaptation, where a good start point is known.
+class NelderMeadEstimator : public ParameterEstimator {
+ public:
+  /// Uses the centre of the bounds as start when `start` is empty.
+  explicit NelderMeadEstimator(std::vector<double> start = {});
+  std::string Name() const override { return "NelderMead"; }
+  EstimationResult Estimate(const Objective& objective,
+                            const std::vector<ParamBound>& bounds,
+                            const EstimatorOptions& options) override;
+
+ private:
+  std::vector<double> start_;
+};
+
+/// Random-Restart Nelder-Mead: repeated simplex runs from random start
+/// points, keeping the best. The paper's forecasting experiment (Fig. 4(a))
+/// found it "slightly beats" Simulated Annealing and Random Search, so it is
+/// the default global estimator of the forecasting component.
+class RandomRestartNelderMeadEstimator : public ParameterEstimator {
+ public:
+  std::string Name() const override { return "RandomRestartNelderMead"; }
+  EstimationResult Estimate(const Objective& objective,
+                            const std::vector<ParamBound>& bounds,
+                            const EstimatorOptions& options) override;
+};
+
+/// Simulated Annealing [1] with geometric cooling and box-reflected Gaussian
+/// moves.
+class SimulatedAnnealingEstimator : public ParameterEstimator {
+ public:
+  struct Config {
+    double initial_temperature = 1.0;
+    double cooling = 0.995;
+    /// Move scale relative to each parameter's bound width.
+    double step_scale = 0.1;
+  };
+  SimulatedAnnealingEstimator();
+  explicit SimulatedAnnealingEstimator(const Config& config);
+  std::string Name() const override { return "SimulatedAnnealing"; }
+  EstimationResult Estimate(const Objective& objective,
+                            const std::vector<ParamBound>& bounds,
+                            const EstimatorOptions& options) override;
+
+ private:
+  Config config_;
+};
+
+/// Uniform random sampling of the box; the weakest but assumption-free
+/// baseline of Fig. 4(a).
+class RandomSearchEstimator : public ParameterEstimator {
+ public:
+  std::string Name() const override { return "RandomSearch"; }
+  EstimationResult Estimate(const Objective& objective,
+                            const std::vector<ParamBound>& bounds,
+                            const EstimatorOptions& options) override;
+};
+
+/// Convenience factory by name ("NelderMead", "RandomRestartNelderMead",
+/// "SimulatedAnnealing", "RandomSearch"); returns nullptr for unknown names.
+std::unique_ptr<ParameterEstimator> MakeEstimator(const std::string& name);
+
+}  // namespace mirabel::forecasting
+
+#endif  // MIRABEL_FORECASTING_ESTIMATOR_H_

@@ -1,0 +1,75 @@
+#include "forecasting/flex_offer_forecaster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "forecasting/estimator.h"
+
+namespace mirabel::forecasting {
+
+using flexoffer::EnergyRange;
+using flexoffer::FlexOffer;
+using flexoffer::TimeSlice;
+
+FlexOfferForecaster::FlexOfferForecaster(std::vector<int> seasonal_periods)
+    : seasonal_periods_(seasonal_periods),
+      min_model_(seasonal_periods),
+      max_model_(std::move(seasonal_periods)) {}
+
+std::pair<TimeSeries, TimeSeries> FlexOfferForecaster::BuildSeries(
+    const std::vector<FlexOffer>& offers, TimeSlice from, TimeSlice to) {
+  size_t n = to > from ? static_cast<size_t>(to - from) : 0;
+  std::vector<double> min_sum(n, 0.0);
+  std::vector<double> max_sum(n, 0.0);
+  for (const FlexOffer& fo : offers) {
+    for (int64_t j = 0; j < fo.Duration(); ++j) {
+      TimeSlice t = fo.earliest_start + j;
+      if (t < from || t >= to) continue;
+      size_t idx = static_cast<size_t>(t - from);
+      min_sum[idx] += fo.profile[static_cast<size_t>(j)].min_kwh;
+      max_sum[idx] += fo.profile[static_cast<size_t>(j)].max_kwh;
+    }
+  }
+  return {TimeSeries(std::move(min_sum), flexoffer::kSlicesPerDay),
+          TimeSeries(std::move(max_sum), flexoffer::kSlicesPerDay)};
+}
+
+Status FlexOfferForecaster::Train(const std::vector<FlexOffer>& offers,
+                                  TimeSlice from, TimeSlice to,
+                                  const EstimatorOptions& estimation) {
+  auto [min_series, max_series] = BuildSeries(offers, from, to);
+  RandomRestartNelderMeadEstimator estimator;
+  for (auto* pair : {&min_model_, &max_model_}) {
+    const TimeSeries& series = pair == &min_model_ ? min_series : max_series;
+    Objective objective = [pair, &series](const std::vector<double>& params) {
+      Result<double> sse = pair->FitWithParams(series, params);
+      return sse.ok() ? *sse : std::numeric_limits<double>::infinity();
+    };
+    EstimationResult est =
+        estimator.Estimate(objective, pair->Bounds(), estimation);
+    const std::vector<double> params =
+        est.best_params.empty() ? pair->DefaultParams() : est.best_params;
+    MIRABEL_RETURN_NOT_OK(pair->FitWithParams(series, params).status());
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<EnergyRange>> FlexOfferForecaster::Forecast(
+    int horizon) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("call Train() first");
+  }
+  MIRABEL_ASSIGN_OR_RETURN(std::vector<double> mins,
+                           min_model_.Forecast(horizon));
+  MIRABEL_ASSIGN_OR_RETURN(std::vector<double> maxs,
+                           max_model_.Forecast(horizon));
+  std::vector<EnergyRange> out(static_cast<size_t>(horizon));
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].min_kwh = std::max(0.0, mins[i]);
+    out[i].max_kwh = std::max(out[i].min_kwh, maxs[i]);
+  }
+  return out;
+}
+
+}  // namespace mirabel::forecasting

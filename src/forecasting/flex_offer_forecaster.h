@@ -1,0 +1,56 @@
+#ifndef MIRABEL_FORECASTING_FLEX_OFFER_FORECASTER_H_
+#define MIRABEL_FORECASTING_FLEX_OFFER_FORECASTER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "flexoffer/flex_offer.h"
+#include "forecasting/estimator.h"
+#include "forecasting/hwt_model.h"
+#include "forecasting/time_series.h"
+
+namespace mirabel::forecasting {
+
+/// Forecasting of flex-offers (paper §5): "Flex-offers can be viewed as
+/// multi-variate time series that consists of a vector of observations (e.g.,
+/// min power, max power) per time slice. To forecast flex-offers, we
+/// decompose this multi-variate time series into a set of univariate time
+/// series and apply our already defined forecast model types to the
+/// individual time series."
+///
+/// BuildSeries() lays historical flex-offers onto the slice grid at their
+/// earliest start and accumulates two aligned univariate series — summed
+/// minimum and summed maximum energy per slice. Train() fits one HWT model
+/// per component; Forecast() recombines the component forecasts into expected
+/// per-slice energy bands for the next horizon.
+class FlexOfferForecaster {
+ public:
+  /// `seasonal_periods` in slices (default: daily cycle at 15-min slices).
+  explicit FlexOfferForecaster(std::vector<int> seasonal_periods = {96});
+
+  /// Decomposes offers into the (min, max) energy-per-slice series over
+  /// [from, to). Offers are anchored at their earliest start; energy falling
+  /// outside the window is clipped.
+  static std::pair<TimeSeries, TimeSeries> BuildSeries(
+      const std::vector<flexoffer::FlexOffer>& offers,
+      flexoffer::TimeSlice from, flexoffer::TimeSlice to);
+
+  /// Trains the two component models on historical offers in [from, to).
+  Status Train(const std::vector<flexoffer::FlexOffer>& offers,
+               flexoffer::TimeSlice from, flexoffer::TimeSlice to,
+               const EstimatorOptions& estimation = EstimatorOptions{0.2, 0, 5});
+
+  /// Forecasts per-slice [min, max] energy bands for the next `horizon`
+  /// slices after the training window. Bands are sanitised so min <= max.
+  Result<std::vector<flexoffer::EnergyRange>> Forecast(int horizon) const;
+
+ private:
+  std::vector<int> seasonal_periods_;
+  HwtModel min_model_;
+  HwtModel max_model_;
+  bool trained_ = false;
+};
+
+}  // namespace mirabel::forecasting
+
+#endif  // MIRABEL_FORECASTING_FLEX_OFFER_FORECASTER_H_

@@ -1,0 +1,129 @@
+#include "forecasting/hierarchical_advisor.h"
+
+#include <limits>
+
+#include "common/math_util.h"
+#include "forecasting/hwt_model.h"
+
+namespace mirabel::forecasting {
+
+namespace {
+
+/// Trains an HWT model on train = series minus holdout and returns the
+/// holdout forecast; empty Result status on failure.
+Result<std::vector<double>> HoldoutForecast(const TimeSeries& series,
+                                            const AdvisorOptions& options) {
+  if (series.size() <= options.holdout) {
+    return Status::InvalidArgument("series shorter than holdout");
+  }
+  MIRABEL_ASSIGN_OR_RETURN(auto split,
+                           series.Split(series.size() - options.holdout));
+  HwtModel model(options.seasonal_periods);
+  RandomRestartNelderMeadEstimator estimator;
+  Objective objective = [&model, &split](const std::vector<double>& params) {
+    Result<double> sse = model.FitWithParams(split.first, params);
+    return sse.ok() ? *sse : std::numeric_limits<double>::infinity();
+  };
+  EstimationResult est =
+      estimator.Estimate(objective, model.Bounds(), options.estimation);
+  const std::vector<double> params =
+      est.best_params.empty() ? model.DefaultParams() : est.best_params;
+  MIRABEL_RETURN_NOT_OK(model.FitWithParams(split.first, params).status());
+  return model.Forecast(static_cast<int>(options.holdout));
+}
+
+}  // namespace
+
+Result<AdvisorResult> HierarchicalForecastAdvisor::Advise(
+    const std::vector<HierarchyNode>& nodes,
+    const AdvisorOptions& options) const {
+  if (nodes.empty()) return Status::InvalidArgument("empty hierarchy");
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t c : nodes[i].children) {
+      if (c <= i || c >= nodes.size()) {
+        return Status::InvalidArgument(
+            "children must come after their parent (topological order)");
+      }
+    }
+  }
+
+  // Bottom-up: compute aggregate series for inner nodes.
+  std::vector<TimeSeries> series(nodes.size());
+  for (size_t ii = nodes.size(); ii > 0; --ii) {
+    size_t i = ii - 1;
+    if (nodes[i].children.empty()) {
+      series[i] = nodes[i].series;
+      if (series[i].empty()) {
+        return Status::InvalidArgument("leaf '" + nodes[i].name +
+                                       "' has no series");
+      }
+      continue;
+    }
+    TimeSeries acc = series[nodes[i].children.front()];
+    for (size_t k = 1; k < nodes[i].children.size(); ++k) {
+      MIRABEL_ASSIGN_OR_RETURN(acc,
+                               TimeSeries::Sum(acc, series[nodes[i].children[k]]));
+    }
+    series[i] = std::move(acc);
+  }
+
+  AdvisorResult result;
+  result.placement.assign(nodes.size(), ModelPlacement::kOwnModel);
+  result.node_smape.assign(nodes.size(), 0.0);
+
+  // Holdout forecasts per node under an own model; needed for leaves and as
+  // the fallback for inner nodes.
+  std::vector<std::vector<double>> own_forecast(nodes.size());
+  std::vector<std::vector<double>> chosen_forecast(nodes.size());
+  for (size_t ii = nodes.size(); ii > 0; --ii) {
+    size_t i = ii - 1;
+    MIRABEL_ASSIGN_OR_RETURN(TimeSeries holdout_series,
+                             series[i].Slice(series[i].size() - options.holdout,
+                                             options.holdout));
+    const std::vector<double>& actual = holdout_series.values();
+
+    if (nodes[i].children.empty()) {
+      MIRABEL_ASSIGN_OR_RETURN(own_forecast[i],
+                               HoldoutForecast(series[i], options));
+      chosen_forecast[i] = own_forecast[i];
+      result.placement[i] = ModelPlacement::kOwnModel;
+      MIRABEL_ASSIGN_OR_RETURN(result.node_smape[i],
+                               Smape(actual, chosen_forecast[i]));
+      ++result.models_used;
+      continue;
+    }
+
+    // Candidate (a): aggregate the children's chosen forecasts.
+    std::vector<double> summed(options.holdout, 0.0);
+    for (size_t c : nodes[i].children) {
+      for (size_t h = 0; h < options.holdout; ++h) {
+        summed[h] += chosen_forecast[c][h];
+      }
+    }
+    MIRABEL_ASSIGN_OR_RETURN(double smape_sum, Smape(actual, summed));
+    if (smape_sum <= options.max_smape) {
+      result.placement[i] = ModelPlacement::kAggregateChildren;
+      result.node_smape[i] = smape_sum;
+      chosen_forecast[i] = std::move(summed);
+      continue;
+    }
+
+    // Candidate (b): own model on the aggregate series.
+    MIRABEL_ASSIGN_OR_RETURN(own_forecast[i],
+                             HoldoutForecast(series[i], options));
+    MIRABEL_ASSIGN_OR_RETURN(double smape_own, Smape(actual, own_forecast[i]));
+    if (smape_own <= smape_sum) {
+      result.placement[i] = ModelPlacement::kOwnModel;
+      result.node_smape[i] = smape_own;
+      chosen_forecast[i] = own_forecast[i];
+      ++result.models_used;
+    } else {
+      result.placement[i] = ModelPlacement::kAggregateChildren;
+      result.node_smape[i] = smape_sum;
+      chosen_forecast[i] = std::move(summed);
+    }
+  }
+  return result;
+}
+
+}  // namespace mirabel::forecasting

@@ -1,0 +1,77 @@
+#ifndef MIRABEL_FORECASTING_HIERARCHICAL_ADVISOR_H_
+#define MIRABEL_FORECASTING_HIERARCHICAL_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "forecasting/estimator.h"
+#include "forecasting/time_series.h"
+
+namespace mirabel::forecasting {
+
+/// One node of the energy-market hierarchy handed to the advisor. Leaves
+/// carry measured series; inner nodes' series are the sums of their subtrees
+/// (computed by the advisor).
+struct HierarchyNode {
+  std::string name;
+  /// Indices of the children in the node vector; empty for leaves.
+  std::vector<size_t> children;
+  /// Leaf series; ignored (recomputed) for inner nodes.
+  TimeSeries series;
+};
+
+/// Where an inner node's forecasts come from.
+enum class ModelPlacement {
+  /// The node estimates and maintains its own forecast model.
+  kOwnModel,
+  /// The node aggregates its children's forecast values ("forecast models
+  /// can be used to aggregate ... forecast values without the need for
+  /// individual models at each system node", paper §5).
+  kAggregateChildren,
+};
+
+/// Constraints and budgets of the advisor run.
+struct AdvisorOptions {
+  /// Accuracy constraint: maximum holdout SMAPE allowed per inner node.
+  double max_smape = 0.05;
+  /// Observations held out for accuracy evaluation.
+  size_t holdout = 48;
+  /// Seasonal periods of the candidate HWT models.
+  std::vector<int> seasonal_periods = {48};
+  /// Estimation budget per candidate model.
+  EstimatorOptions estimation{0.05, 200, 3};
+};
+
+/// The advisor's decision for one hierarchy.
+struct AdvisorResult {
+  /// Placement per node (leaves are always kOwnModel).
+  std::vector<ModelPlacement> placement;
+  /// Holdout SMAPE per node under the chosen placement.
+  std::vector<double> node_smape;
+  /// Number of models that must be created and maintained.
+  int models_used = 0;
+};
+
+/// Offline design tuning for hierarchies of forecast models (paper §5, [5]):
+/// "an advisor component that computes for a given hierarchical structure a
+/// configuration of forecast models according to specified accuracy and
+/// runtime constraints."
+///
+/// Strategy (greedy, bottom-up): every leaf gets its own model. For each
+/// inner node the advisor compares the holdout SMAPE of (a) summing the
+/// children's forecasts against (b) an own model on the node's aggregate
+/// series, and picks (a) — which costs no extra model — whenever it meets
+/// the accuracy constraint; otherwise (b).
+class HierarchicalForecastAdvisor {
+ public:
+  /// `nodes[0]` must be the root; children indices must be > parent index
+  /// (topological order). InvalidArgument otherwise or when leaf series are
+  /// too short / misaligned.
+  Result<AdvisorResult> Advise(const std::vector<HierarchyNode>& nodes,
+                               const AdvisorOptions& options) const;
+};
+
+}  // namespace mirabel::forecasting
+
+#endif  // MIRABEL_FORECASTING_HIERARCHICAL_ADVISOR_H_

@@ -1,0 +1,156 @@
+#include "forecasting/hwt_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace mirabel::forecasting {
+
+HwtModel::HwtModel(std::vector<int> seasonal_periods)
+    : seasonal_periods_(std::move(seasonal_periods)) {
+  std::sort(seasonal_periods_.begin(), seasonal_periods_.end());
+}
+
+std::vector<ParamBound> HwtModel::Bounds() const {
+  std::vector<ParamBound> bounds(NumParams(), ParamBound{0.0, 1.0});
+  bounds.back() = ParamBound{0.0, 0.99};  // phi
+  return bounds;
+}
+
+std::vector<double> HwtModel::DefaultParams() const {
+  std::vector<double> p(NumParams(), 0.15);
+  p.front() = 0.1;   // alpha
+  p.back() = 0.7;    // phi
+  return p;
+}
+
+double HwtModel::SeasonalAt(int ahead) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < seasons_.size(); ++i) {
+    int m = seasonal_periods_[i];
+    // Index that was in effect m steps before time t_ + ahead.
+    int64_t pos = (t_ + ahead) % m;
+    acc += seasons_[i][static_cast<size_t>(pos)];
+  }
+  return acc;
+}
+
+Result<double> HwtModel::FitWithParams(const TimeSeries& series,
+                                       const std::vector<double>& params) {
+  if (params.size() != NumParams()) {
+    return Status::InvalidArgument("expected " + std::to_string(NumParams()) +
+                                   " parameters");
+  }
+  if (seasonal_periods_.empty()) {
+    return Status::FailedPrecondition("no seasonal periods configured");
+  }
+  int max_period = seasonal_periods_.back();
+  if (series.size() < 2 * static_cast<size_t>(max_period)) {
+    return Status::InvalidArgument(
+        "series shorter than two of the longest seasonal cycles");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!std::isfinite(params[i]) || params[i] < 0.0 || params[i] > 1.0) {
+      return Status::OutOfRange("parameter " + std::to_string(i) +
+                                " outside [0, 1]");
+    }
+  }
+
+  params_ = params;
+  const double alpha = params_[0];
+  const double phi = params_.back();
+  const std::vector<double>& y = series.values();
+
+  // ---- State initialisation from the first cycles -------------------------
+  level_ = 0.0;
+  for (int j = 0; j < max_period; ++j) level_ += y[static_cast<size_t>(j)];
+  level_ /= max_period;
+
+  seasons_.clear();
+  std::vector<double> residual(y.begin(),
+                               y.begin() + 2 * static_cast<size_t>(max_period));
+  for (double& r : residual) r -= level_;
+  for (int m : seasonal_periods_) {
+    std::vector<double> idx(static_cast<size_t>(m), 0.0);
+    std::vector<int> counts(static_cast<size_t>(m), 0);
+    for (size_t j = 0; j < residual.size(); ++j) {
+      idx[j % static_cast<size_t>(m)] += residual[j];
+      counts[j % static_cast<size_t>(m)] += 1;
+    }
+    for (size_t p = 0; p < idx.size(); ++p) {
+      idx[p] = counts[p] > 0 ? idx[p] / counts[p] : 0.0;
+    }
+    // Zero-mean the indices so they do not absorb the level.
+    double mean = Mean(idx);
+    for (double& v : idx) v -= mean;
+    // Remove this season's contribution before fitting the next one.
+    for (size_t j = 0; j < residual.size(); ++j) {
+      residual[j] -= idx[j % static_cast<size_t>(m)];
+    }
+    seasons_.push_back(std::move(idx));
+  }
+
+  // ---- Smoothing recursions over the series --------------------------------
+  t_ = 0;
+  last_error_ = 0.0;
+  double sse = 0.0;
+  size_t warmup = static_cast<size_t>(max_period);
+  for (size_t j = 0; j < y.size(); ++j) {
+    double forecast = level_ + SeasonalAt(0) + phi * last_error_;
+    double e = y[j] - forecast;
+    if (j >= warmup) sse += e * e;
+    level_ += alpha * e;
+    for (size_t i = 0; i < seasons_.size(); ++i) {
+      double gamma = params_[1 + i];
+      int m = seasonal_periods_[i];
+      seasons_[i][static_cast<size_t>(t_ % m)] += gamma * e;
+    }
+    last_error_ = e;
+    ++t_;
+  }
+  fitted_ = true;
+  if (!std::isfinite(sse)) {
+    return Status::Internal("smoothing diverged (non-finite SSE)");
+  }
+  return sse;
+}
+
+Status HwtModel::Update(double value) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("model has not been fitted");
+  }
+  const double alpha = params_[0];
+  const double phi = params_.back();
+  double forecast = level_ + SeasonalAt(0) + phi * last_error_;
+  double e = value - forecast;
+  level_ += alpha * e;
+  for (size_t i = 0; i < seasons_.size(); ++i) {
+    double gamma = params_[1 + i];
+    int m = seasonal_periods_[i];
+    seasons_[i][static_cast<size_t>(t_ % m)] += gamma * e;
+  }
+  last_error_ = e;
+  ++t_;
+  return Status::OK();
+}
+
+Result<std::vector<double>> HwtModel::Forecast(int horizon) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("model has not been fitted");
+  }
+  if (horizon <= 0) {
+    return Status::InvalidArgument("horizon must be positive");
+  }
+  const double phi = params_.back();
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(horizon));
+  double ar = last_error_;
+  for (int h = 0; h < horizon; ++h) {
+    ar *= phi;
+    out.push_back(level_ + SeasonalAt(h) + ar);
+  }
+  return out;
+}
+
+}  // namespace mirabel::forecasting

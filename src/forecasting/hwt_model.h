@@ -1,0 +1,100 @@
+#ifndef MIRABEL_FORECASTING_HWT_MODEL_H_
+#define MIRABEL_FORECASTING_HWT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "forecasting/time_series.h"
+
+namespace mirabel::forecasting {
+
+/// Box constraint of one model parameter.
+struct ParamBound {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Taylor's multi-seasonal Holt-Winters exponential smoothing model (HWT)
+/// with an AR(1) residual adjustment — "a energy specific adaptation of the
+/// general purpose Holt-Winters exponential smoothing forecast model"
+/// (paper §5, [12, 13]).
+///
+/// The model is additive with a smoothed level, one seasonal index array per
+/// configured cycle (e.g. daily 48, weekly 336 and, for multi-year series,
+/// annual), and a first-order autocorrelation adjustment of the residual:
+///
+///   one-step forecast: f_t = l_{t-1} + sum_i s_i[t - m_i] + phi * e_{t-1}
+///   error:             e_t = y_t - f_t
+///   level:             l_t = l_{t-1} + alpha * e_t
+///   season i:          s_i[t] = s_i[t - m_i] + gamma_i * e_t
+///
+/// Parameters are (alpha, gamma_1..gamma_k, phi), all in [0, 1] except phi in
+/// [0, 0.99]. FitWithParams() runs the recursions over a training series and
+/// returns the in-sample one-step SSE, which the parameter estimators
+/// (estimator.h) minimise.
+class HwtModel {
+ public:
+  /// `seasonal_periods` lists the cycle lengths in observations, shortest
+  /// first (e.g. {48, 336} for half-hourly data with daily + weekly cycles).
+  /// The paper's "triple seasonality" adds the annual cycle; with the 8-week
+  /// series of the experiments only two cycles are identifiable, which
+  /// matches Taylor's double-seasonal variant.
+  explicit HwtModel(std::vector<int> seasonal_periods);
+
+  std::string Name() const { return "HWT"; }
+
+  /// Number of free parameters: 1 (alpha) + #seasons (gammas) + 1 (phi).
+  size_t NumParams() const { return 2 + seasonal_periods_.size(); }
+
+  /// Box bounds for each parameter, in estimator order.
+  std::vector<ParamBound> Bounds() const;
+
+  /// A reasonable default parameter vector (alpha=0.1, gammas=0.15, phi=0.7).
+  std::vector<double> DefaultParams() const;
+
+  /// Initialises the seasonal state from the first cycles of `series`, runs
+  /// the smoothing recursions over the whole series with `params`, stores the
+  /// final state, and returns the in-sample sum of squared one-step errors.
+  ///
+  /// Requires series.size() >= 2 * max(seasonal_periods).
+  Result<double> FitWithParams(const TimeSeries& series,
+                               const std::vector<double>& params);
+
+  /// Online maintenance (paper §5: "for each new time series value, we update
+  /// our forecast models ... low additional costs"): advances the recursions
+  /// by one observation. FailedPrecondition before the first fit.
+  Status Update(double value);
+
+  /// h-step-ahead forecasts from the current state:
+  ///   f_{t+h} = l_t + sum_i s_i[t + h - m_i] + phi^h * e_t.
+  /// FailedPrecondition before the first fit; InvalidArgument for h <= 0.
+  Result<std::vector<double>> Forecast(int horizon) const;
+
+  /// True once FitWithParams succeeded.
+  bool fitted() const { return fitted_; }
+
+  const std::vector<double>& params() const { return params_; }
+  const std::vector<int>& seasonal_periods() const {
+    return seasonal_periods_;
+  }
+
+ private:
+  /// Sum of the seasonal indices that apply `ahead` steps after now.
+  double SeasonalAt(int ahead) const;
+
+  std::vector<int> seasonal_periods_;
+  std::vector<double> params_;  // alpha, gamma_i..., phi
+
+  bool fitted_ = false;
+  double level_ = 0.0;
+  double last_error_ = 0.0;
+  /// Ring buffers of seasonal indices; index [t mod m_i] is "now".
+  std::vector<std::vector<double>> seasons_;
+  /// Observations consumed so far (positions the ring buffers).
+  int64_t t_ = 0;
+};
+
+}  // namespace mirabel::forecasting
+
+#endif  // MIRABEL_FORECASTING_HWT_MODEL_H_

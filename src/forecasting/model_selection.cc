@@ -1,0 +1,135 @@
+#include "forecasting/model_selection.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace mirabel::forecasting {
+
+AutoForecaster::AutoForecaster() : AutoForecaster(Config()) {}
+
+AutoForecaster::AutoForecaster(const Config& config)
+    : config_(config),
+      hwt_(config.seasonal_periods),
+      egrv_(config.periods_per_day) {}
+
+Status AutoForecaster::FitHwt(const TimeSeries& history) {
+  RandomRestartNelderMeadEstimator estimator;
+  Objective objective = [this, &history](const std::vector<double>& p) {
+    Result<double> sse = hwt_.FitWithParams(history, p);
+    return sse.ok() ? *sse : std::numeric_limits<double>::infinity();
+  };
+  EstimationResult est =
+      estimator.Estimate(objective, hwt_.Bounds(), config_.hwt_estimation);
+  const std::vector<double> params =
+      est.best_params.empty() ? hwt_.DefaultParams() : est.best_params;
+  return hwt_.FitWithParams(history, params).status();
+}
+
+Status AutoForecaster::Train(const TimeSeries& history) {
+  MIRABEL_RETURN_NOT_OK(FitHwt(history));
+  selected_ = SelectedModel::kHwt;
+  egrv_smape_ = -1.0;
+  hwt_smape_ = -1.0;
+  trained_ = true;
+  return Status::OK();
+}
+
+Status AutoForecaster::Train(const TimeSeries& history,
+                             const ExogenousData& exog) {
+  MIRABEL_RETURN_NOT_OK(exog.CheckSize(history.size()));
+  if (history.size() <= config_.holdout) {
+    return Status::InvalidArgument("history shorter than holdout");
+  }
+  const size_t split = history.size() - config_.holdout;
+  MIRABEL_ASSIGN_OR_RETURN(auto parts, history.Split(split));
+  const TimeSeries& head = parts.first;
+  const std::vector<double>& actual = parts.second.values();
+
+  // Candidate A: EGRV on the head, judged on the holdout.
+  ExogenousData head_exog;
+  head_exog.temperature_c.assign(exog.temperature_c.begin(),
+                                 exog.temperature_c.begin() + static_cast<ptrdiff_t>(split));
+  head_exog.holiday.assign(exog.holiday.begin(),
+                           exog.holiday.begin() + static_cast<ptrdiff_t>(split));
+  std::vector<double> tail_temp(exog.temperature_c.begin() + static_cast<ptrdiff_t>(split),
+                                exog.temperature_c.end());
+  std::vector<bool> tail_holiday(exog.holiday.begin() + static_cast<ptrdiff_t>(split),
+                                 exog.holiday.end());
+
+  egrv_smape_ = std::numeric_limits<double>::infinity();
+  EgrvModel egrv_candidate(config_.periods_per_day);
+  Status egrv_fit =
+      egrv_candidate.FitParallel(head, head_exog, config_.egrv_threads);
+  if (egrv_fit.ok()) {
+    Result<std::vector<double>> forecast = egrv_candidate.Forecast(
+        static_cast<int>(config_.holdout), tail_temp, tail_holiday);
+    if (forecast.ok()) {
+      Result<double> smape = Smape(actual, *forecast);
+      if (smape.ok()) egrv_smape_ = *smape;
+    }
+  }
+
+  // Candidate B: HWT on the head.
+  hwt_smape_ = std::numeric_limits<double>::infinity();
+  HwtModel hwt_candidate(config_.seasonal_periods);
+  {
+    RandomRestartNelderMeadEstimator estimator;
+    Objective objective = [&hwt_candidate,
+                           &head](const std::vector<double>& p) {
+      Result<double> sse = hwt_candidate.FitWithParams(head, p);
+      return sse.ok() ? *sse : std::numeric_limits<double>::infinity();
+    };
+    EstimationResult est = estimator.Estimate(objective, hwt_candidate.Bounds(),
+                                              config_.hwt_estimation);
+    const std::vector<double> params = est.best_params.empty()
+                                           ? hwt_candidate.DefaultParams()
+                                           : est.best_params;
+    if (hwt_candidate.FitWithParams(head, params).ok()) {
+      Result<std::vector<double>> forecast =
+          hwt_candidate.Forecast(static_cast<int>(config_.holdout));
+      if (forecast.ok()) {
+        Result<double> smape = Smape(actual, *forecast);
+        if (smape.ok()) hwt_smape_ = *smape;
+      }
+    }
+  }
+
+  if (!std::isfinite(egrv_smape_) && !std::isfinite(hwt_smape_)) {
+    return Status::Internal("both candidate models failed to train");
+  }
+
+  // Selection + refit on the full history.
+  if (egrv_smape_ <= hwt_smape_ * config_.accuracy_ratio) {
+    selected_ = SelectedModel::kEgrv;
+    MIRABEL_RETURN_NOT_OK(
+        egrv_.FitParallel(history, exog, config_.egrv_threads));
+  } else {
+    selected_ = SelectedModel::kHwt;
+    MIRABEL_RETURN_NOT_OK(FitHwt(history));
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> AutoForecaster::Forecast(
+    int horizon, const std::vector<double>& future_temperature,
+    const std::vector<bool>& future_holiday) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("call Train() first");
+  }
+  if (selected_ == SelectedModel::kEgrv) {
+    return egrv_.Forecast(horizon, future_temperature, future_holiday);
+  }
+  return hwt_.Forecast(horizon);
+}
+
+Result<SelectedModel> AutoForecaster::selected() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("call Train() first");
+  }
+  return selected_;
+}
+
+}  // namespace mirabel::forecasting

@@ -1,0 +1,81 @@
+#ifndef MIRABEL_FORECASTING_MODEL_SELECTION_H_
+#define MIRABEL_FORECASTING_MODEL_SELECTION_H_
+
+#include <string>
+
+#include "forecasting/egrv_model.h"
+#include "forecasting/estimator.h"
+#include "forecasting/hwt_model.h"
+#include "forecasting/time_series.h"
+
+namespace mirabel::forecasting {
+
+/// Which model an AutoForecaster ended up using.
+enum class SelectedModel { kEgrv, kHwt };
+
+/// Transparent model creation with fallback (paper §5): "we apply the
+/// [EGRV] Model and the [HWT] Model. ... If the EGRV model does not provide
+/// accurate results, we fall back to the alternative (more robust)
+/// HWT-Model."
+///
+/// Train() fits both candidates on the head of the history, compares their
+/// SMAPE on a holdout window, and keeps EGRV only when it beats the HWT
+/// accuracy threshold ratio; otherwise HWT wins. The selected model is then
+/// refit on the full history. EGRV additionally requires exogenous data —
+/// without it the selector goes straight to HWT.
+class AutoForecaster {
+ public:
+  struct Config {
+    int periods_per_day = 48;
+    /// HWT seasonal periods.
+    std::vector<int> seasonal_periods = {48, 336};
+    /// Holdout window (observations) for the model comparison.
+    size_t holdout = 48;
+    /// EGRV is kept when egrv_smape <= hwt_smape * accuracy_ratio.
+    double accuracy_ratio = 1.0;
+    /// Budget for the HWT parameter estimation.
+    EstimatorOptions hwt_estimation{0.2, 0, 9};
+    /// Threads for parallelized EGRV model creation.
+    int egrv_threads = 1;
+  };
+
+  AutoForecaster();
+  explicit AutoForecaster(const Config& config);
+
+  /// Trains with exogenous data available: both models compete.
+  /// `exog` must align with `history`.
+  Status Train(const TimeSeries& history, const ExogenousData& exog);
+
+  /// Trains without exogenous data: HWT only.
+  Status Train(const TimeSeries& history);
+
+  /// Forecasts `horizon` observations past the training data. When the
+  /// selected model is EGRV, future exogenous values must be supplied;
+  /// with HWT they are ignored (may be empty).
+  Result<std::vector<double>> Forecast(
+      int horizon, const std::vector<double>& future_temperature = {},
+      const std::vector<bool>& future_holiday = {}) const;
+
+  /// FailedPrecondition before Train().
+  Result<SelectedModel> selected() const;
+
+  /// Holdout SMAPEs of the candidates from the last Train() with exogenous
+  /// data ({-1, -1} when HWT-only training was used).
+  double egrv_holdout_smape() const { return egrv_smape_; }
+  double hwt_holdout_smape() const { return hwt_smape_; }
+
+ private:
+  Status FitHwt(const TimeSeries& history);
+
+  Config config_;
+  bool trained_ = false;
+  SelectedModel selected_ = SelectedModel::kHwt;
+  HwtModel hwt_;
+  EgrvModel egrv_;
+  double egrv_smape_ = -1.0;
+  double hwt_smape_ = -1.0;
+};
+
+}  // namespace mirabel::forecasting
+
+#endif  // MIRABEL_FORECASTING_MODEL_SELECTION_H_

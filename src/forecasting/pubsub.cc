@@ -1,0 +1,52 @@
+#include "forecasting/pubsub.h"
+
+#include <cmath>
+
+namespace mirabel::forecasting {
+
+ForecastBroker::ForecastBroker(Forecaster* forecaster)
+    : forecaster_(forecaster) {}
+
+SubscriberId ForecastBroker::Subscribe(const ForecastSubscription& subscription,
+                                       Callback callback) {
+  SubscriberId id = next_id_++;
+  subscribers_[id] = Subscriber{subscription, std::move(callback), {}};
+  return id;
+}
+
+Status ForecastBroker::Unsubscribe(SubscriberId id) {
+  if (subscribers_.erase(id) == 0) {
+    return Status::NotFound("subscription " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status ForecastBroker::OnMeasurement(double value) {
+  MIRABEL_RETURN_NOT_OK(forecaster_->AddMeasurement(value));
+
+  for (auto& [id, sub] : subscribers_) {
+    ++evaluations_;
+    MIRABEL_ASSIGN_OR_RETURN(std::vector<double> forecast,
+                             forecaster_->Forecast(sub.subscription.horizon));
+    bool significant = sub.last_notified.size() != forecast.size();
+    if (!significant) {
+      constexpr double kEps = 1e-9;
+      for (size_t h = 0; h < forecast.size(); ++h) {
+        double rel = std::fabs(forecast[h] - sub.last_notified[h]) /
+                     (std::fabs(sub.last_notified[h]) + kEps);
+        if (rel > sub.subscription.change_threshold) {
+          significant = true;
+          break;
+        }
+      }
+    }
+    if (significant) {
+      sub.last_notified = forecast;
+      ++notifications_sent_;
+      sub.callback(forecast);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mirabel::forecasting

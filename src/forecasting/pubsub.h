@@ -1,0 +1,77 @@
+#ifndef MIRABEL_FORECASTING_PUBSUB_H_
+#define MIRABEL_FORECASTING_PUBSUB_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "forecasting/forecaster.h"
+
+namespace mirabel::forecasting {
+
+/// Identifier of one forecast subscription.
+using SubscriberId = uint64_t;
+
+/// A publish/subscribe forecast query (paper §5): "the scheduling component
+/// does not always need or even not want to have the most up-to-date forecast
+/// values as every new forecast value triggers the computationally expensive
+/// maintenance of schedules. Only if forecast values change significantly,
+/// notifications are required."
+struct ForecastSubscription {
+  /// Forecast horizon (observations) the subscriber needs.
+  int horizon = 48;
+  /// Relative change that counts as significant: notify when
+  /// max_h |new_h - old_h| / (|old_h| + eps) exceeds this.
+  double change_threshold = 0.05;
+};
+
+/// Broker between one Forecaster and its subscribers (typically the
+/// scheduling component). The broker's goal is to minimise the overall cost
+/// of the subscriber: forecasts are recomputed once per measurement, but a
+/// subscriber is only notified when its subscription's significance test
+/// fires.
+class ForecastBroker {
+ public:
+  using Callback = std::function<void(const std::vector<double>& forecast)>;
+
+  /// `forecaster` must outlive the broker.
+  explicit ForecastBroker(Forecaster* forecaster);
+
+  /// Registers a continuous forecast query. The callback fires on the next
+  /// OnMeasurement() (first notification is always significant) and then on
+  /// every significant change.
+  SubscriberId Subscribe(const ForecastSubscription& subscription,
+                         Callback callback);
+
+  /// Removes a subscription. NotFound for unknown ids.
+  Status Unsubscribe(SubscriberId id);
+
+  /// Feeds one new measurement through the forecaster, re-evaluates all
+  /// subscriptions and notifies where significant.
+  Status OnMeasurement(double value);
+
+  /// Total callbacks fired.
+  int64_t notifications_sent() const { return notifications_sent_; }
+  /// Total subscription evaluations (callbacks fired + suppressed).
+  int64_t evaluations() const { return evaluations_; }
+  size_t num_subscribers() const { return subscribers_.size(); }
+
+ private:
+  struct Subscriber {
+    ForecastSubscription subscription;
+    Callback callback;
+    std::vector<double> last_notified;
+  };
+
+  Forecaster* forecaster_;
+  SubscriberId next_id_ = 1;
+  std::map<SubscriberId, Subscriber> subscribers_;
+  int64_t notifications_sent_ = 0;
+  int64_t evaluations_ = 0;
+};
+
+}  // namespace mirabel::forecasting
+
+#endif  // MIRABEL_FORECASTING_PUBSUB_H_

@@ -1,0 +1,30 @@
+#include "negotiation/flexibility_metrics.h"
+
+#include "common/math_util.h"
+
+namespace mirabel::negotiation {
+
+FlexibilityMetrics ComputeFlexibilityMetrics(
+    const flexoffer::FlexOffer& offer) {
+  FlexibilityMetrics m;
+  m.assignment_flexibility = offer.assignment_before - offer.creation_time;
+  m.scheduling_flexibility = offer.TimeFlexibility();
+  m.energy_flexibility_kwh = offer.TotalEnergyFlexibility();
+  return m;
+}
+
+FlexibilityPotentials ComputePotentials(const FlexibilityMetrics& metrics,
+                                        const PotentialConfig& config) {
+  FlexibilityPotentials p;
+  p.assignment = ScaledSigmoid(
+      static_cast<double>(metrics.assignment_flexibility),
+      config.assignment.midpoint, config.assignment.scale);
+  p.scheduling = ScaledSigmoid(
+      static_cast<double>(metrics.scheduling_flexibility),
+      config.scheduling.midpoint, config.scheduling.scale);
+  p.energy = ScaledSigmoid(metrics.energy_flexibility_kwh,
+                           config.energy.midpoint, config.energy.scale);
+  return p;
+}
+
+}  // namespace mirabel::negotiation

@@ -1,0 +1,55 @@
+#ifndef MIRABEL_NEGOTIATION_FLEXIBILITY_METRICS_H_
+#define MIRABEL_NEGOTIATION_FLEXIBILITY_METRICS_H_
+
+#include "flexoffer/flex_offer.h"
+
+namespace mirabel::negotiation {
+
+/// The three flexibility parameters a BRP can monetise (paper §7):
+struct FlexibilityMetrics {
+  /// Assignment flexibility: "the time left for re-scheduling a flex-offer"
+  /// — slices between creation and the assignment deadline.
+  int64_t assignment_flexibility = 0;
+  /// Scheduling flexibility: "the time range within [which] a flex-offer can
+  /// be scheduled" — the time-flexibility window width in slices.
+  int64_t scheduling_flexibility = 0;
+  /// Energy flexibility: "the amount of energy which is dispatchable by the
+  /// BRP" — the summed per-slice band width in kWh.
+  double energy_flexibility_kwh = 0.0;
+};
+
+/// Extracts the metrics from an offer.
+FlexibilityMetrics ComputeFlexibilityMetrics(const flexoffer::FlexOffer& offer);
+
+/// Normalisation of one flexibility parameter to a potential in (0, 1) via
+/// the sigmoid (paper §7: "normalized to flexibility potentials by applying a
+/// function, e.g. the sigmoid function").
+struct PotentialScale {
+  /// Parameter value mapped to potential 0.5.
+  double midpoint = 0.0;
+  /// Spread; larger = flatter response. Must be > 0.
+  double scale = 1.0;
+};
+
+/// Normalised flexibility potentials of one offer, each in (0, 1).
+struct FlexibilityPotentials {
+  double assignment = 0.0;
+  double scheduling = 0.0;
+  double energy = 0.0;
+};
+
+/// Sigmoid scales per parameter; defaults tuned for 15-minute slices and
+/// household-scale energies.
+struct PotentialConfig {
+  PotentialScale assignment{/*midpoint=*/16.0, /*scale=*/8.0};   // ~4 h
+  PotentialScale scheduling{/*midpoint=*/12.0, /*scale=*/6.0};   // ~3 h
+  PotentialScale energy{/*midpoint=*/5.0, /*scale=*/3.0};        // kWh
+};
+
+/// Maps metrics to potentials under `config`.
+FlexibilityPotentials ComputePotentials(const FlexibilityMetrics& metrics,
+                                        const PotentialConfig& config);
+
+}  // namespace mirabel::negotiation
+
+#endif  // MIRABEL_NEGOTIATION_FLEXIBILITY_METRICS_H_

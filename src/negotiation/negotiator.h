@@ -1,0 +1,71 @@
+#ifndef MIRABEL_NEGOTIATION_NEGOTIATOR_H_
+#define MIRABEL_NEGOTIATION_NEGOTIATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "negotiation/pricing.h"
+
+namespace mirabel::negotiation {
+
+/// Outcome of negotiating one flex-offer between a prosumer and its BRP
+/// ("Negotiation in MIRABEL finds an agreement between the prosumer and its
+/// BRP about the price for flex-offers", paper §7).
+struct NegotiationOutcome {
+  enum class Decision {
+    /// BRP accepted; `agreed_price_eur` is binding.
+    kAgreed,
+    /// BRP rejected the offer ("the rejection of a flex-offer does not imply
+    /// that the prosumer is not allowed to produce or consume the energy ...
+    /// The BRP just waives the option to control the load").
+    kRejectedByBrp,
+    /// BRP's price offer fell below the prosumer's reservation price.
+    kRejectedByProsumer,
+  };
+  Decision decision = Decision::kRejectedByBrp;
+  /// Price the BRP pays the prosumer for the flexibility (EUR).
+  double agreed_price_eur = 0.0;
+  /// The BRP's estimated value of the offer (EUR), for auditing.
+  double brp_value_eur = 0.0;
+};
+
+/// The BRP side of the negotiation component. The BRP estimates the offer's
+/// pre-execution value (MonetizeFlexibility), keeps a margin, and proposes
+/// the remainder to the prosumer. The prosumer accepts when the proposal
+/// clears its reservation price.
+class Negotiator {
+ public:
+  struct Config {
+    /// Fraction of the estimated value the BRP keeps as margin.
+    double brp_margin = 0.4;
+    AcceptancePolicy::Config acceptance;
+    MonetizeFlexibilityPricer::Weights weights;
+    PotentialConfig potentials;
+  };
+
+  Negotiator();
+  explicit Negotiator(const Config& config);
+
+  /// Runs the accept/price/counter-accept protocol for one offer.
+  /// `reservation_price_eur` is the minimum payment the prosumer demands for
+  /// handing over control (0 accepts any positive proposal).
+  NegotiationOutcome Negotiate(const flexoffer::FlexOffer& offer,
+                               double reservation_price_eur) const;
+
+  /// Post-execution settlement under the profit-sharing scheme: returns the
+  /// payout owed for an executed offer given realised costs.
+  double SettleProfitShare(double baseline_cost_eur, double realized_cost_eur,
+                           double prosumer_share = 0.3) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  MonetizeFlexibilityPricer pricer_;
+  AcceptancePolicy acceptance_;
+};
+
+}  // namespace mirabel::negotiation
+
+#endif  // MIRABEL_NEGOTIATION_NEGOTIATOR_H_

@@ -1,0 +1,54 @@
+#include "negotiation/pricing.h"
+
+#include <algorithm>
+
+namespace mirabel::negotiation {
+
+MonetizeFlexibilityPricer::MonetizeFlexibilityPricer()
+    : MonetizeFlexibilityPricer(Weights(), PotentialConfig()) {}
+
+MonetizeFlexibilityPricer::MonetizeFlexibilityPricer(
+    const Weights& weights, const PotentialConfig& potentials)
+    : weights_(weights), potentials_(potentials) {}
+
+double MonetizeFlexibilityPricer::Value(
+    const flexoffer::FlexOffer& offer) const {
+  FlexibilityMetrics metrics = ComputeFlexibilityMetrics(offer);
+  FlexibilityPotentials p = ComputePotentials(metrics, potentials_);
+  // An offer with no scheduling flexibility "may still provide a benefit for
+  // the BRP if it offers Energy flexibility" (§7) — the weighted sum handles
+  // that naturally.
+  return weights_.assignment_eur * p.assignment +
+         weights_.scheduling_eur * p.scheduling +
+         weights_.energy_eur * p.energy;
+}
+
+ProfitSharingPricer::ProfitSharingPricer(double prosumer_share)
+    : prosumer_share_(std::clamp(prosumer_share, 0.0, 1.0)) {}
+
+double ProfitSharingPricer::Payout(double baseline_cost_eur,
+                                   double realized_cost_eur) const {
+  double profit = baseline_cost_eur - realized_cost_eur;
+  return profit > 0.0 ? prosumer_share_ * profit : 0.0;
+}
+
+AcceptancePolicy::AcceptancePolicy()
+    : AcceptancePolicy(Config(), MonetizeFlexibilityPricer()) {}
+
+AcceptancePolicy::AcceptancePolicy(const Config& config,
+                                   const MonetizeFlexibilityPricer& pricer)
+    : config_(config), pricer_(pricer) {}
+
+AcceptancePolicy::Verdict AcceptancePolicy::Evaluate(
+    const flexoffer::FlexOffer& offer) const {
+  FlexibilityMetrics metrics = ComputeFlexibilityMetrics(offer);
+  if (metrics.assignment_flexibility < config_.min_processing_slices) {
+    return Verdict::kTooLateToProcess;
+  }
+  if (pricer_.Value(offer) < config_.min_value_eur) {
+    return Verdict::kTooLittleValue;
+  }
+  return Verdict::kAccepted;
+}
+
+}  // namespace mirabel::negotiation

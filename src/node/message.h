@@ -1,0 +1,55 @@
+#ifndef MIRABEL_NODE_MESSAGE_H_
+#define MIRABEL_NODE_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "flexoffer/flex_offer.h"
+
+namespace mirabel::node {
+
+/// Identifier of an EDMS node; nodes are actors, so the id spaces coincide.
+using NodeId = flexoffer::ActorId;
+
+/// Kinds of messages exchanged between LEDMS nodes (paper §3: "flex-offers,
+/// supply and demand measurements, forecasts, etc.").
+enum class MessageType {
+  /// Prosumer -> BRP (or BRP -> TSO): a new flex-offer.
+  kFlexOffer = 0,
+  /// BRP -> prosumer: offer accepted at the quoted flexibility price.
+  kFlexOfferAccepted = 1,
+  /// BRP -> prosumer: offer rejected (prosumer keeps its tariff behaviour).
+  kFlexOfferRejected = 2,
+  /// Scheduler owner -> offer owner: the scheduled instantiation.
+  kScheduledFlexOffer = 3,
+  /// Prosumer -> BRP: metered energy of one slice.
+  kMeasurement = 4,
+};
+
+/// A message on the EDMS wide-area network. Exactly the fields implied by
+/// `type` are meaningful; the struct is kept flat (no variant) so messages
+/// stay trivially copyable and easy to log.
+struct Message {
+  MessageType type = MessageType::kFlexOffer;
+  NodeId from = 0;
+  NodeId to = 0;
+  /// Slice at which the sender posted the message.
+  flexoffer::TimeSlice sent_at = 0;
+
+  /// kFlexOffer payload.
+  flexoffer::FlexOffer offer;
+  /// kScheduledFlexOffer payload.
+  flexoffer::ScheduledFlexOffer schedule;
+  /// kFlexOfferAccepted: agreed flexibility price (EUR).
+  /// kMeasurement: metered energy (kWh).
+  double value = 0.0;
+  /// kFlexOfferAccepted / kFlexOfferRejected / kMeasurement: subject offer
+  /// (0 for measurements not tied to an offer).
+  flexoffer::FlexOfferId offer_id = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace mirabel::node
+
+#endif  // MIRABEL_NODE_MESSAGE_H_

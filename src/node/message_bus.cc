@@ -1,0 +1,85 @@
+#include "node/message_bus.h"
+
+#include <cstdio>
+
+namespace mirabel::node {
+
+std::string Message::ToString() const {
+  const char* kind = "?";
+  switch (type) {
+    case MessageType::kFlexOffer:
+      kind = "FlexOffer";
+      break;
+    case MessageType::kFlexOfferAccepted:
+      kind = "Accepted";
+      break;
+    case MessageType::kFlexOfferRejected:
+      kind = "Rejected";
+      break;
+    case MessageType::kScheduledFlexOffer:
+      kind = "Scheduled";
+      break;
+    case MessageType::kMeasurement:
+      kind = "Measurement";
+      break;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "Message{%s %llu->%llu at=%s offer=%llu}",
+                kind, static_cast<unsigned long long>(from),
+                static_cast<unsigned long long>(to),
+                flexoffer::FormatTimeSlice(sent_at).c_str(),
+                static_cast<unsigned long long>(
+                    type == MessageType::kFlexOffer ? offer.id : offer_id));
+  return buf;
+}
+
+MessageBus::MessageBus() : MessageBus(Config()) {}
+
+MessageBus::MessageBus(const Config& config)
+    : config_(config), rng_(config.seed) {}
+
+Status MessageBus::Register(NodeId id, Handler handler) {
+  auto [it, inserted] = handlers_.emplace(id, std::move(handler));
+  if (!inserted) {
+    return Status::AlreadyExists("node " + std::to_string(id) +
+                                 " already registered");
+  }
+  return Status::OK();
+}
+
+Status MessageBus::Send(const Message& msg) {
+  if (handlers_.count(msg.to) == 0) {
+    return Status::NotFound("unknown recipient node " + std::to_string(msg.to));
+  }
+  ++sent_;
+  if (config_.drop_probability > 0.0 &&
+      rng_.Bernoulli(config_.drop_probability)) {
+    ++dropped_;
+    return Status::OK();  // silent loss, like the network
+  }
+  queue_.push_back({msg.sent_at + config_.latency_slices, msg});
+  return Status::OK();
+}
+
+void MessageBus::AdvanceTo(flexoffer::TimeSlice now) {
+  // Handlers may enqueue more messages; keep draining until nothing due is
+  // left. Send order is preserved for messages with equal due slices.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    size_t n = queue_.size();
+    for (size_t i = 0; i < n; ++i) {
+      InFlight item = std::move(queue_.front());
+      queue_.pop_front();
+      if (item.due <= now) {
+        ++delivered_;
+        handlers_[item.msg.to](item.msg);
+        progress = true;
+      } else {
+        queue_.push_back(std::move(item));
+      }
+    }
+  }
+}
+
+}  // namespace mirabel::node

@@ -1,0 +1,70 @@
+#ifndef MIRABEL_NODE_MESSAGE_BUS_H_
+#define MIRABEL_NODE_MESSAGE_BUS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "node/message.h"
+
+namespace mirabel::node {
+
+/// In-process substitute for MIRABEL's wide-area messaging (the paper's
+/// Communication component). Delivery is tied to the simulated slice clock:
+/// a message sent at slice t is delivered when the simulation advances to
+/// t + latency_slices. Latency and message loss are injectable so tests can
+/// exercise the degradation path (paper §1: "even in critical scenarios
+/// (e.g., nodes unreachable, failed execution deadlines) the overall system
+/// would gracefully behave as in the traditional setting").
+class MessageBus {
+ public:
+  struct Config {
+    /// Slices between send and delivery.
+    int64_t latency_slices = 0;
+    /// Probability that a message is silently dropped.
+    double drop_probability = 0.0;
+    uint64_t seed = 99;
+  };
+
+  MessageBus();
+  explicit MessageBus(const Config& config);
+
+  using Handler = std::function<void(const Message&)>;
+
+  /// Registers the handler of node `id`; AlreadyExists on duplicates.
+  Status Register(NodeId id, Handler handler);
+
+  /// Queues `msg` for delivery at msg.sent_at + latency. Unknown recipients
+  /// return NotFound at send time (the sender can react immediately).
+  Status Send(const Message& msg);
+
+  /// Delivers every queued message due at or before `now`, in send order.
+  /// Handlers may Send() further messages; those are delivered too when due.
+  void AdvanceTo(flexoffer::TimeSlice now);
+
+  int64_t sent() const { return sent_; }
+  int64_t delivered() const { return delivered_; }
+  int64_t dropped() const { return dropped_; }
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct InFlight {
+    flexoffer::TimeSlice due = 0;
+    Message msg;
+  };
+
+  Config config_;
+  Rng rng_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::deque<InFlight> queue_;
+  int64_t sent_ = 0;
+  int64_t delivered_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace mirabel::node
+
+#endif  // MIRABEL_NODE_MESSAGE_BUS_H_

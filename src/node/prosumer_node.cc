@@ -1,0 +1,129 @@
+#include "node/prosumer_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mirabel::node {
+
+using flexoffer::FlexOffer;
+using flexoffer::TimeSlice;
+
+ProsumerNode::ProsumerNode(const Config& config, MessageBus* bus)
+    : config_(config), bus_(bus), rng_(config.seed) {
+  Status st = bus_->Register(
+      config_.id, [this](const Message& msg) { HandleMessage(msg); });
+  if (!st.ok()) {
+    MIRABEL_LOG(kError) << "prosumer " << config_.id
+                        << " registration failed: " << st;
+  }
+}
+
+FlexOffer ProsumerNode::MakeOffer(TimeSlice now) {
+  FlexOffer fo;
+  // Offer ids must be globally unique: compose node id and local sequence.
+  fo.id = config_.id * 1000000ULL + next_offer_seq_++;
+  fo.owner = config_.id;
+  fo.creation_time = now;
+  int dur = static_cast<int>(
+      rng_.UniformInt(config_.min_duration, config_.max_duration));
+  // The window opens 4-12 hours ahead; quantise time flexibility so similar
+  // device classes aggregate well. The lead leaves the BRP's control loop
+  // enough gate closures to pick the offer up before the deadline.
+  TimeSlice lead = rng_.UniformInt(16, 48);
+  int64_t tf = (rng_.UniformInt(0, config_.max_time_flexibility) / 4) * 4;
+  fo.earliest_start = now + lead;
+  fo.latest_start = fo.earliest_start + tf;
+  fo.assignment_before = fo.earliest_start - std::min<TimeSlice>(8, lead - 1);
+  fo.profile.reserve(static_cast<size_t>(dur));
+  for (int j = 0; j < dur; ++j) {
+    double emax = rng_.Uniform(config_.min_slice_energy_kwh,
+                               config_.max_slice_energy_kwh);
+    double emin = emax * (1.0 - rng_.Uniform(0.0, config_.max_energy_flex));
+    fo.profile.push_back({emin, emax});
+  }
+  fo.unit_price_eur = rng_.Uniform(0.01, 0.05);
+  return fo;
+}
+
+void ProsumerNode::OnTick(TimeSlice now) {
+  // Device activity: emit a flex-offer with per-slice probability matching
+  // the configured daily rate.
+  if (rng_.Bernoulli(config_.offers_per_day / flexoffer::kSlicesPerDay)) {
+    FlexOffer fo = MakeOffer(now);
+    if (store_.PutFlexOffer(fo).ok()) {
+      ++stats_.offers_created;
+      Message msg;
+      msg.type = MessageType::kFlexOffer;
+      msg.from = config_.id;
+      msg.to = config_.brp;
+      msg.sent_at = now;
+      msg.offer = fo;
+      (void)bus_->Send(msg);
+    }
+  }
+
+  // Execute schedules whose profile completed by now, metering the energy.
+  for (const auto& fact :
+       store_.FlexOffersInState(storage::FlexOfferState::kScheduled)) {
+    TimeSlice end = fact.schedule.start +
+                    static_cast<int64_t>(fact.schedule.energies_kwh.size());
+    if (end > now) continue;
+    (void)store_.TransitionFlexOffer(fact.id,
+                                     storage::FlexOfferState::kExecuted);
+    ++stats_.offers_executed;
+    Message msg;
+    msg.type = MessageType::kMeasurement;
+    msg.from = config_.id;
+    msg.to = config_.brp;
+    msg.sent_at = now;
+    msg.offer_id = fact.id;
+    msg.value = fact.schedule.TotalEnergy();
+    (void)bus_->Send(msg);
+  }
+
+  // Timed-out offers fall back to the open contract: the load runs at its
+  // default profile, unmanaged.
+  for (const auto& fact : store_.ExpiredUnscheduled(now)) {
+    if (store_.TransitionFlexOffer(fact.id, storage::FlexOfferState::kExpired)
+            .ok()) {
+      ++stats_.fallbacks;
+    }
+  }
+}
+
+void ProsumerNode::HandleMessage(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kFlexOfferAccepted: {
+      (void)store_.TransitionFlexOffer(msg.offer_id,
+                                       storage::FlexOfferState::kAccepted);
+      (void)store_.SetAgreedPrice(msg.offer_id, msg.value);
+      stats_.earnings_eur += msg.value;
+      ++stats_.offers_accepted;
+      break;
+    }
+    case MessageType::kFlexOfferRejected: {
+      (void)store_.TransitionFlexOffer(msg.offer_id,
+                                       storage::FlexOfferState::kRejected);
+      ++stats_.offers_rejected;
+      break;
+    }
+    case MessageType::kScheduledFlexOffer: {
+      Result<const storage::FlexOfferFact*> fact =
+          store_.FindFlexOffer(msg.schedule.offer_id);
+      if (!fact.ok()) break;
+      if ((*fact)->state == storage::FlexOfferState::kAccepted) {
+        // BRP schedules arrive for accepted offers; the store transitions
+        // the offer to kScheduled when the schedule attaches cleanly.
+        if (store_.AttachSchedule(msg.schedule).ok()) {
+          ++stats_.schedules_received;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace mirabel::node

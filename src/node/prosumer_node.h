@@ -1,0 +1,74 @@
+#ifndef MIRABEL_NODE_PROSUMER_NODE_H_
+#define MIRABEL_NODE_PROSUMER_NODE_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "node/message_bus.h"
+#include "storage/data_store.h"
+
+namespace mirabel::node {
+
+/// Statistics of one prosumer's flex-offer lifecycle.
+struct ProsumerStats {
+  int64_t offers_created = 0;
+  int64_t offers_accepted = 0;
+  int64_t offers_rejected = 0;
+  int64_t schedules_received = 0;
+  int64_t offers_executed = 0;
+  /// Offers whose assignment deadline passed unscheduled; the prosumer fell
+  /// back to the open contract (paper §1).
+  int64_t fallbacks = 0;
+  /// Flexibility payments received (EUR).
+  double earnings_eur = 0.0;
+};
+
+/// A level-1 LEDMS node (paper §2 step 1-4): generates flex-offers from its
+/// devices, sends them to its BRP, executes the schedules it receives and
+/// falls back to the open contract when an offer times out.
+class ProsumerNode {
+ public:
+  struct Config {
+    NodeId id = 0;
+    /// The BRP this prosumer contracts with.
+    NodeId brp = 0;
+    /// Expected flex-offers per day (Bernoulli per slice).
+    double offers_per_day = 3.0;
+    /// Minimum payment demanded for handing over control (EUR).
+    double reservation_price_eur = 0.0;
+    /// Offer shape: durations (slices), time flexibility, per-slice energy.
+    int min_duration = 2;
+    int max_duration = 12;
+    int max_time_flexibility = 32;
+    double min_slice_energy_kwh = 0.25;
+    double max_slice_energy_kwh = 2.0;
+    double max_energy_flex = 0.5;
+    uint64_t seed = 1;
+  };
+
+  /// Registers the node on `bus` (which must outlive it).
+  ProsumerNode(const Config& config, MessageBus* bus);
+
+  /// Advances the node to slice `now`: possibly emits a new flex-offer,
+  /// executes schedules that completed, and expires timed-out offers.
+  void OnTick(flexoffer::TimeSlice now);
+
+  const ProsumerStats& stats() const { return stats_; }
+  const storage::DataStore& store() const { return store_; }
+  NodeId id() const { return config_.id; }
+
+ private:
+  void HandleMessage(const Message& msg);
+  flexoffer::FlexOffer MakeOffer(flexoffer::TimeSlice now);
+
+  Config config_;
+  MessageBus* bus_;
+  storage::DataStore store_;
+  Rng rng_;
+  ProsumerStats stats_;
+  flexoffer::FlexOfferId next_offer_seq_ = 1;
+};
+
+}  // namespace mirabel::node
+
+#endif  // MIRABEL_NODE_PROSUMER_NODE_H_

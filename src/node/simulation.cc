@@ -1,0 +1,174 @@
+#include "node/simulation.h"
+
+#include <cstdio>
+
+#include "datagen/energy_series_generator.h"
+#include "flexoffer/time_slice.h"
+
+namespace mirabel::node {
+
+using flexoffer::kSlicesPerDay;
+using flexoffer::TimeSlice;
+
+std::string SimulationReport::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "SimulationReport{offers=%lld accepted=%lld rejected=%lld "
+      "scheduled=%lld executed=%lld fallbacks=%lld earnings=%.2fEUR "
+      "runs=%lld macros=%lld imbalance %.1f->%.1f kWh (-%.1f%%) "
+      "msgs=%lld/%lld (dropped %lld)}",
+      static_cast<long long>(offers_created),
+      static_cast<long long>(offers_accepted),
+      static_cast<long long>(offers_rejected),
+      static_cast<long long>(schedules_received),
+      static_cast<long long>(offers_executed),
+      static_cast<long long>(fallbacks), prosumer_earnings_eur,
+      static_cast<long long>(scheduling_runs),
+      static_cast<long long>(macros_scheduled), imbalance_before_kwh,
+      imbalance_after_kwh, 100.0 * ImbalanceReduction(),
+      static_cast<long long>(messages_delivered),
+      static_cast<long long>(messages_sent),
+      static_cast<long long>(messages_dropped));
+  return buf;
+}
+
+EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
+    : config_(config), bus_(config.bus) {
+  // Node id layout: TSO = 1, BRPs = 100 + b, prosumers = 1000 + i.
+  const NodeId kTsoId = 1;
+
+  // Per-BRP baseline imbalance curve: scaled demand minus scaled wind. The
+  // amplitude is sized so the prosumers' flexible load can absorb a useful
+  // share of it.
+  const int sim_slices = (config.days + 2) * kSlicesPerDay;
+  const int days_needed = config.days + 2;
+
+  if (config_.use_tso) {
+    AggregatingNode::Config tso_cfg;
+    tso_cfg.id = kTsoId;
+    tso_cfg.parent = 0;
+    tso_cfg.negotiate = false;
+    tso_cfg.aggregation.params = aggregation::AggregationParams::P3();
+    tso_cfg.gate_period = config.gate_period;
+    tso_cfg.horizon = config.horizon;
+    tso_cfg.scheduler = config.scheduler;
+    tso_cfg.scheduler_budget_s = config.scheduler_budget_s;
+    tso_cfg.seed = config.seed * 7 + 1;
+    // The TSO balances the residual of the whole area.
+    datagen::DemandSeriesConfig demand_cfg;
+    demand_cfg.periods_per_day = kSlicesPerDay;
+    demand_cfg.days = days_needed;
+    demand_cfg.base_load_mw = 0.0;
+    demand_cfg.daily_amplitude =
+        3.0 * static_cast<double>(config.num_brps * config.prosumers_per_brp);
+    demand_cfg.weekly_amplitude = demand_cfg.daily_amplitude / 4;
+    demand_cfg.annual_amplitude = 0.0;
+    demand_cfg.noise_stddev = demand_cfg.daily_amplitude / 30;
+    demand_cfg.seed = config.seed + 17;
+    tso_cfg.baseline_imbalance_kwh =
+        datagen::GenerateDemandSeries(demand_cfg);
+    tso_cfg.max_buy_kwh = 5.0 * config.num_brps * config.prosumers_per_brp;
+    tso_cfg.max_sell_kwh = tso_cfg.max_buy_kwh;
+    tso_ = std::make_unique<AggregatingNode>(tso_cfg, &bus_);
+  }
+
+  for (int b = 0; b < config.num_brps; ++b) {
+    AggregatingNode::Config brp_cfg;
+    brp_cfg.id = 100 + static_cast<NodeId>(b);
+    brp_cfg.parent = config_.use_tso ? kTsoId : 0;
+    brp_cfg.negotiate = true;
+    brp_cfg.aggregation.params = aggregation::AggregationParams::P3();
+    brp_cfg.gate_period = config.gate_period;
+    brp_cfg.horizon = config.horizon;
+    brp_cfg.scheduler = config.scheduler;
+    brp_cfg.scheduler_budget_s = config.scheduler_budget_s;
+    brp_cfg.seed = config.seed * 13 + static_cast<uint64_t>(b);
+
+    // Demand (positive) minus wind supply: the curve the BRP must balance.
+    datagen::DemandSeriesConfig demand_cfg;
+    demand_cfg.periods_per_day = kSlicesPerDay;
+    demand_cfg.days = days_needed;
+    demand_cfg.base_load_mw = 1.0 * config.prosumers_per_brp;
+    demand_cfg.daily_amplitude = 1.5 * config.prosumers_per_brp;
+    demand_cfg.weekly_amplitude = 0.4 * config.prosumers_per_brp;
+    demand_cfg.annual_amplitude = 0.0;
+    demand_cfg.noise_stddev = 0.08 * config.prosumers_per_brp;
+    demand_cfg.seed = config.seed + static_cast<uint64_t>(100 + b);
+    std::vector<double> demand = datagen::GenerateDemandSeries(demand_cfg);
+
+    datagen::WindSeriesConfig wind_cfg;
+    wind_cfg.periods_per_day = kSlicesPerDay;
+    wind_cfg.days = days_needed;
+    wind_cfg.capacity_mw = 2.0 * config.prosumers_per_brp;
+    wind_cfg.seed = config.seed + static_cast<uint64_t>(200 + b);
+    std::vector<double> wind = datagen::GenerateWindSeries(wind_cfg);
+
+    brp_cfg.baseline_imbalance_kwh.resize(static_cast<size_t>(sim_slices));
+    for (int t = 0; t < sim_slices; ++t) {
+      brp_cfg.baseline_imbalance_kwh[static_cast<size_t>(t)] =
+          demand[static_cast<size_t>(t)] - wind[static_cast<size_t>(t)];
+    }
+    brp_cfg.max_buy_kwh = 2.0 * config.prosumers_per_brp;
+    brp_cfg.max_sell_kwh = 2.0 * config.prosumers_per_brp;
+    brps_.push_back(std::make_unique<AggregatingNode>(brp_cfg, &bus_));
+
+    for (int p = 0; p < config.prosumers_per_brp; ++p) {
+      ProsumerNode::Config pro_cfg;
+      pro_cfg.id = 1000 + static_cast<NodeId>(b) * 1000 +
+                   static_cast<NodeId>(p);
+      pro_cfg.brp = brp_cfg.id;
+      pro_cfg.offers_per_day = config.offers_per_day;
+      pro_cfg.seed = config.seed * 31 + static_cast<uint64_t>(b) * 997 +
+                     static_cast<uint64_t>(p);
+      prosumers_.push_back(std::make_unique<ProsumerNode>(pro_cfg, &bus_));
+    }
+  }
+}
+
+SimulationReport EdmsSimulation::Run() {
+  const TimeSlice end = static_cast<TimeSlice>(config_.days) * kSlicesPerDay;
+  for (TimeSlice now = 0; now < end; ++now) {
+    for (auto& p : prosumers_) p->OnTick(now);
+    bus_.AdvanceTo(now);
+    for (auto& b : brps_) b->OnTick(now);
+    bus_.AdvanceTo(now);
+    if (tso_ != nullptr) tso_->OnTick(now);
+    bus_.AdvanceTo(now);
+  }
+  // Drain in-flight messages and give prosumers a final execution pass.
+  bus_.AdvanceTo(end + config_.bus.latency_slices);
+  for (TimeSlice now = end; now < end + 2 * kSlicesPerDay; ++now) {
+    for (auto& p : prosumers_) p->OnTick(now);
+    bus_.AdvanceTo(now);
+  }
+  // Deliver anything sent during the final drain ticks.
+  bus_.AdvanceTo(end + 2 * kSlicesPerDay + config_.bus.latency_slices);
+
+  SimulationReport report;
+  for (const auto& p : prosumers_) {
+    const ProsumerStats& s = p->stats();
+    report.offers_created += s.offers_created;
+    report.offers_accepted += s.offers_accepted;
+    report.offers_rejected += s.offers_rejected;
+    report.schedules_received += s.schedules_received;
+    report.offers_executed += s.offers_executed;
+    report.fallbacks += s.fallbacks;
+    report.prosumer_earnings_eur += s.earnings_eur;
+  }
+  auto add_agg = [&report](const AggregatingNode& n) {
+    report.scheduling_runs += n.stats().scheduling_runs;
+    report.macros_scheduled += n.stats().macros_scheduled;
+    report.imbalance_before_kwh += n.stats().imbalance_before_kwh;
+    report.imbalance_after_kwh += n.stats().imbalance_after_kwh;
+    report.schedule_cost_eur += n.stats().schedule_cost_eur;
+  };
+  for (const auto& b : brps_) add_agg(*b);
+  if (tso_ != nullptr) add_agg(*tso_);
+  report.messages_sent = bus_.sent();
+  report.messages_delivered = bus_.delivered();
+  report.messages_dropped = bus_.dropped();
+  return report;
+}
+
+}  // namespace mirabel::node

@@ -1,0 +1,96 @@
+#ifndef MIRABEL_NODE_SIMULATION_H_
+#define MIRABEL_NODE_SIMULATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "node/aggregating_node.h"
+#include "node/prosumer_node.h"
+
+namespace mirabel::node {
+
+/// Configuration of a whole-EDMS simulation: a 3-level hierarchy (paper
+/// Fig. 2) of one TSO, several BRPs and many prosumers, run tick-by-tick on
+/// the slice clock.
+struct SimulationConfig {
+  int num_brps = 3;
+  int prosumers_per_brp = 20;
+  int days = 2;
+  /// When false, BRPs schedule locally and no TSO level exists (2-level
+  /// deployment); when true, BRPs forward macro offers to the TSO (3-level).
+  bool use_tso = false;
+  MessageBus::Config bus;
+  uint64_t seed = 2024;
+
+  /// Per-prosumer offer rate (offers per day).
+  double offers_per_day = 3.0;
+  /// BRP control-loop cadence and horizon (slices).
+  int gate_period = 16;
+  int horizon = 96;
+  std::string scheduler = "GreedySearch";
+  double scheduler_budget_s = 0.05;
+};
+
+/// Aggregated outcome of a simulation run.
+struct SimulationReport {
+  int64_t offers_created = 0;
+  int64_t offers_accepted = 0;
+  int64_t offers_rejected = 0;
+  int64_t schedules_received = 0;
+  int64_t offers_executed = 0;
+  int64_t fallbacks = 0;
+  double prosumer_earnings_eur = 0.0;
+
+  int64_t scheduling_runs = 0;
+  int64_t macros_scheduled = 0;
+  double imbalance_before_kwh = 0.0;
+  double imbalance_after_kwh = 0.0;
+  double schedule_cost_eur = 0.0;
+
+  int64_t messages_sent = 0;
+  int64_t messages_delivered = 0;
+  int64_t messages_dropped = 0;
+
+  /// Relative imbalance reduction achieved by flex-offer scheduling (the
+  /// effect sketched in the paper's Fig. 1), in [0, 1].
+  double ImbalanceReduction() const {
+    return imbalance_before_kwh > 0.0
+               ? 1.0 - imbalance_after_kwh / imbalance_before_kwh
+               : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Builds and runs the hierarchy. The baseline imbalance curves of the BRPs
+/// are synthesised from the datagen demand/wind generators, so the whole run
+/// is deterministic in `seed`.
+class EdmsSimulation {
+ public:
+  explicit EdmsSimulation(const SimulationConfig& config);
+
+  /// Runs the configured number of days and returns the combined report.
+  SimulationReport Run();
+
+  /// Access to the nodes after Run(), for tests and examples.
+  const std::vector<std::unique_ptr<ProsumerNode>>& prosumers() const {
+    return prosumers_;
+  }
+  const std::vector<std::unique_ptr<AggregatingNode>>& brps() const {
+    return brps_;
+  }
+  const AggregatingNode* tso() const { return tso_.get(); }
+  const MessageBus& bus() const { return bus_; }
+
+ private:
+  SimulationConfig config_;
+  MessageBus bus_;
+  std::vector<std::unique_ptr<ProsumerNode>> prosumers_;
+  std::vector<std::unique_ptr<AggregatingNode>> brps_;
+  std::unique_ptr<AggregatingNode> tso_;
+};
+
+}  // namespace mirabel::node
+
+#endif  // MIRABEL_NODE_SIMULATION_H_

@@ -1,0 +1,170 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "scheduling/scheduler.h"
+
+namespace mirabel::scheduling {
+
+namespace {
+
+struct Individual {
+  Schedule schedule;
+  double cost = 0.0;
+};
+
+Schedule RandomSchedule(const SchedulingProblem& problem, Rng* rng) {
+  Schedule s;
+  s.assignments.reserve(problem.offers.size());
+  for (const auto& fo : problem.offers) {
+    s.assignments.push_back(
+        {fo.earliest_start + rng->UniformInt(0, fo.TimeFlexibility()),
+         rng->NextDouble()});
+  }
+  return s;
+}
+
+}  // namespace
+
+EvolutionaryScheduler::EvolutionaryScheduler()
+    : EvolutionaryScheduler(Config()) {}
+
+EvolutionaryScheduler::EvolutionaryScheduler(const Config& config)
+    : config_(config) {}
+
+Result<SchedulingResult> EvolutionaryScheduler::Run(
+    const SchedulingProblem& problem, const SchedulerOptions& options) {
+  MIRABEL_RETURN_NOT_OK(problem.Validate());
+  if (config_.population_size < 2 || config_.elites >= config_.population_size) {
+    return Status::InvalidArgument("degenerate EA configuration");
+  }
+  Stopwatch watch;
+  Rng rng(options.seed);
+  CostEvaluator evaluator(problem);
+  if (problem.offers.empty()) {
+    SchedulingResult result;
+    result.schedule = evaluator.schedule();
+    result.cost = evaluator.Cost();
+    result.trace.push_back({watch.ElapsedSeconds(), result.cost.total()});
+    return result;
+  }
+
+  auto evaluate = [&](const Schedule& s) -> Result<double> {
+    return evaluator.EvaluateTotal(s);
+  };
+
+  // Initial population: random schedules plus the all-earliest baseline.
+  std::vector<Individual> population;
+  population.reserve(static_cast<size_t>(config_.population_size));
+  {
+    Individual baseline;
+    baseline.schedule = CostEvaluator(problem).schedule();
+    MIRABEL_ASSIGN_OR_RETURN(baseline.cost, evaluate(baseline.schedule));
+    population.push_back(std::move(baseline));
+  }
+  while (population.size() < static_cast<size_t>(config_.population_size)) {
+    Individual ind;
+    ind.schedule = RandomSchedule(problem, &rng);
+    MIRABEL_ASSIGN_OR_RETURN(ind.cost, evaluate(ind.schedule));
+    population.push_back(std::move(ind));
+  }
+
+  auto best_it = std::min_element(
+      population.begin(), population.end(),
+      [](const Individual& a, const Individual& b) { return a.cost < b.cost; });
+  SchedulingResult result;
+  result.schedule = best_it->schedule;
+  double best_cost = best_it->cost;
+  result.trace.push_back({watch.ElapsedSeconds(), best_cost});
+
+  auto out_of_budget = [&]() {
+    if (options.time_budget_s > 0 &&
+        watch.ElapsedSeconds() >= options.time_budget_s) {
+      return true;
+    }
+    if (options.max_iterations > 0 &&
+        result.iterations >= options.max_iterations) {
+      return true;
+    }
+    return false;
+  };
+
+  auto tournament = [&]() -> const Individual& {
+    size_t winner = rng.Index(population.size());
+    for (int k = 1; k < config_.tournament_size; ++k) {
+      size_t challenger = rng.Index(population.size());
+      if (population[challenger].cost < population[winner].cost) {
+        winner = challenger;
+      }
+    }
+    return population[winner];
+  };
+
+  const size_t genes = problem.offers.size();
+  while (!out_of_budget()) {
+    std::vector<Individual> next;
+    next.reserve(population.size());
+
+    // Elitism: carry the best individuals over unchanged.
+    std::partial_sort(
+        population.begin(), population.begin() + config_.elites,
+        population.end(),
+        [](const Individual& a, const Individual& b) { return a.cost < b.cost; });
+    for (int e = 0; e < config_.elites; ++e) next.push_back(population[static_cast<size_t>(e)]);
+
+    while (next.size() < population.size()) {
+      const Individual& parent_a = tournament();
+      const Individual& parent_b = tournament();
+      Individual child;
+      child.schedule.assignments.resize(genes);
+
+      // Uniform crossover over the per-offer genes.
+      bool crossover = rng.Bernoulli(config_.crossover_rate);
+      for (size_t g = 0; g < genes; ++g) {
+        const Individual& source =
+            (crossover && rng.Bernoulli(0.5)) ? parent_b : parent_a;
+        child.schedule.assignments[g] = source.schedule.assignments[g];
+      }
+
+      // Mutation.
+      for (size_t g = 0; g < genes; ++g) {
+        if (!rng.Bernoulli(config_.mutation_rate)) continue;
+        const flexoffer::FlexOffer& fo = problem.offers[g];
+        OfferAssignment& a = child.schedule.assignments[g];
+        int64_t window = fo.TimeFlexibility();
+        if (window > 0) {
+          int64_t span = std::max<int64_t>(
+              1, static_cast<int64_t>(
+                     std::llround(config_.start_mutation_span *
+                                  static_cast<double>(window))));
+          a.start += rng.UniformInt(-span, span);
+          a.start = std::clamp(a.start, fo.earliest_start, fo.latest_start);
+        }
+        a.fill = Clamp(a.fill + rng.Gaussian(0.0, config_.fill_mutation_sigma),
+                       0.0, 1.0);
+      }
+
+      MIRABEL_ASSIGN_OR_RETURN(child.cost, evaluate(child.schedule));
+      next.push_back(std::move(child));
+    }
+
+    population = std::move(next);
+    ++result.iterations;
+
+    for (const Individual& ind : population) {
+      if (ind.cost < best_cost - 1e-12) {
+        best_cost = ind.cost;
+        result.schedule = ind.schedule;
+        result.trace.push_back({watch.ElapsedSeconds(), best_cost});
+      }
+    }
+  }
+
+  MIRABEL_RETURN_NOT_OK(evaluator.SetSchedule(result.schedule));
+  result.cost = evaluator.Cost();
+  return result;
+}
+
+}  // namespace mirabel::scheduling

@@ -1,0 +1,102 @@
+#include "common/stopwatch.h"
+#include "scheduling/scheduler.h"
+
+namespace mirabel::scheduling {
+
+ExhaustiveScheduler::ExhaustiveScheduler(uint64_t max_combinations)
+    : max_combinations_(max_combinations) {}
+
+uint64_t ExhaustiveScheduler::CountCombinations(
+    const SchedulingProblem& problem) {
+  uint64_t combos = 1;
+  for (const auto& fo : problem.offers) {
+    uint64_t window = static_cast<uint64_t>(fo.TimeFlexibility()) + 1;
+    // Saturating multiply.
+    if (combos > UINT64_MAX / window) return UINT64_MAX;
+    combos *= window;
+  }
+  return combos;
+}
+
+Result<SchedulingResult> ExhaustiveScheduler::Run(
+    const SchedulingProblem& problem, const SchedulerOptions& options) {
+  MIRABEL_RETURN_NOT_OK(problem.Validate());
+  uint64_t combos = CountCombinations(problem);
+  if (combos > max_combinations_) {
+    return Status::FailedPrecondition(
+        "instance has " + std::to_string(combos) +
+        " start combinations, above the exhaustive limit");
+  }
+
+  Stopwatch watch;
+  CostEvaluator evaluator(problem);
+  const size_t n = problem.offers.size();
+
+  // Start all offers at their earliest start, fill = 1 (the exhaustive
+  // baseline is defined for offers without energy constraints; for offers
+  // with energy flexibility the maximum profile is used).
+  Schedule current;
+  current.assignments.reserve(n);
+  for (const auto& fo : problem.offers) {
+    current.assignments.push_back({fo.earliest_start, 1.0});
+  }
+  MIRABEL_RETURN_NOT_OK(evaluator.SetSchedule(current));
+
+  SchedulingResult result;
+  result.schedule = current;
+  double best_cost = evaluator.Cost().total();
+  result.trace.push_back({watch.ElapsedSeconds(), best_cost});
+  result.iterations = 1;
+
+  // Odometer enumeration over the start windows, applying single-offer moves
+  // incrementally so each step is O(profile length).
+  std::vector<int64_t> offsets(n, 0);
+  while (true) {
+    if (options.time_budget_s > 0 &&
+        watch.ElapsedSeconds() > options.time_budget_s) {
+      return Status::Timeout("exhaustive enumeration exceeded the budget");
+    }
+    // Advance the odometer.
+    size_t d = 0;
+    while (d < n) {
+      const auto& fo = problem.offers[d];
+      if (offsets[d] < fo.TimeFlexibility()) {
+        ++offsets[d];
+        MIRABEL_RETURN_NOT_OK(evaluator.ApplyMove(
+            d, {fo.earliest_start + offsets[d],
+                evaluator.schedule().assignments[d].fill}));
+        break;
+      }
+      offsets[d] = 0;
+      MIRABEL_RETURN_NOT_OK(evaluator.ApplyMove(
+          d, {fo.earliest_start, evaluator.schedule().assignments[d].fill}));
+      ++d;
+    }
+    if (d == n) break;  // odometer wrapped: all combinations visited
+
+    ++result.iterations;
+    double cost = evaluator.Cost().total();
+    if (cost < best_cost - 1e-12) {
+      best_cost = cost;
+      result.schedule = evaluator.schedule();
+      result.trace.push_back({watch.ElapsedSeconds(), best_cost});
+    }
+  }
+
+  CostEvaluator final_eval(problem);
+  MIRABEL_RETURN_NOT_OK(final_eval.SetSchedule(result.schedule));
+  result.cost = final_eval.Cost();
+  return result;
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+  if (name == "GreedySearch") return std::make_unique<GreedyScheduler>();
+  if (name == "EvolutionaryAlgorithm") {
+    return std::make_unique<EvolutionaryScheduler>();
+  }
+  if (name == "Exhaustive") return std::make_unique<ExhaustiveScheduler>();
+  if (name == "Hybrid") return std::make_unique<HybridScheduler>();
+  return nullptr;
+}
+
+}  // namespace mirabel::scheduling

@@ -1,0 +1,126 @@
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "scheduling/scheduler.h"
+
+namespace mirabel::scheduling {
+
+namespace {
+
+/// Enumerates up to `max_candidates` start positions of `offer`, evenly
+/// covering the whole window.
+std::vector<flexoffer::TimeSlice> StartCandidates(
+    const flexoffer::FlexOffer& offer, int max_candidates) {
+  int64_t window = offer.TimeFlexibility();
+  std::vector<flexoffer::TimeSlice> out;
+  if (window < max_candidates) {
+    out.reserve(static_cast<size_t>(window) + 1);
+    for (int64_t d = 0; d <= window; ++d) {
+      out.push_back(offer.earliest_start + d);
+    }
+    return out;
+  }
+  out.reserve(static_cast<size_t>(max_candidates));
+  for (int i = 0; i < max_candidates; ++i) {
+    int64_t d = window * i / (max_candidates - 1);
+    out.push_back(offer.earliest_start + d);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+GreedyScheduler::GreedyScheduler() : GreedyScheduler(Config()) {}
+
+GreedyScheduler::GreedyScheduler(const Config& config) : config_(config) {}
+
+Result<SchedulingResult> GreedyScheduler::Run(const SchedulingProblem& problem,
+                                              const SchedulerOptions& options) {
+  MIRABEL_RETURN_NOT_OK(problem.Validate());
+  Stopwatch watch;
+  Rng rng(options.seed);
+
+  CostEvaluator evaluator(problem);
+  SchedulingResult result;
+  result.schedule = evaluator.schedule();
+  double best_cost = evaluator.Cost().total();
+  result.trace.push_back({watch.ElapsedSeconds(), best_cost});
+  if (problem.offers.empty()) {
+    result.cost = evaluator.Cost();
+    return result;
+  }
+
+  auto out_of_budget = [&]() {
+    if (options.time_budget_s > 0 &&
+        watch.ElapsedSeconds() >= options.time_budget_s) {
+      return true;
+    }
+    if (options.max_iterations > 0 &&
+        result.iterations >= options.max_iterations) {
+      return true;
+    }
+    return false;
+  };
+
+  // Greedy pass over all offers in a random order: each offer is moved to
+  // its best position given the rest of the schedule. The first pass is the
+  // paper's construction; later passes act as improvement sweeps / restarts.
+  std::vector<size_t> order(problem.offers.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  bool first_pass = true;
+  while (!out_of_budget()) {
+    rng.Shuffle(&order);
+    bool improved_any = false;
+    for (size_t index : order) {
+      if (out_of_budget()) break;
+      const flexoffer::FlexOffer& fo = problem.offers[index];
+      OfferAssignment best = evaluator.schedule().assignments[index];
+      double best_delta = 0.0;
+      for (flexoffer::TimeSlice start :
+           StartCandidates(fo, config_.max_start_candidates)) {
+        for (double fill : config_.fill_candidates) {
+          OfferAssignment candidate{start, fill};
+          Result<double> delta = evaluator.TryMove(index, candidate);
+          if (delta.ok() && *delta < best_delta - 1e-12) {
+            best_delta = *delta;
+            best = candidate;
+          }
+        }
+      }
+      if (best_delta < 0.0) {
+        MIRABEL_RETURN_NOT_OK(evaluator.ApplyMove(index, best));
+        improved_any = true;
+      }
+      ++result.iterations;
+    }
+    double cost = evaluator.Cost().total();
+    if (cost < best_cost - 1e-12) {
+      best_cost = cost;
+      result.schedule = evaluator.schedule();
+      result.trace.push_back({watch.ElapsedSeconds(), best_cost});
+    }
+    if (!improved_any && !first_pass) {
+      // Local optimum: random restart (keep the incumbent in `result`).
+      Schedule random_schedule;
+      random_schedule.assignments.reserve(problem.offers.size());
+      for (const auto& fo : problem.offers) {
+        random_schedule.assignments.push_back(
+            {fo.earliest_start + rng.UniformInt(0, fo.TimeFlexibility()),
+             rng.NextDouble()});
+      }
+      MIRABEL_RETURN_NOT_OK(evaluator.SetSchedule(random_schedule));
+    }
+    first_pass = false;
+  }
+
+  CostEvaluator final_eval(problem);
+  MIRABEL_RETURN_NOT_OK(final_eval.SetSchedule(result.schedule));
+  result.cost = final_eval.Cost();
+  return result;
+}
+
+}  // namespace mirabel::scheduling

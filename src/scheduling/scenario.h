@@ -1,0 +1,59 @@
+#ifndef MIRABEL_SCHEDULING_SCENARIO_H_
+#define MIRABEL_SCHEDULING_SCENARIO_H_
+
+#include <cstdint>
+
+#include "scheduling/scheduling_problem.h"
+
+namespace mirabel::scheduling {
+
+/// Parameters of a synthetic intra-day BRP scheduling scenario, the workload
+/// of the paper's scheduling experiment (§9, Fig. 6: "four different
+/// intra-day scheduling scenarios with 10, 100, 1000 and 10000 aggregated
+/// flex-offers").
+struct ScenarioConfig {
+  /// Number of (aggregated) flex-offers to schedule.
+  int num_offers = 100;
+  /// Scheduling horizon in slices (default: one day of 15-minute slices).
+  int horizon_length = 96;
+  uint64_t seed = 17;
+
+  /// Peak amplitude of the baseline imbalance curve (kWh per slice). The
+  /// curve has a deficit around the evening peak and a surplus around the
+  /// midday RES peak.
+  double imbalance_amplitude_kwh = 40.0;
+
+  /// Imbalance penalty: off-peak level and peak factor.
+  double penalty_eur_per_kwh = 0.25;
+  double peak_penalty_factor = 3.0;
+
+  /// Market prices per kWh; buying is dearer than selling earns.
+  double buy_price_eur = 0.12;
+  double sell_price_eur = 0.05;
+  /// Per-slice market liquidity caps (kWh).
+  double max_buy_kwh = 25.0;
+  double max_sell_kwh = 25.0;
+
+  /// Aggregated-offer shape: duration and per-slice energy ranges.
+  int min_duration = 2;
+  int max_duration = 12;
+  double min_slice_energy_kwh = 1.0;
+  double max_slice_energy_kwh = 8.0;
+  /// Max fraction of a slice's energy that is dispatchable (energy flex).
+  double max_energy_flex = 0.5;
+  /// Fraction of production offers (negative energy).
+  double production_fraction = 0.3;
+  /// When true, per-slice min equals max (the "no energy constraints" case
+  /// of the paper's optimality study).
+  bool no_energy_flexibility = false;
+  /// Upper bound on each offer's time flexibility (slices); the actual value
+  /// is drawn uniformly. The optimality study uses small windows.
+  int max_time_flexibility = 24;
+};
+
+/// Builds a valid SchedulingProblem from the config. Deterministic in seed.
+SchedulingProblem MakeScenario(const ScenarioConfig& config);
+
+}  // namespace mirabel::scheduling
+
+#endif  // MIRABEL_SCHEDULING_SCENARIO_H_

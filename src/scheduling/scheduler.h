@@ -1,0 +1,150 @@
+#ifndef MIRABEL_SCHEDULING_SCHEDULER_H_
+#define MIRABEL_SCHEDULING_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scheduling/scheduling_problem.h"
+
+namespace mirabel::scheduling {
+
+/// Budget of one scheduling run. The metaheuristics are anytime algorithms:
+/// they keep the best schedule found so far and stop on budget exhaustion.
+struct SchedulerOptions {
+  /// Wall-clock budget in seconds (<= 0: unlimited; supply max_iterations).
+  double time_budget_s = 1.0;
+  /// Max iterations (greedy: construction+improvement steps; EA:
+  /// generations). <= 0: unlimited.
+  int max_iterations = 0;
+  uint64_t seed = 1;
+};
+
+/// One point of the cost-over-time convergence trace (Fig. 6 plots cost in
+/// EUR against elapsed scheduling time).
+struct CostTracePoint {
+  double time_s = 0.0;
+  double best_cost_eur = 0.0;
+};
+
+/// Outcome of a scheduling run.
+struct SchedulingResult {
+  Schedule schedule;
+  ScheduleCost cost;
+  int iterations = 0;
+  /// Best-so-far cost improvements over time.
+  std::vector<CostTracePoint> trace;
+};
+
+/// Interface of the MIRABEL scheduling algorithms (paper §6: "we used two
+/// stochastic metaheuristic algorithms ... randomized greedy search and an
+/// evolutionary algorithm").
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string Name() const = 0;
+
+  /// Solves `problem` within the budget. The problem must Validate().
+  virtual Result<SchedulingResult> Run(const SchedulingProblem& problem,
+                                       const SchedulerOptions& options) = 0;
+};
+
+/// Randomized greedy search (paper §6): "constructs the schedule gradually —
+/// at each step a randomly chosen flex-offer is scheduled in the best
+/// possible position. This is repeated until all flex-offers have been
+/// scheduled." With budget left, the construction repeats from new random
+/// orders, and single-offer best-position improvement sweeps refine the
+/// incumbent; the best schedule across restarts is kept.
+class GreedyScheduler : public Scheduler {
+ public:
+  struct Config {
+    /// Fill-level candidates evaluated per start position.
+    std::vector<double> fill_candidates{0.0, 0.5, 1.0};
+    /// Max start positions evaluated per offer; windows wider than this are
+    /// subsampled evenly (keeps per-offer placement bounded).
+    int max_start_candidates = 64;
+  };
+  GreedyScheduler();
+  explicit GreedyScheduler(const Config& config);
+  std::string Name() const override { return "GreedySearch"; }
+  Result<SchedulingResult> Run(const SchedulingProblem& problem,
+                               const SchedulerOptions& options) override;
+
+ private:
+  Config config_;
+};
+
+/// Evolutionary algorithm (paper §6, [3]): population of candidate schedules
+/// evolved by tournament selection, uniform crossover over the per-offer
+/// (start, fill) genes, Gaussian/integer mutation, and elitism.
+class EvolutionaryScheduler : public Scheduler {
+ public:
+  struct Config {
+    int population_size = 30;
+    int tournament_size = 3;
+    double crossover_rate = 0.9;
+    /// Per-gene mutation probability.
+    double mutation_rate = 0.1;
+    /// Start mutation: uniform step within +/- this fraction of the window.
+    double start_mutation_span = 0.25;
+    /// Fill mutation: Gaussian sigma.
+    double fill_mutation_sigma = 0.2;
+    int elites = 2;
+  };
+  EvolutionaryScheduler();
+  explicit EvolutionaryScheduler(const Config& config);
+  std::string Name() const override { return "EvolutionaryAlgorithm"; }
+  Result<SchedulingResult> Run(const SchedulingProblem& problem,
+                               const SchedulerOptions& options) override;
+
+ private:
+  Config config_;
+};
+
+/// Exhaustive enumeration over all start-time combinations, for the
+/// optimality study of §6 (feasible "only if a few flex-offers need to be
+/// scheduled [and] there are no flex-offer energy constraints"). Offers with
+/// energy flexibility are scheduled at fill = 1. Refuses instances with more
+/// than `max_combinations` candidate schedules.
+class ExhaustiveScheduler : public Scheduler {
+ public:
+  explicit ExhaustiveScheduler(uint64_t max_combinations = 100000000ULL);
+  std::string Name() const override { return "Exhaustive"; }
+  Result<SchedulingResult> Run(const SchedulingProblem& problem,
+                               const SchedulerOptions& options) override;
+
+  /// Number of start-time combinations of `problem`.
+  static uint64_t CountCombinations(const SchedulingProblem& problem);
+
+ private:
+  uint64_t max_combinations_;
+};
+
+/// Hybrid of the paper's two metaheuristics (§6 research directions:
+/// "hybridizing the existing ones to improve their efficiency"): a fast
+/// randomized-greedy construction consumes a small share of the budget, then
+/// an evolutionary refinement spends the rest; the better schedule wins.
+class HybridScheduler : public Scheduler {
+ public:
+  struct Config {
+    /// Share of the budget given to the greedy construction phase.
+    double construction_share = 0.2;
+    EvolutionaryScheduler::Config evolution;
+  };
+  HybridScheduler();
+  explicit HybridScheduler(const Config& config);
+  std::string Name() const override { return "Hybrid"; }
+  Result<SchedulingResult> Run(const SchedulingProblem& problem,
+                               const SchedulerOptions& options) override;
+
+ private:
+  Config config_;
+};
+
+/// Factory by name ("GreedySearch", "EvolutionaryAlgorithm", "Exhaustive",
+/// "Hybrid"); nullptr for unknown names.
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name);
+
+}  // namespace mirabel::scheduling
+
+#endif  // MIRABEL_SCHEDULING_SCHEDULER_H_

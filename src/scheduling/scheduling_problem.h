@@ -1,0 +1,147 @@
+#ifndef MIRABEL_SCHEDULING_SCHEDULING_PROBLEM_H_
+#define MIRABEL_SCHEDULING_SCHEDULING_PROBLEM_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+#include "flexoffer/flex_offer.h"
+
+namespace mirabel::scheduling {
+
+/// Per-slice energy market access of the BRP ("the possibility of selling
+/// energy to (and buying energy from) the market (other BRPs)", paper §6).
+/// Buying covers a deficit; selling monetises a surplus. Caps model market
+/// liquidity — without them every imbalance could be traded away.
+struct MarketAccess {
+  /// Price paid per kWh bought, per horizon slice.
+  std::vector<double> buy_price_eur;
+  /// Price earned per kWh sold, per horizon slice.
+  std::vector<double> sell_price_eur;
+  /// Max energy purchasable per slice (kWh).
+  double max_buy_kwh = std::numeric_limits<double>::infinity();
+  /// Max energy sellable per slice (kWh).
+  double max_sell_kwh = std::numeric_limits<double>::infinity();
+};
+
+/// The MIRABEL scheduling problem (paper §6): fix start times and energy
+/// flexibilities of all given (aggregated) flex-offers and the per-slice
+/// market transactions, minimising the composed cost of (1) remaining
+/// mismatches, (2) flex-offer activation and (3) market trades.
+struct SchedulingProblem {
+  /// First slice of the intra-day scheduling horizon.
+  flexoffer::TimeSlice horizon_start = 0;
+  /// Horizon length in slices.
+  int horizon_length = 0;
+
+  /// Forecast imbalance per slice *before* flex-offers: non-flexible demand
+  /// minus forecast RES supply (kWh; positive = deficit). From forecasting.
+  std::vector<double> baseline_imbalance_kwh;
+
+  /// Cost per kWh of remaining mismatch, per slice. Peak periods carry
+  /// higher penalties ("mismatches at peak periods cost the BRP more than at
+  /// other periods").
+  std::vector<double> imbalance_penalty_eur;
+
+  MarketAccess market;
+
+  /// The (typically aggregated) flex-offers to schedule. Every offer's start
+  /// window must lie inside the horizon.
+  std::vector<flexoffer::FlexOffer> offers;
+
+  /// Structural validation of the problem instance.
+  Status Validate() const;
+};
+
+/// Assignment of one flex-offer: a start slice plus a fill level lambda in
+/// [0, 1] that linearly interpolates every profile slice between its min
+/// (lambda = 0) and max (lambda = 1) energy. The fill level is the search
+/// parameterisation of the continuous energy flexibility (the paper notes
+/// "energy amounts can take on an infinite number of values"; the scalar
+/// keeps the genome finite while spanning the band).
+struct OfferAssignment {
+  flexoffer::TimeSlice start = 0;
+  double fill = 1.0;
+};
+
+/// A complete candidate schedule: one assignment per problem offer, in the
+/// same order.
+struct Schedule {
+  std::vector<OfferAssignment> assignments;
+};
+
+/// Cost breakdown of a schedule (all EUR; total may be negative when market
+/// sales out-earn the other terms).
+struct ScheduleCost {
+  double imbalance_eur = 0.0;
+  double flex_activation_eur = 0.0;
+  /// Market purchases minus market revenue.
+  double market_eur = 0.0;
+  double total() const {
+    return imbalance_eur + flex_activation_eur + market_eur;
+  }
+};
+
+/// Evaluates schedules against a problem, maintaining the per-slice net load
+/// so that single-offer moves are O(profile length) instead of O(horizon).
+///
+/// The market layer is folded in analytically per slice: given the net
+/// residual r of a slice, the optimal trade is closed-form (buy up to the
+/// cap while the buy price undercuts the imbalance penalty; sell surplus up
+/// to the cap while the sell price is positive), so search only has to
+/// explore start times and fill levels.
+class CostEvaluator {
+ public:
+  /// `problem` must outlive the evaluator and must be Validate()d.
+  explicit CostEvaluator(const SchedulingProblem& problem);
+
+  /// Replaces the current schedule, recomputing state from scratch. Invalid
+  /// assignments (start outside an offer's window, fill outside [0, 1])
+  /// return OutOfRange.
+  Status SetSchedule(const Schedule& schedule);
+
+  /// Full cost of the current schedule.
+  ScheduleCost Cost() const;
+
+  /// Total cost of `schedule` without disturbing the current state.
+  Result<double> EvaluateTotal(const Schedule& schedule) const;
+
+  /// Cost delta of moving offer `index` to `candidate` from its current
+  /// assignment. Does not change state.
+  Result<double> TryMove(size_t index, const OfferAssignment& candidate) const;
+
+  /// Applies a move (must be valid).
+  Status ApplyMove(size_t index, const OfferAssignment& candidate);
+
+  const Schedule& schedule() const { return schedule_; }
+  const SchedulingProblem& problem() const { return *problem_; }
+
+  /// Net load (baseline + scheduled flex) per horizon slice, before the
+  /// market layer. Useful for imbalance reporting.
+  const std::vector<double>& net_kwh() const { return net_kwh_; }
+
+  /// Converts the current schedule into per-offer scheduled flex-offers.
+  std::vector<flexoffer::ScheduledFlexOffer> ToScheduledOffers() const;
+
+  /// Energy of offer `index` at profile position `j` under fill `lambda`.
+  static double SliceEnergy(const flexoffer::FlexOffer& offer, int64_t j,
+                            double lambda);
+
+ private:
+  /// Marginal cost contribution of one slice given its residual net load.
+  double SliceCost(size_t slice, double residual) const;
+
+  /// Adds (sign=+1) or removes (sign=-1) an assignment from net_ and
+  /// activation cost.
+  void Accumulate(size_t index, const OfferAssignment& a, double sign);
+
+  const SchedulingProblem* problem_;
+  Schedule schedule_;
+  /// Net load (baseline + flex) per horizon slice.
+  std::vector<double> net_kwh_;
+  double flex_activation_eur_ = 0.0;
+};
+
+}  // namespace mirabel::scheduling
+
+#endif  // MIRABEL_SCHEDULING_SCHEDULING_PROBLEM_H_

@@ -1,0 +1,111 @@
+#ifndef MIRABEL_STORAGE_DATA_STORE_H_
+#define MIRABEL_STORAGE_DATA_STORE_H_
+
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace mirabel::storage {
+
+/// The LEDMS Data Management component (paper §3): "all historical and
+/// current time demand/supply, forecasting model parameters, flex-offers,
+/// price and contracts are stored and managed by the Data Management
+/// component."
+///
+/// One DataStore instance backs one LEDMS node. It owns the dimension and
+/// fact tables of the unified multidimensional schema and offers the typed
+/// access paths the other components need:
+///  * measurement append + per-actor time-series extraction (forecasting),
+///  * flex-offer lifecycle transitions (control/aggregation/scheduling),
+///  * price and contract bookkeeping (negotiation, fallback handling).
+class DataStore {
+ public:
+  DataStore();
+
+  // -- Dimensions ------------------------------------------------------------
+
+  Status AddActor(const ActorDim& actor);
+  Result<const ActorDim*> FindActor(flexoffer::ActorId id) const;
+  /// Children of `parent` in the market hierarchy.
+  std::vector<ActorDim> ActorsUnder(flexoffer::ActorId parent) const;
+
+  Status AddEnergyType(const EnergyTypeDim& type);
+  Status AddMarketArea(const MarketAreaDim& area);
+  Result<const MarketAreaDim*> FindMarketArea(int64_t id) const;
+
+  // -- Measurements ----------------------------------------------------------
+
+  /// Appends a measurement; assigns the fact id.
+  int64_t AppendMeasurement(flexoffer::ActorId actor,
+                            flexoffer::TimeSlice slice, EnergyType type,
+                            double energy_kwh);
+
+  /// Per-slice energy of `actor` and `type` over [from, to), missing slices
+  /// as 0. The forecasting component's input.
+  std::vector<double> MeasurementSeries(flexoffer::ActorId actor,
+                                        EnergyType type,
+                                        flexoffer::TimeSlice from,
+                                        flexoffer::TimeSlice to) const;
+
+  size_t num_measurements() const { return measurements_.size(); }
+
+  // -- Flex-offers -----------------------------------------------------------
+
+  /// Stores a new offer in state kOffered; AlreadyExists on duplicate id.
+  Status PutFlexOffer(const flexoffer::FlexOffer& offer);
+
+  Result<const FlexOfferFact*> FindFlexOffer(flexoffer::FlexOfferId id) const;
+
+  /// Legal lifecycle transitions: kOffered -> {kAccepted, kRejected},
+  /// kAccepted -> {kAggregated, kExpired}, kAggregated -> {kScheduled,
+  /// kExpired}, kScheduled -> {kExecuted, kExpired}. FailedPrecondition on
+  /// anything else.
+  Status TransitionFlexOffer(flexoffer::FlexOfferId id, FlexOfferState to);
+
+  /// Attaches the schedule and moves the offer to kScheduled.
+  Status AttachSchedule(const flexoffer::ScheduledFlexOffer& schedule);
+
+  /// Records the negotiated price on the offer fact.
+  Status SetAgreedPrice(flexoffer::FlexOfferId id, double price_eur);
+
+  /// All offers currently in `state`.
+  std::vector<FlexOfferFact> FlexOffersInState(FlexOfferState state) const;
+
+  /// Offers in kOffered/kAccepted/kAggregated whose assignment deadline is
+  /// at or before `now` — candidates for the fallback-to-contract path.
+  std::vector<FlexOfferFact> ExpiredUnscheduled(flexoffer::TimeSlice now) const;
+
+  size_t num_flex_offers() const { return flex_offers_.size(); }
+
+  // -- Prices / contracts ------------------------------------------------------
+
+  int64_t AppendPrice(int64_t market_area, flexoffer::TimeSlice slice,
+                      double buy_eur, double sell_eur);
+  /// Latest price row for (market_area, slice); NotFound when absent.
+  Result<PriceFact> LatestPrice(int64_t market_area,
+                                flexoffer::TimeSlice slice) const;
+
+  int64_t AddContract(flexoffer::ActorId prosumer, flexoffer::ActorId brp,
+                      double tariff_eur_per_kwh, flexoffer::TimeSlice from,
+                      flexoffer::TimeSlice to);
+  /// The open contract covering `prosumer` at `slice`; NotFound when none.
+  Result<ContractFact> OpenContract(flexoffer::ActorId prosumer,
+                                    flexoffer::TimeSlice slice) const;
+
+ private:
+  Table<ActorDim, flexoffer::ActorId> actors_;
+  Table<EnergyTypeDim, int> energy_types_;
+  Table<MarketAreaDim, int64_t> market_areas_;
+  Table<MeasurementFact, int64_t> measurements_;
+  Table<FlexOfferFact, flexoffer::FlexOfferId> flex_offers_;
+  Table<PriceFact, int64_t> prices_;
+  Table<ContractFact, int64_t> contracts_;
+  int64_t next_measurement_id_ = 1;
+  int64_t next_price_id_ = 1;
+  int64_t next_contract_id_ = 1;
+};
+
+}  // namespace mirabel::storage
+
+#endif  // MIRABEL_STORAGE_DATA_STORE_H_

@@ -1,0 +1,134 @@
+#ifndef MIRABEL_STORAGE_SCHEMA_H_
+#define MIRABEL_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "flexoffer/flex_offer.h"
+
+namespace mirabel::storage {
+
+/// The LEDMS Data Management component stores data "using a multidimensional
+/// schema that can be seen as a combination of star and snowflake schemas"
+/// (paper §3, [6]). These are the dimension and fact row types of that
+/// schema. The single unified schema serves actors at all levels; some
+/// actors "only use subparts of the schema, e.g., prosumers nodes do not
+/// make use of market area data."
+
+// ---------------------------------------------------------------------------
+// Dimensions
+// ---------------------------------------------------------------------------
+
+/// Time dimension: one row per time slice, denormalised calendar attributes.
+struct TimeDim {
+  flexoffer::TimeSlice slice = 0;  // primary key
+  int hour_of_day = 0;
+  int slice_of_day = 0;
+  int64_t day = 0;
+  int day_of_week = 0;  // 0 = Monday
+  bool is_weekend = false;
+  bool is_holiday = false;
+};
+
+/// Builds the TimeDim row for a slice (holiday from the deterministic
+/// calendar in datagen or a caller-provided flag).
+TimeDim MakeTimeDim(flexoffer::TimeSlice slice, bool is_holiday);
+
+/// Role of an actor in the harmonized electricity market model [4].
+enum class ActorRole {
+  kProsumer = 1,
+  kBalanceResponsibleParty = 2,
+  kTransmissionSystemOperator = 3,
+};
+
+/// Actor dimension (snowflaked: actors reference their parent actor,
+/// mirroring the prosumer -> BRP -> TSO hierarchy).
+struct ActorDim {
+  flexoffer::ActorId id = 0;  // primary key
+  std::string name;
+  ActorRole role = ActorRole::kProsumer;
+  /// Parent in the market hierarchy; 0 for the root (TSO).
+  flexoffer::ActorId parent = 0;
+};
+
+/// Kind of energy a measurement refers to.
+enum class EnergyType {
+  kConsumption = 1,
+  kProductionWind = 2,
+  kProductionSolar = 3,
+  kProductionOther = 4,
+};
+
+/// Energy-type dimension.
+struct EnergyTypeDim {
+  EnergyType id = EnergyType::kConsumption;  // primary key
+  std::string name;
+  bool is_renewable = false;
+};
+
+/// Market-area dimension (used by BRP/TSO level nodes only).
+struct MarketAreaDim {
+  int64_t id = 0;  // primary key
+  std::string name;
+  std::string country_code;
+};
+
+// ---------------------------------------------------------------------------
+// Facts
+// ---------------------------------------------------------------------------
+
+/// Metered energy per (actor, slice, energy type): the measurement fact.
+struct MeasurementFact {
+  int64_t id = 0;  // primary key
+  flexoffer::ActorId actor = 0;
+  flexoffer::TimeSlice slice = 0;
+  EnergyType energy_type = EnergyType::kConsumption;
+  double energy_kwh = 0.0;
+};
+
+/// Lifecycle state of a stored flex-offer.
+enum class FlexOfferState {
+  kOffered = 0,
+  kAccepted = 1,
+  kAggregated = 2,
+  kScheduled = 3,
+  kExecuted = 4,
+  kExpired = 5,   // timed out -> fallback to the open contract
+  kRejected = 6,
+};
+
+/// Flex-offer fact: the offer payload plus lifecycle bookkeeping.
+struct FlexOfferFact {
+  flexoffer::FlexOfferId id = 0;  // primary key (same as offer.id)
+  flexoffer::FlexOffer offer;
+  FlexOfferState state = FlexOfferState::kOffered;
+  /// Scheduled instantiation once state >= kScheduled.
+  flexoffer::ScheduledFlexOffer schedule;
+  /// Agreed flexibility price (negotiation outcome), EUR.
+  double agreed_price_eur = 0.0;
+};
+
+/// Market price fact per (market area, slice).
+struct PriceFact {
+  int64_t id = 0;  // primary key
+  int64_t market_area = 0;
+  flexoffer::TimeSlice slice = 0;
+  double buy_price_eur = 0.0;
+  double sell_price_eur = 0.0;
+};
+
+/// Contract fact: the standing supply contract between two actors (the "open
+/// contract" prosumers fall back to when flexibilities time out).
+struct ContractFact {
+  int64_t id = 0;  // primary key
+  flexoffer::ActorId prosumer = 0;
+  flexoffer::ActorId brp = 0;
+  /// Flat tariff of the open contract, EUR/kWh.
+  double tariff_eur_per_kwh = 0.0;
+  flexoffer::TimeSlice valid_from = 0;
+  flexoffer::TimeSlice valid_to = 0;
+};
+
+}  // namespace mirabel::storage
+
+#endif  // MIRABEL_STORAGE_SCHEMA_H_

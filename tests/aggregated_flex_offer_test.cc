@@ -1,0 +1,234 @@
+#include "aggregation/aggregated_flex_offer.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/flex_offer_generator.h"
+
+namespace mirabel::aggregation {
+namespace {
+
+using flexoffer::FlexOffer;
+using flexoffer::FlexOfferBuilder;
+using flexoffer::ScheduledFlexOffer;
+
+FlexOffer Offer(uint64_t id, int64_t earliest, int64_t tf, int dur,
+                double emin, double emax) {
+  FlexOffer fo = FlexOfferBuilder(id)
+                     .StartWindow(earliest, earliest + tf)
+                     .AddSlices(dur, emin, emax)
+                     .Build();
+  fo.assignment_before = earliest;
+  return fo;
+}
+
+TEST(BuildAggregateTest, EmptyMemberListRejected) {
+  EXPECT_FALSE(BuildAggregate(1, {}).ok());
+}
+
+TEST(BuildAggregateTest, InvalidMemberRejected) {
+  FlexOffer bad = Offer(1, 10, 4, 2, 1.0, 2.0);
+  bad.profile[0] = {3.0, 1.0};
+  EXPECT_FALSE(BuildAggregate(1, {bad}).ok());
+}
+
+TEST(BuildAggregateTest, SingleMemberAggregateMirrorsOffer) {
+  FlexOffer fo = Offer(1, 10, 4, 2, 1.0, 2.0);
+  auto agg = BuildAggregate(7, {fo});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->macro.id, 7u);
+  EXPECT_EQ(agg->macro.earliest_start, 10);
+  EXPECT_EQ(agg->macro.latest_start, 14);
+  EXPECT_EQ(agg->macro.Duration(), 2);
+  EXPECT_DOUBLE_EQ(agg->macro.TotalMinEnergy(), 2.0);
+  EXPECT_DOUBLE_EQ(agg->macro.TotalMaxEnergy(), 4.0);
+  EXPECT_TRUE(agg->Validate().ok());
+  EXPECT_EQ(agg->TotalTimeFlexibilityLoss(), 0);
+}
+
+TEST(BuildAggregateTest, ConservativeTimeWindow) {
+  // Members with different windows: aggregate earliest = min, time flex =
+  // min member flexibility.
+  FlexOffer a = Offer(1, 10, 8, 2, 1.0, 2.0);
+  FlexOffer b = Offer(2, 14, 4, 2, 1.0, 2.0);
+  auto agg = BuildAggregate(1, {a, b});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->macro.earliest_start, 10);
+  EXPECT_EQ(agg->macro.TimeFlexibility(), 4);
+  EXPECT_TRUE(agg->Validate().ok());
+  // Loss: a loses 8-4=4, b loses 0.
+  EXPECT_EQ(agg->TotalTimeFlexibilityLoss(), 4);
+}
+
+TEST(BuildAggregateTest, ProfileSumsWithOffsets) {
+  FlexOffer a = Offer(1, 10, 4, 2, 1.0, 2.0);
+  FlexOffer b = Offer(2, 11, 4, 2, 0.5, 1.0);
+  auto agg = BuildAggregate(1, {a, b});
+  ASSERT_TRUE(agg.ok());
+  // Aggregate profile spans slices 10..13 relative: [a0, a1+b0, b1].
+  ASSERT_EQ(agg->macro.Duration(), 3);
+  EXPECT_DOUBLE_EQ(agg->macro.profile[0].min_kwh, 1.0);
+  EXPECT_DOUBLE_EQ(agg->macro.profile[1].min_kwh, 1.5);
+  EXPECT_DOUBLE_EQ(agg->macro.profile[2].min_kwh, 0.5);
+  EXPECT_DOUBLE_EQ(agg->macro.profile[1].max_kwh, 3.0);
+  EXPECT_TRUE(agg->Validate().ok());
+}
+
+TEST(BuildAggregateTest, AssignmentDeadlineIsEarliestMemberDeadline) {
+  FlexOffer a = Offer(1, 10, 4, 2, 1.0, 2.0);
+  a.assignment_before = 8;
+  FlexOffer b = Offer(2, 12, 4, 2, 1.0, 2.0);
+  b.assignment_before = 5;
+  auto agg = BuildAggregate(1, {a, b});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->macro.assignment_before, 5);
+}
+
+TEST(BuildAggregateTest, MixedConsumptionAndProduction) {
+  FlexOffer load = Offer(1, 10, 4, 2, 1.0, 2.0);
+  FlexOffer gen = Offer(2, 10, 4, 2, -2.0, -1.0);
+  auto agg = BuildAggregate(1, {load, gen});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE(agg->Validate().ok());
+  EXPECT_DOUBLE_EQ(agg->macro.profile[0].min_kwh, -1.0);
+  EXPECT_DOUBLE_EQ(agg->macro.profile[0].max_kwh, 1.0);
+}
+
+TEST(AddMemberTest, MatchesRebuildFromScratch) {
+  Rng rng(21);
+  datagen::FlexOfferWorkloadConfig cfg;
+  cfg.count = 40;
+  cfg.seed = 31;
+  auto offers = datagen::GenerateFlexOffers(cfg);
+
+  auto incremental = BuildAggregate(1, {offers[0]});
+  ASSERT_TRUE(incremental.ok());
+  std::vector<FlexOffer> so_far = {offers[0]};
+  for (size_t i = 1; i < offers.size(); ++i) {
+    ASSERT_TRUE(AddMember(offers[i], &*incremental).ok());
+    so_far.push_back(offers[i]);
+    auto rebuilt = BuildAggregate(1, so_far);
+    ASSERT_TRUE(rebuilt.ok());
+    ASSERT_TRUE(incremental->Validate().ok()) << "after adding " << i;
+    EXPECT_EQ(incremental->macro.earliest_start,
+              rebuilt->macro.earliest_start);
+    EXPECT_EQ(incremental->macro.latest_start, rebuilt->macro.latest_start);
+    ASSERT_EQ(incremental->macro.profile.size(), rebuilt->macro.profile.size());
+    for (size_t j = 0; j < rebuilt->macro.profile.size(); ++j) {
+      EXPECT_NEAR(incremental->macro.profile[j].min_kwh,
+                  rebuilt->macro.profile[j].min_kwh, 1e-9);
+      EXPECT_NEAR(incremental->macro.profile[j].max_kwh,
+                  rebuilt->macro.profile[j].max_kwh, 1e-9);
+    }
+  }
+}
+
+TEST(AddMemberTest, EarlierMemberTriggersOffsetShift) {
+  auto agg = BuildAggregate(1, {Offer(1, 20, 4, 2, 1.0, 2.0)});
+  ASSERT_TRUE(agg.ok());
+  ASSERT_TRUE(AddMember(Offer(2, 15, 6, 2, 1.0, 1.0), &*agg).ok());
+  EXPECT_EQ(agg->macro.earliest_start, 15);
+  EXPECT_TRUE(agg->Validate().ok());
+}
+
+TEST(RemoveMemberTest, RemovesAndRebuilds) {
+  FlexOffer a = Offer(1, 10, 8, 2, 1.0, 2.0);
+  FlexOffer b = Offer(2, 14, 4, 2, 1.0, 2.0);
+  auto agg = BuildAggregate(1, {a, b});
+  ASSERT_TRUE(agg.ok());
+  ASSERT_TRUE(RemoveMember(2, &*agg).ok());
+  EXPECT_EQ(agg->members.size(), 1u);
+  EXPECT_EQ(agg->macro.TimeFlexibility(), 8);
+  EXPECT_TRUE(agg->Validate().ok());
+}
+
+TEST(RemoveMemberTest, UnknownMemberNotFound) {
+  auto agg = BuildAggregate(1, {Offer(1, 10, 4, 2, 1.0, 2.0)});
+  EXPECT_EQ(RemoveMember(99, &*agg).code(), StatusCode::kNotFound);
+}
+
+TEST(RemoveMemberTest, LastMemberRefused) {
+  auto agg = BuildAggregate(1, {Offer(1, 10, 4, 2, 1.0, 2.0)});
+  EXPECT_EQ(RemoveMember(1, &*agg).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DisaggregateTest, InvalidMacroScheduleRejected) {
+  auto agg = BuildAggregate(1, {Offer(1, 10, 4, 2, 1.0, 2.0)});
+  ScheduledFlexOffer s{1, 9, {1.0, 1.0}};  // start before window
+  EXPECT_FALSE(Disaggregate(*agg, s).ok());
+}
+
+TEST(DisaggregateTest, MemberStartsShiftByOffset) {
+  FlexOffer a = Offer(1, 10, 8, 2, 1.0, 2.0);
+  FlexOffer b = Offer(2, 14, 8, 2, 1.0, 2.0);
+  auto agg = BuildAggregate(1, {a, b});
+  ASSERT_TRUE(agg.ok());
+  ScheduledFlexOffer s;
+  s.offer_id = 1;
+  s.start = 12;  // 2 slices into the window
+  s.energies_kwh.assign(agg->macro.profile.size(), 0.0);
+  for (size_t j = 0; j < s.energies_kwh.size(); ++j) {
+    s.energies_kwh[j] = agg->macro.profile[j].min_kwh;
+  }
+  auto micro = Disaggregate(*agg, s);
+  ASSERT_TRUE(micro.ok());
+  EXPECT_EQ((*micro)[0].start, 12);
+  EXPECT_EQ((*micro)[1].start, 16);
+}
+
+/// The paper's disaggregation requirement, tested as a property over random
+/// workloads and random macro schedules: every member schedule respects the
+/// member's constraints and the per-slice sums reproduce the aggregate
+/// schedule exactly.
+class DisaggregationRequirement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DisaggregationRequirement, HoldsForRandomSchedules) {
+  Rng rng(GetParam());
+  datagen::FlexOfferWorkloadConfig cfg;
+  cfg.count = 64;
+  cfg.seed = GetParam() * 13 + 1;
+  cfg.production_fraction = 0.25;
+  auto offers = datagen::GenerateFlexOffers(cfg);
+  auto agg = BuildAggregate(5, offers);
+  ASSERT_TRUE(agg.ok());
+  ASSERT_TRUE(agg->Validate().ok());
+
+  for (int trial = 0; trial < 20; ++trial) {
+    ScheduledFlexOffer s;
+    s.offer_id = 5;
+    s.start = agg->macro.earliest_start +
+              rng.UniformInt(0, agg->macro.TimeFlexibility());
+    s.energies_kwh.reserve(agg->macro.profile.size());
+    for (const auto& band : agg->macro.profile) {
+      s.energies_kwh.push_back(
+          band.min_kwh + rng.NextDouble() * band.Flexibility());
+    }
+    ASSERT_TRUE(s.ValidateAgainst(agg->macro).ok());
+
+    auto micro = Disaggregate(*agg, s);
+    ASSERT_TRUE(micro.ok());
+    ASSERT_EQ(micro->size(), offers.size());
+
+    // (1) every member schedule is valid for its offer,
+    // (2) per-slice sums reproduce the macro schedule.
+    std::vector<double> sums(agg->macro.profile.size(), 0.0);
+    for (size_t i = 0; i < micro->size(); ++i) {
+      ASSERT_TRUE((*micro)[i].ValidateAgainst(agg->members[i].offer).ok());
+      int64_t offset = agg->members[i].offset;
+      for (size_t j = 0; j < (*micro)[i].energies_kwh.size(); ++j) {
+        sums[static_cast<size_t>(offset) + j] += (*micro)[i].energies_kwh[j];
+      }
+      EXPECT_EQ((*micro)[i].start, s.start + offset);
+    }
+    for (size_t j = 0; j < sums.size(); ++j) {
+      EXPECT_NEAR(sums[j], s.energies_kwh[j], 1e-6) << "slice " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisaggregationRequirement,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mirabel::aggregation

@@ -1,0 +1,158 @@
+#include "aggregation/bin_packer.h"
+
+#include <gtest/gtest.h>
+
+namespace mirabel::aggregation {
+namespace {
+
+using flexoffer::FlexOffer;
+using flexoffer::FlexOfferBuilder;
+
+FlexOffer Offer(uint64_t id, double energy = 1.0, int64_t tf = 4) {
+  FlexOffer fo = FlexOfferBuilder(id)
+                     .StartWindow(10, 10 + tf)
+                     .AddSlice(energy / 2, energy / 2)
+                     .AddSlice(energy / 2, energy / 2)
+                     .Build();
+  fo.assignment_before = 10;
+  return fo;
+}
+
+GroupUpdate Created(GroupId g, std::vector<FlexOffer> offers) {
+  GroupUpdate u;
+  u.kind = UpdateKind::kCreated;
+  u.group = g;
+  u.added = std::move(offers);
+  return u;
+}
+
+TEST(BinPackerTest, SplitsByMaxOffers) {
+  BinPackerBounds bounds;
+  bounds.max_offers = 3;
+  BinPacker packer(bounds);
+  std::vector<FlexOffer> offers;
+  for (uint64_t i = 1; i <= 8; ++i) offers.push_back(Offer(i));
+  auto updates = packer.Process({Created(1, offers)});
+  // 8 offers / max 3 -> bins of 3, 3, 2.
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_EQ(updates[0].members.size(), 3u);
+  EXPECT_EQ(updates[1].members.size(), 3u);
+  EXPECT_EQ(updates[2].members.size(), 2u);
+  EXPECT_EQ(packer.num_sub_groups(), 3u);
+}
+
+TEST(BinPackerTest, SplitsByEnergyBound) {
+  BinPackerBounds bounds;
+  bounds.max_total_energy_kwh = 2.5;
+  BinPacker packer(bounds);
+  std::vector<FlexOffer> offers;
+  for (uint64_t i = 1; i <= 5; ++i) offers.push_back(Offer(i, 1.0));
+  auto updates = packer.Process({Created(1, offers)});
+  ASSERT_EQ(updates.size(), 3u);  // 2+2+1
+  EXPECT_EQ(updates[0].members.size(), 2u);
+}
+
+TEST(BinPackerTest, SplitsByTimeFlexibilityBound) {
+  BinPackerBounds bounds;
+  bounds.max_total_time_flexibility = 8;
+  BinPacker packer(bounds);
+  std::vector<FlexOffer> offers;
+  for (uint64_t i = 1; i <= 4; ++i) offers.push_back(Offer(i, 1.0, 4));
+  auto updates = packer.Process({Created(1, offers)});
+  ASSERT_EQ(updates.size(), 2u);  // tf 4 each, cap 8 -> pairs
+  EXPECT_EQ(updates[0].members.size(), 2u);
+}
+
+TEST(BinPackerTest, MinOffersMergesTrailingBin) {
+  BinPackerBounds bounds;
+  bounds.max_offers = 3;
+  bounds.min_offers = 2;
+  BinPacker packer(bounds);
+  std::vector<FlexOffer> offers;
+  for (uint64_t i = 1; i <= 7; ++i) offers.push_back(Offer(i));
+  auto updates = packer.Process({Created(1, offers)});
+  // 3+3+1 -> trailing singleton folds into the previous bin: 3+4.
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_EQ(updates[0].members.size(), 3u);
+  EXPECT_EQ(updates[1].members.size(), 4u);
+}
+
+TEST(BinPackerTest, GroupDeletionDeletesSubGroups) {
+  BinPackerBounds bounds;
+  bounds.max_offers = 2;
+  BinPacker packer(bounds);
+  std::vector<FlexOffer> offers;
+  for (uint64_t i = 1; i <= 4; ++i) offers.push_back(Offer(i));
+  packer.Process({Created(1, offers)});
+  EXPECT_EQ(packer.num_sub_groups(), 2u);
+  GroupUpdate del;
+  del.kind = UpdateKind::kDeleted;
+  del.group = 1;
+  auto updates = packer.Process({del});
+  ASSERT_EQ(updates.size(), 2u);
+  for (const auto& u : updates) {
+    EXPECT_EQ(u.kind, UpdateKind::kDeleted);
+  }
+  EXPECT_EQ(packer.num_sub_groups(), 0u);
+}
+
+TEST(BinPackerTest, GrowthReusesSubGroupIds) {
+  BinPackerBounds bounds;
+  bounds.max_offers = 2;
+  BinPacker packer(bounds);
+  auto first = packer.Process({Created(1, {Offer(1), Offer(2)})});
+  ASSERT_EQ(first.size(), 1u);
+  SubGroupId original = first[0].sub_group;
+
+  GroupUpdate change;
+  change.kind = UpdateKind::kChanged;
+  change.group = 1;
+  change.added = {Offer(3)};
+  auto second = packer.Process({change});
+  // Bin 1 keeps its id (kChanged), the overflow creates a new sub-group.
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].sub_group, original);
+  EXPECT_EQ(second[0].kind, UpdateKind::kChanged);
+  EXPECT_EQ(second[1].kind, UpdateKind::kCreated);
+}
+
+TEST(BinPackerTest, ShrinkDeletesExcessSubGroups) {
+  BinPackerBounds bounds;
+  bounds.max_offers = 2;
+  BinPacker packer(bounds);
+  packer.Process({Created(1, {Offer(1), Offer(2), Offer(3)})});
+  EXPECT_EQ(packer.num_sub_groups(), 2u);
+
+  GroupUpdate change;
+  change.kind = UpdateKind::kChanged;
+  change.group = 1;
+  change.removed = {2, 3};
+  auto updates = packer.Process({change});
+  EXPECT_EQ(packer.num_sub_groups(), 1u);
+  bool saw_delete = false;
+  for (const auto& u : updates) {
+    if (u.kind == UpdateKind::kDeleted) saw_delete = true;
+  }
+  EXPECT_TRUE(saw_delete);
+}
+
+TEST(BinPackerTest, PackingIsDeterministic) {
+  BinPackerBounds bounds;
+  bounds.max_offers = 3;
+  std::vector<FlexOffer> offers;
+  for (uint64_t i = 1; i <= 9; ++i) offers.push_back(Offer(i));
+  BinPacker a(bounds);
+  BinPacker b(bounds);
+  auto ua = a.Process({Created(1, offers)});
+  auto ub = b.Process({Created(1, offers)});
+  ASSERT_EQ(ua.size(), ub.size());
+  for (size_t i = 0; i < ua.size(); ++i) {
+    ASSERT_EQ(ua[i].members.size(), ub[i].members.size());
+    for (size_t j = 0; j < ua[i].members.size(); ++j) {
+      EXPECT_EQ(ua[i].members[j].id, ub[i].members[j].id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mirabel::aggregation

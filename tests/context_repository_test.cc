@@ -1,0 +1,64 @@
+#include "forecasting/context_repository.h"
+
+#include <gtest/gtest.h>
+
+namespace mirabel::forecasting {
+namespace {
+
+TEST(ContextRepositoryTest, EmptyLookupNotFound) {
+  ContextRepository repo;
+  EXPECT_TRUE(repo.empty());
+  EXPECT_EQ(repo.FindNearest({1.0, 2.0}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ContextRepositoryTest, FindsNearestByEuclideanDistance) {
+  ContextRepository repo;
+  ASSERT_TRUE(repo.Store({0.0, 0.0}, {0.1}, 1.0).ok());
+  ASSERT_TRUE(repo.Store({10.0, 10.0}, {0.9}, 1.0).ok());
+  auto near_origin = repo.FindNearest({1.0, 1.0});
+  ASSERT_TRUE(near_origin.ok());
+  EXPECT_DOUBLE_EQ((*near_origin)[0], 0.1);
+  auto near_far = repo.FindNearest({9.0, 9.0});
+  ASSERT_TRUE(near_far.ok());
+  EXPECT_DOUBLE_EQ((*near_far)[0], 0.9);
+}
+
+TEST(ContextRepositoryTest, TieBrokenByBetterScore) {
+  ContextRepository repo;
+  ASSERT_TRUE(repo.Store({1.0}, {0.5}, 10.0).ok());
+  ASSERT_TRUE(repo.Store({1.0}, {0.7}, 2.0).ok());  // same context, better
+  auto params = repo.FindNearest({1.0});
+  ASSERT_TRUE(params.ok());
+  EXPECT_DOUBLE_EQ((*params)[0], 0.7);
+}
+
+TEST(ContextRepositoryTest, DimensionMismatchRejected) {
+  ContextRepository repo;
+  ASSERT_TRUE(repo.Store({1.0, 2.0}, {0.5}, 1.0).ok());
+  EXPECT_EQ(repo.Store({1.0}, {0.5}, 1.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(repo.FindNearest({1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ContextRepositoryTest, NearestDistance) {
+  ContextRepository repo;
+  ASSERT_TRUE(repo.Store({0.0, 0.0}, {0.1}, 1.0).ok());
+  auto d = repo.NearestDistance({3.0, 4.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 5.0, 1e-12);
+}
+
+TEST(MakeSeriesContextTest, DescriptorShape) {
+  std::vector<double> values(96, 10.0);
+  values.back() = 20.0;
+  auto ctx = MakeSeriesContext(values, 48);
+  ASSERT_EQ(ctx.size(), 3u);
+  EXPECT_NEAR(ctx[0], 10.0 + 10.0 / 48.0, 1e-9);  // mean of last day
+  EXPECT_GT(ctx[1], 0.0);                         // stddev positive
+  EXPECT_DOUBLE_EQ(ctx[2], 2.0);                  // day-of-week feature
+}
+
+}  // namespace
+}  // namespace mirabel::forecasting

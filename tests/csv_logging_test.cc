@@ -1,0 +1,86 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace mirabel {
+namespace {
+
+TEST(CsvTableTest, WritesCsv) {
+  CsvTable table({"name", "count", "ratio"});
+  table.BeginRow();
+  table.AddCell("P0");
+  table.AddInt(1000);
+  table.AddNumber(4.25, 2);
+  table.BeginRow();
+  table.AddCell("P1");
+  table.AddInt(500);
+  table.AddNumber(8.5, 2);
+
+  std::ostringstream out;
+  table.WriteCsv(out);
+  EXPECT_EQ(out.str(), "name,count,ratio\nP0,1000,4.25\nP1,500,8.50\n");
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(CsvTableTest, PrettyAlignsColumns) {
+  CsvTable table({"a", "long_header"});
+  table.BeginRow();
+  table.AddCell("wide-cell-content");
+  table.AddCell("x");
+  std::ostringstream out;
+  table.WritePretty(out);
+  std::string text = out.str();
+  // Both lines must have the same offset for the second column.
+  size_t newline = text.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  size_t header_col = text.find("long_header");
+  size_t value_col = text.find('x', newline) - (newline + 1);
+  ASSERT_NE(header_col, std::string::npos);
+  EXPECT_EQ(header_col, value_col);
+}
+
+TEST(CsvTableTest, NumberPrecision) {
+  CsvTable table({"v"});
+  table.BeginRow();
+  table.AddNumber(3.14159, 3);
+  std::ostringstream out;
+  table.WriteCsv(out);
+  EXPECT_NE(out.str().find("3.142"), std::string::npos);
+}
+
+TEST(LoggingTest, LevelFilterSuppressesBelowThreshold) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // The macro's condition must evaluate to a no-op without side effects.
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  MIRABEL_LOG(kDebug) << count();
+  MIRABEL_LOG(kInfo) << count();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(original);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  double t1 = watch.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  for (int i = 0; i < 100000; ++i) sink += i;
+  double t2 = watch.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), t2 + 1.0);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3, 100.0);
+}
+
+}  // namespace
+}  // namespace mirabel

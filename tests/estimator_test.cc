@@ -1,0 +1,143 @@
+#include "forecasting/estimator.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace mirabel::forecasting {
+namespace {
+
+/// Convex quadratic with minimum at (0.3, 0.7).
+double Quadratic(const std::vector<double>& x) {
+  double a = x[0] - 0.3;
+  double b = x[1] - 0.7;
+  return a * a + b * b;
+}
+
+std::vector<ParamBound> UnitBox(size_t n) {
+  return std::vector<ParamBound>(n, ParamBound{0.0, 1.0});
+}
+
+EstimatorOptions Budget(int evals) {
+  EstimatorOptions opt;
+  opt.time_budget_s = 0.0;  // unlimited time
+  opt.max_evals = evals;
+  opt.seed = 7;
+  return opt;
+}
+
+class EstimatorSuite : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EstimatorSuite, MinimisesQuadratic) {
+  auto estimator = MakeEstimator(GetParam());
+  ASSERT_NE(estimator, nullptr);
+  EstimationResult r =
+      estimator->Estimate(Quadratic, UnitBox(2), Budget(3000));
+  ASSERT_EQ(r.best_params.size(), 2u);
+  EXPECT_LT(r.best_value, 0.01);
+  EXPECT_NEAR(r.best_params[0], 0.3, 0.12);
+  EXPECT_NEAR(r.best_params[1], 0.7, 0.12);
+}
+
+TEST_P(EstimatorSuite, StaysInsideBounds) {
+  auto estimator = MakeEstimator(GetParam());
+  std::vector<ParamBound> box = {{0.2, 0.4}, {0.5, 0.6}};
+  bool violated = false;
+  Objective guarded = [&violated, &box](const std::vector<double>& x) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (x[i] < box[i].lo - 1e-12 || x[i] > box[i].hi + 1e-12) {
+        violated = true;
+      }
+    }
+    return Quadratic(x);
+  };
+  estimator->Estimate(guarded, box, Budget(1000));
+  EXPECT_FALSE(violated);
+}
+
+TEST_P(EstimatorSuite, RespectsEvalBudget) {
+  auto estimator = MakeEstimator(GetParam());
+  int evals = 0;
+  Objective counting = [&evals](const std::vector<double>& x) {
+    ++evals;
+    return Quadratic(x);
+  };
+  EstimationResult r = estimator->Estimate(counting, UnitBox(2), Budget(100));
+  EXPECT_LE(evals, 100 + 2);  // tiny slack for in-flight evaluations
+  EXPECT_EQ(r.evals, std::min(evals, 100));
+}
+
+TEST_P(EstimatorSuite, TraceIsMonotoneDecreasing) {
+  auto estimator = MakeEstimator(GetParam());
+  EstimationResult r =
+      estimator->Estimate(Quadratic, UnitBox(2), Budget(2000));
+  ASSERT_FALSE(r.trace.empty());
+  for (size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LT(r.trace[i].best_value, r.trace[i - 1].best_value);
+    EXPECT_GE(r.trace[i].time_s, r.trace[i - 1].time_s);
+  }
+  EXPECT_DOUBLE_EQ(r.trace.back().best_value, r.best_value);
+}
+
+TEST_P(EstimatorSuite, DeterministicForFixedSeed) {
+  auto a = MakeEstimator(GetParam())->Estimate(Quadratic, UnitBox(2),
+                                               Budget(500));
+  auto b = MakeEstimator(GetParam())->Estimate(Quadratic, UnitBox(2),
+                                               Budget(500));
+  EXPECT_DOUBLE_EQ(a.best_value, b.best_value);
+  EXPECT_EQ(a.best_params, b.best_params);
+}
+
+TEST_P(EstimatorSuite, SurvivesInfiniteObjectiveRegions) {
+  auto estimator = MakeEstimator(GetParam());
+  Objective spiky = [](const std::vector<double>& x) {
+    if (x[0] > 0.8) return std::numeric_limits<double>::infinity();
+    return Quadratic(x);
+  };
+  EstimationResult r = estimator->Estimate(spiky, UnitBox(2), Budget(2000));
+  EXPECT_TRUE(std::isfinite(r.best_value));
+  EXPECT_LE(r.best_params[0], 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EstimatorSuite,
+                         ::testing::Values("NelderMead",
+                                           "RandomRestartNelderMead",
+                                           "SimulatedAnnealing",
+                                           "RandomSearch"),
+                         [](const auto& info) { return info.param; });
+
+TEST(EstimatorFactoryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeEstimator("GradientDescent"), nullptr);
+}
+
+TEST(NelderMeadTest, WarmStartConverges) {
+  NelderMeadEstimator warm({0.31, 0.69});
+  EstimationResult r = warm.Estimate(Quadratic, UnitBox(2), Budget(300));
+  EXPECT_LT(r.best_value, 1e-6);
+}
+
+TEST(RandomRestartTest, EscapesLocalMinimum) {
+  // Two basins: a shallow local minimum near 0.1 and the global one at 0.9.
+  Objective two_wells = [](const std::vector<double>& x) {
+    double local = 0.5 + 10.0 * (x[0] - 0.1) * (x[0] - 0.1);
+    double global = 50.0 * (x[0] - 0.9) * (x[0] - 0.9);
+    return std::min(local, global);
+  };
+  RandomRestartNelderMeadEstimator estimator;
+  EstimationResult r =
+      estimator.Estimate(two_wells, UnitBox(1), Budget(4000));
+  EXPECT_NEAR(r.best_params[0], 0.9, 0.05);
+}
+
+TEST(SimulatedAnnealingTest, CustomConfigWorks) {
+  SimulatedAnnealingEstimator::Config cfg;
+  cfg.initial_temperature = 2.0;
+  cfg.cooling = 0.99;
+  cfg.step_scale = 0.2;
+  SimulatedAnnealingEstimator estimator(cfg);
+  EstimationResult r =
+      estimator.Estimate(Quadratic, UnitBox(2), Budget(3000));
+  EXPECT_LT(r.best_value, 0.02);
+}
+
+}  // namespace
+}  // namespace mirabel::forecasting

@@ -1,0 +1,82 @@
+#include "forecasting/flex_offer_forecaster.h"
+
+#include <gtest/gtest.h>
+
+#include "flexoffer/time_slice.h"
+
+namespace mirabel::forecasting {
+namespace {
+
+using flexoffer::FlexOffer;
+using flexoffer::FlexOfferBuilder;
+using flexoffer::kSlicesPerDay;
+
+/// A repeating daily pattern of offers over `days` days: every day one offer
+/// at 08:00 (2 slices, [1,2] kWh each) and one at 19:00 (1 slice, [3,4]).
+std::vector<FlexOffer> DailyOffers(int days) {
+  std::vector<FlexOffer> out;
+  uint64_t id = 1;
+  for (int d = 0; d < days; ++d) {
+    int64_t base = static_cast<int64_t>(d) * kSlicesPerDay;
+    out.push_back(FlexOfferBuilder(id++)
+                      .StartWindow(base + 32, base + 40)
+                      .AddSlices(2, 1.0, 2.0)
+                      .Build());
+    out.push_back(FlexOfferBuilder(id++)
+                      .StartWindow(base + 76, base + 80)
+                      .AddSlice(3.0, 4.0)
+                      .Build());
+  }
+  return out;
+}
+
+TEST(FlexOfferForecasterTest, BuildSeriesSumsAnchoredProfiles) {
+  auto offers = DailyOffers(1);
+  auto [min_series, max_series] =
+      FlexOfferForecaster::BuildSeries(offers, 0, kSlicesPerDay);
+  ASSERT_EQ(min_series.size(), static_cast<size_t>(kSlicesPerDay));
+  EXPECT_DOUBLE_EQ(min_series.at(32), 1.0);
+  EXPECT_DOUBLE_EQ(min_series.at(33), 1.0);
+  EXPECT_DOUBLE_EQ(max_series.at(33), 2.0);
+  EXPECT_DOUBLE_EQ(min_series.at(76), 3.0);
+  EXPECT_DOUBLE_EQ(max_series.at(76), 4.0);
+  EXPECT_DOUBLE_EQ(min_series.at(50), 0.0);
+}
+
+TEST(FlexOfferForecasterTest, ClipsOutsideWindow) {
+  auto offers = DailyOffers(2);
+  auto [min_series, max_series] =
+      FlexOfferForecaster::BuildSeries(offers, 0, kSlicesPerDay);
+  // Day-2 offers fall outside [0, 96) and must not appear.
+  EXPECT_EQ(min_series.size(), static_cast<size_t>(kSlicesPerDay));
+  double total = 0.0;
+  for (size_t i = 0; i < min_series.size(); ++i) total += min_series.at(i);
+  EXPECT_DOUBLE_EQ(total, 2.0 + 3.0);
+}
+
+TEST(FlexOfferForecasterTest, ForecastBeforeTrainFails) {
+  FlexOfferForecaster forecaster;
+  EXPECT_FALSE(forecaster.Forecast(96).ok());
+}
+
+TEST(FlexOfferForecasterTest, ForecastsRepeatingPattern) {
+  auto offers = DailyOffers(14);
+  FlexOfferForecaster forecaster({kSlicesPerDay});
+  ASSERT_TRUE(
+      forecaster.Train(offers, 0, 14 * kSlicesPerDay, {0.1, 500, 3}).ok());
+  auto bands = forecaster.Forecast(kSlicesPerDay);
+  ASSERT_TRUE(bands.ok());
+  ASSERT_EQ(bands->size(), static_cast<size_t>(kSlicesPerDay));
+  // Pattern slices should forecast substantially more energy than the rest.
+  EXPECT_GT((*bands)[32].max_kwh, 1.0);
+  EXPECT_GT((*bands)[76].max_kwh, 2.0);
+  EXPECT_LT((*bands)[50].max_kwh, 1.0);
+  // Bands are sane everywhere.
+  for (const auto& band : *bands) {
+    EXPECT_GE(band.min_kwh, 0.0);
+    EXPECT_GE(band.max_kwh, band.min_kwh);
+  }
+}
+
+}  // namespace
+}  // namespace mirabel::forecasting

@@ -1,0 +1,168 @@
+#include "forecasting/hwt_model.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "datagen/energy_series_generator.h"
+
+namespace mirabel::forecasting {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// A noiseless series with daily (period 48) and weekly (336) cycles.
+std::vector<double> SeasonalSignal(int days) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(days) * 48);
+  for (int t = 0; t < days * 48; ++t) {
+    double daily = 10.0 * std::sin(2.0 * kPi * (t % 48) / 48.0);
+    double weekly = 4.0 * std::sin(2.0 * kPi * (t % 336) / 336.0);
+    out.push_back(100.0 + daily + weekly);
+  }
+  return out;
+}
+
+TEST(HwtModelTest, ParamCountAndBounds) {
+  HwtModel model({48, 336});
+  EXPECT_EQ(model.NumParams(), 4u);  // alpha, 2 gammas, phi
+  auto bounds = model.Bounds();
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(bounds[0].hi, 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3].hi, 0.99);
+}
+
+TEST(HwtModelTest, RejectsWrongParamCount) {
+  HwtModel model({48});
+  TimeSeries series(SeasonalSignal(7), 48);
+  EXPECT_FALSE(model.FitWithParams(series, {0.1}).ok());
+}
+
+TEST(HwtModelTest, RejectsOutOfRangeParams) {
+  HwtModel model({48});
+  TimeSeries series(SeasonalSignal(7), 48);
+  EXPECT_FALSE(model.FitWithParams(series, {1.5, 0.1, 0.1}).ok());
+  EXPECT_FALSE(model.FitWithParams(series, {-0.1, 0.1, 0.1}).ok());
+}
+
+TEST(HwtModelTest, RejectsShortSeries) {
+  HwtModel model({48, 336});
+  TimeSeries series(SeasonalSignal(7), 48);  // < 2 weekly cycles
+  EXPECT_FALSE(model.FitWithParams(series, model.DefaultParams()).ok());
+}
+
+TEST(HwtModelTest, ForecastBeforeFitFails) {
+  HwtModel model({48});
+  EXPECT_FALSE(model.Forecast(10).ok());
+  EXPECT_FALSE(model.Update(1.0).ok());
+}
+
+TEST(HwtModelTest, InvalidHorizonFails) {
+  HwtModel model({48});
+  TimeSeries series(SeasonalSignal(7), 48);
+  ASSERT_TRUE(model.FitWithParams(series, model.DefaultParams()).ok());
+  EXPECT_FALSE(model.Forecast(0).ok());
+  EXPECT_FALSE(model.Forecast(-3).ok());
+}
+
+TEST(HwtModelTest, FitsPureSeasonalSignalAccurately) {
+  HwtModel model({48, 336});
+  std::vector<double> signal = SeasonalSignal(22);
+  TimeSeries train(std::vector<double>(signal.begin(), signal.end() - 336),
+                   48);
+  auto sse = model.FitWithParams(train, {0.05, 0.3, 0.2, 0.0});
+  ASSERT_TRUE(sse.ok());
+  auto forecast = model.Forecast(336);
+  ASSERT_TRUE(forecast.ok());
+  std::vector<double> actual(signal.end() - 336, signal.end());
+  auto smape = Smape(actual, *forecast);
+  ASSERT_TRUE(smape.ok());
+  EXPECT_LT(*smape, 0.01);  // near-perfect on a noiseless signal
+}
+
+TEST(HwtModelTest, ForecastTracksSeasonalShape) {
+  HwtModel model({48});
+  std::vector<double> signal = SeasonalSignal(10);
+  TimeSeries train(signal, 48);
+  ASSERT_TRUE(model.FitWithParams(train, {0.1, 0.3, 0.0}).ok());
+  auto forecast = model.Forecast(48);
+  ASSERT_TRUE(forecast.ok());
+  // The daily peak (slice 12) must be forecast higher than the trough (36).
+  EXPECT_GT((*forecast)[12], (*forecast)[36]);
+}
+
+TEST(HwtModelTest, UpdateMatchesFullRefit) {
+  // Consuming values via Update must land in exactly the same state as a
+  // from-scratch fit of the longer series, since the recursions and the
+  // initialisation window coincide.
+  std::vector<double> signal = SeasonalSignal(20);
+  std::vector<double> params = {0.1, 0.25, 0.15, 0.4};
+
+  HwtModel incremental({48, 336});
+  TimeSeries head(std::vector<double>(signal.begin(), signal.end() - 100), 48);
+  ASSERT_TRUE(incremental.FitWithParams(head, params).ok());
+  for (size_t i = signal.size() - 100; i < signal.size(); ++i) {
+    ASSERT_TRUE(incremental.Update(signal[i]).ok());
+  }
+
+  HwtModel full({48, 336});
+  ASSERT_TRUE(full.FitWithParams(TimeSeries(signal, 48), params).ok());
+
+  auto fa = incremental.Forecast(96);
+  auto fb = full.Forecast(96);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  for (size_t i = 0; i < fa->size(); ++i) {
+    EXPECT_NEAR((*fa)[i], (*fb)[i], 1e-9);
+  }
+}
+
+TEST(HwtModelTest, PhiPropagatesLastError) {
+  HwtModel model({48});
+  std::vector<double> signal = SeasonalSignal(10);
+  TimeSeries train(signal, 48);
+  ASSERT_TRUE(model.FitWithParams(train, {0.0, 0.0, 0.8}).ok());
+  // Inject a large error, then check the next forecasts decay geometrically
+  // toward the seasonal baseline.
+  auto base = model.Forecast(3);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(model.Update((*base)[0] + 100.0).ok());
+  auto bumped = model.Forecast(2);
+  ASSERT_TRUE(bumped.ok());
+  EXPECT_NEAR((*bumped)[0] - (*base)[1], 0.8 * 100.0, 1.0);
+  EXPECT_NEAR((*bumped)[1] - (*base)[2], 0.64 * 100.0, 1.0);
+}
+
+TEST(HwtModelTest, BetterParamsGiveLowerSse) {
+  datagen::DemandSeriesConfig cfg;
+  cfg.days = 21;
+  auto values = datagen::GenerateDemandSeries(cfg);
+  TimeSeries series(values, 48);
+  HwtModel model({48, 336});
+  auto good = model.FitWithParams(series, {0.1, 0.3, 0.2, 0.6});
+  auto bad = model.FitWithParams(series, {0.99, 0.99, 0.99, 0.0});
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());
+  EXPECT_LT(*good, *bad);
+}
+
+/// Property: the in-sample SSE is finite and non-negative for any parameter
+/// vector inside the bounds.
+class HwtParamSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HwtParamSweep, SseFiniteInsideBounds) {
+  double p = GetParam();
+  HwtModel model({48});
+  TimeSeries series(SeasonalSignal(8), 48);
+  auto sse = model.FitWithParams(series, {p, p, std::min(p, 0.99)});
+  ASSERT_TRUE(sse.ok());
+  EXPECT_GE(*sse, 0.0);
+  EXPECT_TRUE(std::isfinite(*sse));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, HwtParamSweep,
+                         ::testing::Values(0.0, 0.05, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace mirabel::forecasting

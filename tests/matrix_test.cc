@@ -1,0 +1,133 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mirabel {
+namespace {
+
+TEST(MatrixTest, TransposeTimesSelf) {
+  Matrix x(3, 2);
+  // [[1,2],[3,4],[5,6]]
+  x.At(0, 0) = 1;
+  x.At(0, 1) = 2;
+  x.At(1, 0) = 3;
+  x.At(1, 1) = 4;
+  x.At(2, 0) = 5;
+  x.At(2, 1) = 6;
+  Matrix g = x.TransposeTimesSelf();
+  EXPECT_DOUBLE_EQ(g.At(0, 0), 35.0);
+  EXPECT_DOUBLE_EQ(g.At(0, 1), 44.0);
+  EXPECT_DOUBLE_EQ(g.At(1, 0), 44.0);
+  EXPECT_DOUBLE_EQ(g.At(1, 1), 56.0);
+}
+
+TEST(MatrixTest, VectorProducts) {
+  Matrix x(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      x.At(r, c) = static_cast<double>(r * 3 + c + 1);
+    }
+  }
+  std::vector<double> v = {1.0, 0.0, -1.0};
+  std::vector<double> xv = x.TimesVector(v);
+  EXPECT_DOUBLE_EQ(xv[0], -2.0);  // 1 - 3
+  EXPECT_DOUBLE_EQ(xv[1], -2.0);  // 4 - 6
+  std::vector<double> w = {2.0, 1.0};
+  std::vector<double> xtw = x.TransposeTimesVector(w);
+  EXPECT_DOUBLE_EQ(xtw[0], 6.0);   // 2*1 + 1*4
+  EXPECT_DOUBLE_EQ(xtw[1], 9.0);   // 2*2 + 1*5
+  EXPECT_DOUBLE_EQ(xtw[2], 12.0);  // 2*3 + 1*6
+}
+
+TEST(SolveSpdTest, SolvesIdentity) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(1, 1) = 1;
+  auto x = SolveSpd(a, {3.0, -4.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*x)[1], -4.0);
+}
+
+TEST(SolveSpdTest, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2]
+  Matrix a(2, 2);
+  a.At(0, 0) = 4;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 3;
+  auto x = SolveSpd(a, {10.0, 9.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.5, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveSpdTest, DimensionMismatch) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(SolveSpd(a, {1.0, 2.0}).ok());
+  Matrix b(2, 2);
+  EXPECT_FALSE(SolveSpd(b, {1.0}).ok());
+}
+
+TEST(LeastSquaresTest, RecoversCoefficients) {
+  // y = 3 + 2*x1 - x2, exactly determined by clean data.
+  Rng rng(5);
+  const size_t n = 50;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x1 = rng.Uniform(-5, 5);
+    double x2 = rng.Uniform(-5, 5);
+    x.At(i, 0) = 1.0;
+    x.At(i, 1) = x1;
+    x.At(i, 2) = x2;
+    y[i] = 3.0 + 2.0 * x1 - x2;
+  }
+  auto beta = SolveLeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 3.0, 1e-9);
+  EXPECT_NEAR((*beta)[1], 2.0, 1e-9);
+  EXPECT_NEAR((*beta)[2], -1.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, NoisyRecoveryIsClose) {
+  Rng rng(6);
+  const size_t n = 2000;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x1 = rng.Uniform(-1, 1);
+    x.At(i, 0) = 1.0;
+    x.At(i, 1) = x1;
+    y[i] = 1.0 + 0.5 * x1 + rng.Gaussian(0.0, 0.1);
+  }
+  auto beta = SolveLeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 1.0, 0.02);
+  EXPECT_NEAR((*beta)[1], 0.5, 0.02);
+}
+
+TEST(LeastSquaresTest, UnderdeterminedIsError) {
+  Matrix x(2, 3);
+  EXPECT_FALSE(SolveLeastSquares(x, {1.0, 2.0}).ok());
+}
+
+TEST(LeastSquaresTest, CollinearColumnsStillSolveViaRidge) {
+  // Two identical columns: singular normal equations; the ridge fallback
+  // must still return some finite solution.
+  Matrix x(10, 2);
+  std::vector<double> y(10);
+  for (size_t i = 0; i < 10; ++i) {
+    x.At(i, 0) = static_cast<double>(i);
+    x.At(i, 1) = static_cast<double>(i);
+    y[i] = 2.0 * static_cast<double>(i);
+  }
+  auto beta = SolveLeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0] + (*beta)[1], 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace mirabel

@@ -1,0 +1,115 @@
+#include "node/message_bus.h"
+
+#include <gtest/gtest.h>
+
+namespace mirabel::node {
+namespace {
+
+Message Ping(NodeId from, NodeId to, flexoffer::TimeSlice at) {
+  Message m;
+  m.type = MessageType::kMeasurement;
+  m.from = from;
+  m.to = to;
+  m.sent_at = at;
+  return m;
+}
+
+TEST(MessageBusTest, DeliversToRegisteredHandler) {
+  MessageBus bus;
+  int received = 0;
+  ASSERT_TRUE(bus.Register(1, [&received](const Message&) { ++received; }).ok());
+  ASSERT_TRUE(bus.Send(Ping(2, 1, 0)).ok());
+  bus.AdvanceTo(0);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(bus.delivered(), 1);
+  EXPECT_EQ(bus.sent(), 1);
+}
+
+TEST(MessageBusTest, DuplicateRegistrationRejected) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.Register(1, [](const Message&) {}).ok());
+  EXPECT_EQ(bus.Register(1, [](const Message&) {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(MessageBusTest, UnknownRecipientFailsAtSend) {
+  MessageBus bus;
+  EXPECT_EQ(bus.Send(Ping(1, 9, 0)).code(), StatusCode::kNotFound);
+}
+
+TEST(MessageBusTest, LatencyDelaysDelivery) {
+  MessageBus::Config cfg;
+  cfg.latency_slices = 3;
+  MessageBus bus(cfg);
+  int received = 0;
+  ASSERT_TRUE(bus.Register(1, [&received](const Message&) { ++received; }).ok());
+  ASSERT_TRUE(bus.Send(Ping(2, 1, 10)).ok());
+  bus.AdvanceTo(12);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus.pending(), 1u);
+  bus.AdvanceTo(13);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(bus.pending(), 0u);
+}
+
+TEST(MessageBusTest, PreservesSendOrder) {
+  MessageBus bus;
+  std::vector<NodeId> order;
+  ASSERT_TRUE(bus.Register(1, [&order](const Message& m) {
+                   order.push_back(m.from);
+                 }).ok());
+  for (NodeId from = 10; from < 15; ++from) {
+    ASSERT_TRUE(bus.Send(Ping(from, 1, 0)).ok());
+  }
+  bus.AdvanceTo(0);
+  EXPECT_EQ(order, (std::vector<NodeId>{10, 11, 12, 13, 14}));
+}
+
+TEST(MessageBusTest, DropsConfiguredFraction) {
+  MessageBus::Config cfg;
+  cfg.drop_probability = 0.5;
+  cfg.seed = 3;
+  MessageBus bus(cfg);
+  int received = 0;
+  ASSERT_TRUE(bus.Register(1, [&received](const Message&) { ++received; }).ok());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(bus.Send(Ping(2, 1, 0)).ok());
+  }
+  bus.AdvanceTo(0);
+  EXPECT_EQ(received + bus.dropped(), 1000);
+  EXPECT_GT(bus.dropped(), 400);
+  EXPECT_LT(bus.dropped(), 600);
+}
+
+TEST(MessageBusTest, HandlersCanSendCascades) {
+  MessageBus bus;
+  int leaf_received = 0;
+  ASSERT_TRUE(bus.Register(2, [&leaf_received](const Message&) {
+                   ++leaf_received;
+                 }).ok());
+  ASSERT_TRUE(bus.Register(1, [&bus](const Message& m) {
+                   // Relay to node 2 at the same slice.
+                   Message relay = m;
+                   relay.from = 1;
+                   relay.to = 2;
+                   (void)bus.Send(relay);
+                 }).ok());
+  ASSERT_TRUE(bus.Send(Ping(9, 1, 5)).ok());
+  bus.AdvanceTo(5);
+  EXPECT_EQ(leaf_received, 1);
+  EXPECT_EQ(bus.delivered(), 2);
+}
+
+TEST(MessageBusTest, FutureMessagesStayQueued) {
+  MessageBus bus;
+  int received = 0;
+  ASSERT_TRUE(bus.Register(1, [&received](const Message&) { ++received; }).ok());
+  ASSERT_TRUE(bus.Send(Ping(2, 1, 100)).ok());
+  bus.AdvanceTo(50);
+  EXPECT_EQ(received, 0);
+  bus.AdvanceTo(100);
+  EXPECT_EQ(received, 1);
+}
+
+}  // namespace
+}  // namespace mirabel::node

@@ -1,0 +1,118 @@
+#include "forecasting/model_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/energy_series_generator.h"
+#include "datagen/weather_generator.h"
+
+namespace mirabel::forecasting {
+namespace {
+
+struct SelectionData {
+  TimeSeries series;
+  ExogenousData exog;
+};
+
+/// Demand strongly driven by temperature: EGRV (which sees the weather)
+/// should clearly beat HWT here.
+SelectionData TemperatureDrivenDemand(int days) {
+  datagen::WeatherConfig wcfg;
+  wcfg.days = days;
+  wcfg.front_ar1 = 0.999;
+  wcfg.front_noise = 0.4;
+  std::vector<double> temp = datagen::GenerateTemperatureSeries(wcfg);
+  Rng rng(3);
+  std::vector<double> values(temp.size());
+  for (size_t t = 0; t < temp.size(); ++t) {
+    double heating = std::max(0.0, 15.0 - temp[t]);
+    values[t] = 1000.0 + 80.0 * heating + 5.0 * (t % 48 >= 16 ? 1 : 0) +
+                rng.Gaussian(0.0, 5.0);
+  }
+  SelectionData out{TimeSeries(values, 48), {}};
+  out.exog.temperature_c = std::move(temp);
+  out.exog.holiday.assign(values.size(), false);
+  return out;
+}
+
+/// Pure multi-seasonal demand with no weather dependence at all: HWT should
+/// be at least competitive, and HWT-only training must work.
+SelectionData SeasonalDemand(int days) {
+  datagen::DemandSeriesConfig cfg;
+  cfg.days = days;
+  cfg.seed = 9;
+  SelectionData out{TimeSeries(datagen::GenerateDemandSeries(cfg), 48), {}};
+  datagen::WeatherConfig wcfg;
+  wcfg.days = days;
+  out.exog.temperature_c = datagen::GenerateTemperatureSeries(wcfg);
+  out.exog.holiday.assign(out.series.size(), false);
+  return out;
+}
+
+AutoForecaster::Config FastConfig() {
+  AutoForecaster::Config cfg;
+  cfg.hwt_estimation = {0.1, 400, 5};
+  return cfg;
+}
+
+TEST(AutoForecasterTest, ForecastBeforeTrainFails) {
+  AutoForecaster forecaster(FastConfig());
+  EXPECT_FALSE(forecaster.Forecast(10).ok());
+  EXPECT_FALSE(forecaster.selected().ok());
+}
+
+TEST(AutoForecasterTest, HwtOnlyTrainingWorks) {
+  AutoForecaster forecaster(FastConfig());
+  SelectionData data = SeasonalDemand(21);
+  ASSERT_TRUE(forecaster.Train(data.series).ok());
+  ASSERT_TRUE(forecaster.selected().ok());
+  EXPECT_EQ(*forecaster.selected(), SelectedModel::kHwt);
+  auto forecast = forecaster.Forecast(48);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast->size(), 48u);
+}
+
+TEST(AutoForecasterTest, PicksEgrvForWeatherDrivenLoad) {
+  AutoForecaster forecaster(FastConfig());
+  SelectionData data = TemperatureDrivenDemand(30);
+  ASSERT_TRUE(forecaster.Train(data.series, data.exog).ok());
+  ASSERT_TRUE(forecaster.selected().ok());
+  EXPECT_EQ(*forecaster.selected(), SelectedModel::kEgrv);
+  EXPECT_LT(forecaster.egrv_holdout_smape(),
+            forecaster.hwt_holdout_smape());
+
+  // Forecasting with the EGRV winner needs future exogenous data.
+  std::vector<double> future_temp(48, 10.0);
+  std::vector<bool> future_holiday(48, false);
+  EXPECT_TRUE(forecaster.Forecast(48, future_temp, future_holiday).ok());
+  EXPECT_FALSE(forecaster.Forecast(48).ok());  // missing exogenous
+}
+
+TEST(AutoForecasterTest, FallsBackToHwtWhenEgrvIsNotBetter) {
+  // Force the fallback by demanding EGRV be 1000x more accurate.
+  AutoForecaster::Config cfg = FastConfig();
+  cfg.accuracy_ratio = 0.001;
+  AutoForecaster forecaster(cfg);
+  SelectionData data = SeasonalDemand(30);
+  ASSERT_TRUE(forecaster.Train(data.series, data.exog).ok());
+  EXPECT_EQ(*forecaster.selected(), SelectedModel::kHwt);
+  EXPECT_TRUE(forecaster.Forecast(48).ok());
+}
+
+TEST(AutoForecasterTest, ExogenousSizeMismatchRejected) {
+  AutoForecaster forecaster(FastConfig());
+  SelectionData data = SeasonalDemand(21);
+  data.exog.holiday.pop_back();
+  EXPECT_FALSE(forecaster.Train(data.series, data.exog).ok());
+}
+
+TEST(AutoForecasterTest, RecordsBothHoldoutScores) {
+  AutoForecaster forecaster(FastConfig());
+  SelectionData data = SeasonalDemand(30);
+  ASSERT_TRUE(forecaster.Train(data.series, data.exog).ok());
+  EXPECT_GE(forecaster.egrv_holdout_smape(), 0.0);
+  EXPECT_GE(forecaster.hwt_holdout_smape(), 0.0);
+}
+
+}  // namespace
+}  // namespace mirabel::forecasting

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "negotiation/flexibility_metrics.h"
+#include "negotiation/negotiator.h"
+#include "negotiation/pricing.h"
+
+namespace mirabel::negotiation {
+namespace {
+
+using flexoffer::FlexOffer;
+using flexoffer::FlexOfferBuilder;
+
+FlexOffer Offer(int64_t assignment_lead, int64_t tf, double flex_per_slice,
+                int dur = 4) {
+  FlexOffer fo = FlexOfferBuilder(1)
+                     .CreatedAt(0)
+                     .AssignBefore(assignment_lead)
+                     .StartWindow(assignment_lead + 4,
+                                  assignment_lead + 4 + tf)
+                     .AddSlices(dur, 1.0, 1.0 + flex_per_slice)
+                     .Build();
+  return fo;
+}
+
+TEST(FlexibilityMetricsTest, ExtractsAllThreeParameters) {
+  FlexOffer fo = Offer(/*assignment_lead=*/20, /*tf=*/12,
+                       /*flex_per_slice=*/0.5);
+  FlexibilityMetrics m = ComputeFlexibilityMetrics(fo);
+  EXPECT_EQ(m.assignment_flexibility, 20);
+  EXPECT_EQ(m.scheduling_flexibility, 12);
+  EXPECT_DOUBLE_EQ(m.energy_flexibility_kwh, 2.0);
+}
+
+TEST(PotentialsTest, SigmoidMidpointGivesHalf) {
+  PotentialConfig cfg;
+  FlexibilityMetrics m;
+  m.assignment_flexibility = static_cast<int64_t>(cfg.assignment.midpoint);
+  m.scheduling_flexibility = static_cast<int64_t>(cfg.scheduling.midpoint);
+  m.energy_flexibility_kwh = cfg.energy.midpoint;
+  FlexibilityPotentials p = ComputePotentials(m, cfg);
+  EXPECT_NEAR(p.assignment, 0.5, 1e-9);
+  EXPECT_NEAR(p.scheduling, 0.5, 1e-9);
+  EXPECT_NEAR(p.energy, 0.5, 1e-9);
+}
+
+TEST(PotentialsTest, MonotoneInEachParameter) {
+  PotentialConfig cfg;
+  FlexibilityMetrics lo{4, 4, 1.0};
+  FlexibilityMetrics hi{40, 40, 20.0};
+  FlexibilityPotentials plo = ComputePotentials(lo, cfg);
+  FlexibilityPotentials phi = ComputePotentials(hi, cfg);
+  EXPECT_LT(plo.assignment, phi.assignment);
+  EXPECT_LT(plo.scheduling, phi.scheduling);
+  EXPECT_LT(plo.energy, phi.energy);
+}
+
+TEST(MonetizePricerTest, MoreFlexibleOffersAreWorthMore) {
+  MonetizeFlexibilityPricer pricer;
+  double rigid = pricer.Value(Offer(4, 0, 0.0));
+  double flexible = pricer.Value(Offer(40, 24, 2.0));
+  EXPECT_GT(flexible, rigid);
+  EXPECT_GT(rigid, 0.0);  // sigmoid never reaches zero
+}
+
+TEST(MonetizePricerTest, EnergyOnlyOfferStillHasValue) {
+  // "Such a flex-offer may still provide a benefit for the BRP if it offers
+  // Energy flexibility" (paper §7): zero scheduling flexibility, big band.
+  MonetizeFlexibilityPricer pricer;
+  double energy_only = pricer.Value(Offer(20, 0, 3.0));
+  double nothing = pricer.Value(Offer(20, 0, 0.0));
+  EXPECT_GT(energy_only, nothing + 0.3);
+}
+
+TEST(MonetizePricerTest, WeightsScaleValue) {
+  MonetizeFlexibilityPricer::Weights heavy;
+  heavy.scheduling_eur = 10.0;
+  MonetizeFlexibilityPricer pricer(heavy, PotentialConfig());
+  MonetizeFlexibilityPricer base;
+  FlexOffer fo = Offer(20, 24, 1.0);
+  EXPECT_GT(pricer.Value(fo), base.Value(fo));
+}
+
+TEST(ProfitSharingTest, SharesPositiveProfit) {
+  ProfitSharingPricer pricer(0.3);
+  EXPECT_NEAR(pricer.Payout(100.0, 60.0), 12.0, 1e-9);
+}
+
+TEST(ProfitSharingTest, NoPayoutOnLoss) {
+  ProfitSharingPricer pricer(0.3);
+  EXPECT_DOUBLE_EQ(pricer.Payout(60.0, 100.0), 0.0);
+}
+
+TEST(ProfitSharingTest, ShareClampedToUnitInterval) {
+  EXPECT_DOUBLE_EQ(ProfitSharingPricer(1.7).prosumer_share(), 1.0);
+  EXPECT_DOUBLE_EQ(ProfitSharingPricer(-0.2).prosumer_share(), 0.0);
+}
+
+TEST(AcceptancePolicyTest, AcceptsProfitableProcessableOffer) {
+  AcceptancePolicy policy;
+  EXPECT_EQ(policy.Evaluate(Offer(20, 24, 1.0)),
+            AcceptancePolicy::Verdict::kAccepted);
+}
+
+TEST(AcceptancePolicyTest, RejectsLateOffer) {
+  AcceptancePolicy::Config cfg;
+  cfg.min_processing_slices = 8;
+  AcceptancePolicy policy(cfg);
+  EXPECT_EQ(policy.Evaluate(Offer(4, 24, 1.0)),
+            AcceptancePolicy::Verdict::kTooLateToProcess);
+}
+
+TEST(AcceptancePolicyTest, RejectsWorthlessOffer) {
+  AcceptancePolicy::Config cfg;
+  cfg.min_value_eur = 2.0;  // above what a rigid offer can reach
+  AcceptancePolicy policy(cfg);
+  EXPECT_EQ(policy.Evaluate(Offer(20, 0, 0.0)),
+            AcceptancePolicy::Verdict::kTooLittleValue);
+}
+
+TEST(NegotiatorTest, AgreesOnFlexibleOffer) {
+  Negotiator negotiator;
+  auto outcome = negotiator.Negotiate(Offer(30, 24, 2.0), 0.0);
+  EXPECT_EQ(outcome.decision, NegotiationOutcome::Decision::kAgreed);
+  EXPECT_GT(outcome.agreed_price_eur, 0.0);
+  EXPECT_LT(outcome.agreed_price_eur, outcome.brp_value_eur);
+}
+
+TEST(NegotiatorTest, BrpKeepsConfiguredMargin) {
+  Negotiator::Config cfg;
+  cfg.brp_margin = 0.5;
+  Negotiator negotiator(cfg);
+  auto outcome = negotiator.Negotiate(Offer(30, 24, 2.0), 0.0);
+  ASSERT_EQ(outcome.decision, NegotiationOutcome::Decision::kAgreed);
+  EXPECT_NEAR(outcome.agreed_price_eur, 0.5 * outcome.brp_value_eur, 1e-9);
+}
+
+TEST(NegotiatorTest, ProsumerRejectsLowballProposal) {
+  Negotiator negotiator;
+  auto outcome = negotiator.Negotiate(Offer(30, 24, 2.0),
+                                      /*reservation_price_eur=*/100.0);
+  EXPECT_EQ(outcome.decision,
+            NegotiationOutcome::Decision::kRejectedByProsumer);
+  EXPECT_DOUBLE_EQ(outcome.agreed_price_eur, 0.0);
+}
+
+TEST(NegotiatorTest, BrpRejectsUnprocessableOffer) {
+  Negotiator::Config cfg;
+  cfg.acceptance.min_processing_slices = 16;
+  Negotiator negotiator(cfg);
+  auto outcome = negotiator.Negotiate(Offer(4, 24, 2.0), 0.0);
+  EXPECT_EQ(outcome.decision, NegotiationOutcome::Decision::kRejectedByBrp);
+}
+
+TEST(NegotiatorTest, SettlesProfitShare) {
+  Negotiator negotiator;
+  EXPECT_NEAR(negotiator.SettleProfitShare(50.0, 30.0, 0.5), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(negotiator.SettleProfitShare(30.0, 50.0, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace mirabel::negotiation

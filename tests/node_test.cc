@@ -1,0 +1,206 @@
+// Unit tests of the individual node types (the simulation tests cover the
+// assembled hierarchy).
+#include <gtest/gtest.h>
+
+#include "node/aggregating_node.h"
+#include "node/prosumer_node.h"
+
+namespace mirabel::node {
+namespace {
+
+ProsumerNode::Config ProsumerConfig(NodeId id, NodeId brp) {
+  ProsumerNode::Config cfg;
+  cfg.id = id;
+  cfg.brp = brp;
+  cfg.offers_per_day = 96.0;  // ~1 per slice: deterministic-ish activity
+  cfg.seed = id;
+  return cfg;
+}
+
+AggregatingNode::Config BrpConfig(NodeId id) {
+  AggregatingNode::Config cfg;
+  cfg.id = id;
+  cfg.negotiate = true;
+  cfg.aggregation.params = aggregation::AggregationParams::P3();
+  cfg.gate_period = 8;
+  cfg.horizon = 96;
+  cfg.scheduler_budget_s = 0.005;
+  cfg.baseline_imbalance_kwh.assign(96 * 10, 5.0);
+  return cfg;
+}
+
+TEST(ProsumerNodeTest, EmitsValidOffersToItsBrp) {
+  MessageBus bus;
+  std::vector<Message> inbox;
+  ASSERT_TRUE(bus.Register(100, [&inbox](const Message& m) {
+                   inbox.push_back(m);
+                 }).ok());
+  ProsumerNode prosumer(ProsumerConfig(1000, 100), &bus);
+  for (flexoffer::TimeSlice t = 0; t < 96; ++t) {
+    prosumer.OnTick(t);
+    bus.AdvanceTo(t);
+  }
+  EXPECT_GT(prosumer.stats().offers_created, 20);
+  EXPECT_EQ(static_cast<int64_t>(inbox.size()),
+            prosumer.stats().offers_created);
+  for (const Message& m : inbox) {
+    EXPECT_EQ(m.type, MessageType::kFlexOffer);
+    EXPECT_EQ(m.from, 1000u);
+    EXPECT_TRUE(m.offer.Validate().ok());
+    EXPECT_EQ(m.offer.owner, 1000u);
+  }
+}
+
+TEST(ProsumerNodeTest, ExpiresUnansweredOffers) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.Register(100, [](const Message&) {}).ok());  // silent BRP
+  ProsumerNode prosumer(ProsumerConfig(1000, 100), &bus);
+  for (flexoffer::TimeSlice t = 0; t < 2 * 96; ++t) {
+    prosumer.OnTick(t);
+    bus.AdvanceTo(t);
+  }
+  // With a mute BRP every sufficiently old offer must have fallen back.
+  EXPECT_GT(prosumer.stats().fallbacks, 0);
+  EXPECT_EQ(prosumer.stats().offers_accepted, 0);
+  EXPECT_EQ(prosumer.stats().offers_executed, 0);
+}
+
+TEST(ProsumerNodeTest, AcceptanceRecordsEarnings) {
+  MessageBus bus;
+  std::vector<Message> inbox;
+  ASSERT_TRUE(bus.Register(100, [&inbox](const Message& m) {
+                   inbox.push_back(m);
+                 }).ok());
+  ProsumerNode prosumer(ProsumerConfig(1000, 100), &bus);
+  // Generate a few offers.
+  for (flexoffer::TimeSlice t = 0; t < 20 && inbox.empty(); ++t) {
+    prosumer.OnTick(t);
+    bus.AdvanceTo(t);
+  }
+  ASSERT_FALSE(inbox.empty());
+  Message accept;
+  accept.type = MessageType::kFlexOfferAccepted;
+  accept.from = 100;
+  accept.to = 1000;
+  accept.sent_at = 20;
+  accept.offer_id = inbox.front().offer.id;
+  accept.value = 1.5;
+  ASSERT_TRUE(bus.Send(accept).ok());
+  bus.AdvanceTo(20);
+  EXPECT_EQ(prosumer.stats().offers_accepted, 1);
+  EXPECT_DOUBLE_EQ(prosumer.stats().earnings_eur, 1.5);
+}
+
+TEST(AggregatingNodeTest, NegotiatesAndAggregatesIncomingOffers) {
+  MessageBus bus;
+  AggregatingNode brp(BrpConfig(100), &bus);
+  std::vector<Message> prosumer_inbox;
+  ASSERT_TRUE(bus.Register(1000, [&prosumer_inbox](const Message& m) {
+                   prosumer_inbox.push_back(m);
+                 }).ok());
+
+  // A well-formed flexible offer arrives.
+  Message msg;
+  msg.type = MessageType::kFlexOffer;
+  msg.from = 1000;
+  msg.to = 100;
+  msg.sent_at = 0;
+  msg.offer = flexoffer::FlexOfferBuilder(42)
+                  .OwnedBy(1000)
+                  .CreatedAt(0)
+                  .AssignBefore(24)
+                  .StartWindow(30, 50)
+                  .AddSlices(4, 1.0, 2.0)
+                  .Build();
+  ASSERT_TRUE(bus.Send(msg).ok());
+  bus.AdvanceTo(0);
+
+  EXPECT_EQ(brp.stats().offers_received, 1);
+  EXPECT_EQ(brp.stats().offers_accepted, 1);
+  ASSERT_EQ(prosumer_inbox.size(), 1u);
+  EXPECT_EQ(prosumer_inbox[0].type, MessageType::kFlexOfferAccepted);
+  EXPECT_GT(prosumer_inbox[0].value, 0.0);
+
+  // The gate fires and the offer gets scheduled + disaggregated back.
+  brp.OnTick(1);
+  bus.AdvanceTo(1);
+  ASSERT_EQ(prosumer_inbox.size(), 2u);
+  EXPECT_EQ(prosumer_inbox[1].type, MessageType::kScheduledFlexOffer);
+  EXPECT_TRUE(prosumer_inbox[1].schedule.ValidateAgainst(msg.offer).ok());
+  EXPECT_EQ(brp.stats().macros_scheduled, 1);
+}
+
+TEST(AggregatingNodeTest, RejectsInflexibleOffer) {
+  MessageBus bus;
+  AggregatingNode::Config cfg = BrpConfig(100);
+  cfg.negotiation.acceptance.min_value_eur = 1.0;
+  AggregatingNode brp(cfg, &bus);
+  std::vector<Message> prosumer_inbox;
+  ASSERT_TRUE(bus.Register(1000, [&prosumer_inbox](const Message& m) {
+                   prosumer_inbox.push_back(m);
+                 }).ok());
+
+  Message msg;
+  msg.type = MessageType::kFlexOffer;
+  msg.from = 1000;
+  msg.to = 100;
+  msg.sent_at = 0;
+  // Rigid offer: no time flexibility, no energy flexibility.
+  msg.offer = flexoffer::FlexOfferBuilder(43)
+                  .OwnedBy(1000)
+                  .CreatedAt(0)
+                  .AssignBefore(24)
+                  .StartWindow(30, 30)
+                  .AddSlices(4, 1.0, 1.0)
+                  .Build();
+  ASSERT_TRUE(bus.Send(msg).ok());
+  bus.AdvanceTo(0);
+  EXPECT_EQ(brp.stats().offers_rejected, 1);
+  ASSERT_EQ(prosumer_inbox.size(), 1u);
+  EXPECT_EQ(prosumer_inbox[0].type, MessageType::kFlexOfferRejected);
+}
+
+TEST(AggregatingNodeTest, ExpiresStaleOffersAtGate) {
+  MessageBus bus;
+  AggregatingNode brp(BrpConfig(100), &bus);
+  ASSERT_TRUE(bus.Register(1000, [](const Message&) {}).ok());
+
+  Message msg;
+  msg.type = MessageType::kFlexOffer;
+  msg.from = 1000;
+  msg.to = 100;
+  msg.sent_at = 0;
+  msg.offer = flexoffer::FlexOfferBuilder(44)
+                  .OwnedBy(1000)
+                  .CreatedAt(0)
+                  .AssignBefore(4)
+                  .StartWindow(6, 10)
+                  .AddSlices(2, 1.0, 2.0)
+                  .Build();
+  ASSERT_TRUE(bus.Send(msg).ok());
+  bus.AdvanceTo(0);
+  ASSERT_EQ(brp.stats().offers_accepted, 1);
+  // First gate fires well past the deadline.
+  brp.OnTick(12);
+  EXPECT_EQ(brp.stats().offers_expired_in_pipeline, 1);
+  EXPECT_EQ(brp.stats().macros_scheduled, 0);
+}
+
+TEST(AggregatingNodeTest, MeasurementsLandInStore) {
+  MessageBus bus;
+  AggregatingNode brp(BrpConfig(100), &bus);
+  Message msg;
+  msg.type = MessageType::kMeasurement;
+  msg.from = 1000;
+  msg.to = 100;
+  msg.sent_at = 7;
+  msg.value = 3.25;
+  ASSERT_TRUE(bus.Send(msg).ok());
+  bus.AdvanceTo(7);
+  auto series = brp.store().MeasurementSeries(
+      1000, storage::EnergyType::kConsumption, 0, 10);
+  EXPECT_DOUBLE_EQ(series[7], 3.25);
+}
+
+}  // namespace
+}  // namespace mirabel::node

@@ -1,0 +1,110 @@
+#include "forecasting/pubsub.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/energy_series_generator.h"
+
+namespace mirabel::forecasting {
+namespace {
+
+struct PubSubFixture : public ::testing::Test {
+  void SetUp() override {
+    ForecasterConfig cfg;
+    cfg.seasonal_periods = {48};
+    cfg.initial_estimation = {0.1, 200, 3};
+    cfg.evaluation = EvaluationStrategy::kTimeBased;
+    cfg.reestimation_interval = 1000000;  // never during these tests
+    forecaster = std::make_unique<Forecaster>(cfg);
+    datagen::DemandSeriesConfig dcfg;
+    dcfg.days = 7;
+    values = datagen::GenerateDemandSeries(dcfg);
+    ASSERT_TRUE(
+        forecaster
+            ->Train(TimeSeries(
+                std::vector<double>(values.begin(), values.end() - 96), 48))
+            .ok());
+    broker = std::make_unique<ForecastBroker>(forecaster.get());
+  }
+
+  std::unique_ptr<Forecaster> forecaster;
+  std::unique_ptr<ForecastBroker> broker;
+  std::vector<double> values;
+};
+
+TEST_F(PubSubFixture, FirstMeasurementAlwaysNotifies) {
+  int calls = 0;
+  broker->Subscribe({24, 0.05},
+                    [&calls](const std::vector<double>&) { ++calls; });
+  ASSERT_TRUE(broker->OnMeasurement(values[values.size() - 96]).ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(broker->notifications_sent(), 1);
+}
+
+TEST_F(PubSubFixture, SmallChangesSuppressed) {
+  int calls = 0;
+  // Huge threshold: nothing after the first notification may fire.
+  broker->Subscribe({24, 10.0},
+                    [&calls](const std::vector<double>&) { ++calls; });
+  for (size_t i = values.size() - 96; i < values.size(); ++i) {
+    ASSERT_TRUE(broker->OnMeasurement(values[i]).ok());
+  }
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(broker->evaluations(), 96);
+  EXPECT_EQ(broker->notifications_sent(), 1);
+}
+
+TEST_F(PubSubFixture, LevelShiftTriggersNotification) {
+  int calls = 0;
+  broker->Subscribe({24, 0.05},
+                    [&calls](const std::vector<double>&) { ++calls; });
+  ASSERT_TRUE(broker->OnMeasurement(values[values.size() - 96]).ok());
+  ASSERT_EQ(calls, 1);
+  // A 3x level jump must push the forecast past the 5% threshold.
+  ASSERT_TRUE(broker->OnMeasurement(values[values.size() - 95] * 3.0).ok());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(PubSubFixture, TighterThresholdNotifiesMore) {
+  int loose_calls = 0;
+  int tight_calls = 0;
+  broker->Subscribe({24, 0.2},
+                    [&loose_calls](const std::vector<double>&) {
+                      ++loose_calls;
+                    });
+  broker->Subscribe({24, 0.001},
+                    [&tight_calls](const std::vector<double>&) {
+                      ++tight_calls;
+                    });
+  for (size_t i = values.size() - 96; i < values.size(); ++i) {
+    ASSERT_TRUE(broker->OnMeasurement(values[i]).ok());
+  }
+  EXPECT_GE(tight_calls, loose_calls);
+  EXPECT_GT(tight_calls, 1);
+}
+
+TEST_F(PubSubFixture, UnsubscribeStopsNotifications) {
+  int calls = 0;
+  SubscriberId id = broker->Subscribe(
+      {24, 0.0}, [&calls](const std::vector<double>&) { ++calls; });
+  ASSERT_TRUE(broker->OnMeasurement(values[values.size() - 96]).ok());
+  ASSERT_TRUE(broker->Unsubscribe(id).ok());
+  ASSERT_TRUE(broker->OnMeasurement(values[values.size() - 95]).ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(broker->num_subscribers(), 0u);
+}
+
+TEST_F(PubSubFixture, UnsubscribeUnknownNotFound) {
+  EXPECT_EQ(broker->Unsubscribe(404).code(), StatusCode::kNotFound);
+}
+
+TEST_F(PubSubFixture, ForecastLengthMatchesSubscription) {
+  std::vector<double> seen;
+  broker->Subscribe({17, 0.05}, [&seen](const std::vector<double>& f) {
+    seen = f;
+  });
+  ASSERT_TRUE(broker->OnMeasurement(values[values.size() - 96]).ok());
+  EXPECT_EQ(seen.size(), 17u);
+}
+
+}  // namespace
+}  // namespace mirabel::forecasting

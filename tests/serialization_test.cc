@@ -1,0 +1,126 @@
+#include "flexoffer/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/flex_offer_generator.h"
+
+namespace mirabel::flexoffer {
+namespace {
+
+FlexOffer SampleOffer() {
+  return FlexOfferBuilder(42)
+      .OwnedBy(7)
+      .CreatedAt(0)
+      .AssignBefore(80)
+      .StartWindow(88, 100)
+      .AddSlice(1.0, 2.0)
+      .AddSlice(0.5, 0.5)
+      .UnitPrice(0.03)
+      .Build();
+}
+
+TEST(SerializationTest, FlexOfferRoundTrip) {
+  FlexOffer original = SampleOffer();
+  std::string json = ToJson(original);
+  auto parsed = FlexOfferFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->id, original.id);
+  EXPECT_EQ(parsed->owner, original.owner);
+  EXPECT_EQ(parsed->creation_time, original.creation_time);
+  EXPECT_EQ(parsed->assignment_before, original.assignment_before);
+  EXPECT_EQ(parsed->earliest_start, original.earliest_start);
+  EXPECT_EQ(parsed->latest_start, original.latest_start);
+  EXPECT_DOUBLE_EQ(parsed->unit_price_eur, original.unit_price_eur);
+  ASSERT_EQ(parsed->profile.size(), original.profile.size());
+  for (size_t i = 0; i < original.profile.size(); ++i) {
+    EXPECT_EQ(parsed->profile[i], original.profile[i]);
+  }
+}
+
+TEST(SerializationTest, ScheduleRoundTrip) {
+  ScheduledFlexOffer s{42, 90, {1.5, 0.5}};
+  auto parsed = ScheduledFlexOfferFromJson(ToJson(s));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->offer_id, 42u);
+  EXPECT_EQ(parsed->start, 90);
+  ASSERT_EQ(parsed->energies_kwh.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->energies_kwh[0], 1.5);
+  EXPECT_DOUBLE_EQ(parsed->energies_kwh[1], 0.5);
+}
+
+TEST(SerializationTest, DoublesRoundTripExactly) {
+  FlexOffer fo = SampleOffer();
+  fo.unit_price_eur = 0.1 + 0.2;  // a value with no short decimal form
+  fo.profile[0].min_kwh = 1.0 / 3.0;
+  auto parsed = FlexOfferFromJson(ToJson(fo));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->unit_price_eur, fo.unit_price_eur);
+  EXPECT_EQ(parsed->profile[0].min_kwh, fo.profile[0].min_kwh);
+}
+
+TEST(SerializationTest, ToleratesWhitespace) {
+  std::string json =
+      "{ \"id\" : 1 , \"owner\": 2, \"created\": 0,\n"
+      "  \"assign_before\": 5, \"earliest\": 5, \"latest\": 9,\n"
+      "  \"unit_price\": 0.5, \"profile\": [ [1.0 , 2.0] ] }";
+  auto parsed = FlexOfferFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->id, 1u);
+  EXPECT_EQ(parsed->TimeFlexibility(), 4);
+}
+
+TEST(SerializationTest, RejectsUnknownKey) {
+  std::string json = ToJson(SampleOffer());
+  json.insert(1, "\"hacker\":1,");
+  EXPECT_EQ(FlexOfferFromJson(json).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, RejectsMissingRequiredKeys) {
+  EXPECT_FALSE(FlexOfferFromJson("{\"id\":1}").ok());
+  EXPECT_FALSE(ScheduledFlexOfferFromJson("{\"start\":1}").ok());
+}
+
+TEST(SerializationTest, RejectsMalformedInput) {
+  EXPECT_FALSE(FlexOfferFromJson("").ok());
+  EXPECT_FALSE(FlexOfferFromJson("[]").ok());
+  EXPECT_FALSE(FlexOfferFromJson("{\"id\":}").ok());
+  EXPECT_FALSE(FlexOfferFromJson("{\"id\":1.5,\"profile\":[[1,2]]}").ok());
+  std::string valid = ToJson(SampleOffer());
+  EXPECT_FALSE(FlexOfferFromJson(valid + "x").ok());
+}
+
+TEST(SerializationTest, RejectsInvalidOfferContent) {
+  // Parses fine but violates the flex-offer invariants (min > max).
+  std::string json =
+      "{\"id\":1,\"owner\":2,\"created\":0,\"assign_before\":5,"
+      "\"earliest\":5,\"latest\":9,\"unit_price\":0.5,"
+      "\"profile\":[[3.0,2.0]]}";
+  EXPECT_EQ(FlexOfferFromJson(json).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, RejectsBadProfileShape) {
+  std::string json =
+      "{\"id\":1,\"owner\":2,\"created\":0,\"assign_before\":5,"
+      "\"earliest\":5,\"latest\":9,\"unit_price\":0.5,"
+      "\"profile\":[[1.0,2.0,3.0]]}";
+  EXPECT_FALSE(FlexOfferFromJson(json).ok());
+}
+
+TEST(SerializationTest, RoundTripsGeneratedWorkload) {
+  datagen::FlexOfferWorkloadConfig cfg;
+  cfg.count = 500;
+  cfg.seed = 8;
+  cfg.production_fraction = 0.3;
+  for (const FlexOffer& fo : datagen::GenerateFlexOffers(cfg)) {
+    auto parsed = FlexOfferFromJson(ToJson(fo));
+    ASSERT_TRUE(parsed.ok()) << fo.ToString();
+    ASSERT_EQ(parsed->profile.size(), fo.profile.size());
+    EXPECT_EQ(parsed->earliest_start, fo.earliest_start);
+    EXPECT_EQ(parsed->TotalMaxEnergy(), fo.TotalMaxEnergy());
+  }
+}
+
+}  // namespace
+}  // namespace mirabel::flexoffer

@@ -1,0 +1,124 @@
+#include "node/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace mirabel::node {
+namespace {
+
+SimulationConfig SmallConfig() {
+  SimulationConfig cfg;
+  cfg.num_brps = 2;
+  cfg.prosumers_per_brp = 8;
+  cfg.days = 1;
+  cfg.offers_per_day = 6.0;
+  cfg.scheduler_budget_s = 0.01;
+  cfg.seed = 5;
+  return cfg;
+}
+
+/// Lifecycle conservation invariants that must hold for any run.
+void CheckInvariants(const SimulationReport& r) {
+  EXPECT_GE(r.offers_created, r.offers_accepted);
+  EXPECT_GE(r.offers_accepted, r.schedules_received);
+  EXPECT_EQ(r.schedules_received, r.offers_executed);
+  // Every created offer ends up accepted-or-rejected-or-pending; fallbacks
+  // cannot exceed what was created.
+  EXPECT_LE(r.fallbacks, r.offers_created);
+  EXPECT_GE(r.messages_sent, r.messages_delivered);
+  EXPECT_EQ(r.messages_sent, r.messages_delivered + r.messages_dropped +
+                                 static_cast<int64_t>(0));
+}
+
+TEST(SimulationTest, TwoLevelRunsAndSchedules) {
+  EdmsSimulation sim(SmallConfig());
+  SimulationReport report = sim.Run();
+  CheckInvariants(report);
+  EXPECT_GT(report.offers_created, 20);
+  EXPECT_GT(report.offers_accepted, 0);
+  EXPECT_GT(report.schedules_received, 0);
+  EXPECT_GT(report.scheduling_runs, 0);
+  EXPECT_EQ(report.messages_dropped, 0);
+}
+
+TEST(SimulationTest, SchedulingReducesImbalance) {
+  SimulationConfig cfg = SmallConfig();
+  cfg.days = 2;
+  EdmsSimulation sim(cfg);
+  SimulationReport report = sim.Run();
+  EXPECT_GT(report.imbalance_before_kwh, 0.0);
+  EXPECT_LE(report.imbalance_after_kwh, report.imbalance_before_kwh);
+}
+
+TEST(SimulationTest, ThreeLevelForwardsThroughTso) {
+  SimulationConfig cfg = SmallConfig();
+  cfg.use_tso = true;
+  EdmsSimulation sim(cfg);
+  SimulationReport report = sim.Run();
+  CheckInvariants(report);
+  ASSERT_NE(sim.tso(), nullptr);
+  // The TSO received macro offers from the BRPs and ran the scheduler.
+  EXPECT_GT(sim.tso()->stats().offers_received, 0);
+  EXPECT_GT(sim.tso()->stats().scheduling_runs, 0);
+  EXPECT_GT(report.schedules_received, 0);
+}
+
+TEST(SimulationTest, DeterministicForFixedSeed) {
+  // Wall-clock budgets can vary which schedule wins, but not the lifecycle
+  // counts: the same offers arrive, pass negotiation, and get scheduled.
+  SimulationConfig cfg = SmallConfig();
+  EdmsSimulation a(cfg);
+  EdmsSimulation b(cfg);
+  SimulationReport ra = a.Run();
+  SimulationReport rb = b.Run();
+  EXPECT_EQ(ra.offers_created, rb.offers_created);
+  EXPECT_EQ(ra.offers_accepted, rb.offers_accepted);
+  EXPECT_EQ(ra.messages_sent, rb.messages_sent);
+}
+
+TEST(SimulationTest, MessageLossDegradesGracefully) {
+  SimulationConfig cfg = SmallConfig();
+  cfg.days = 2;
+  cfg.bus.drop_probability = 0.10;
+  EdmsSimulation sim(cfg);
+  SimulationReport report = sim.Run();
+  CheckInvariants(report);
+  EXPECT_GT(report.messages_dropped, 0);
+  // The system still makes progress: some offers are scheduled, the lost
+  // ones fall back, nothing crashes or wedges.
+  EXPECT_GT(report.schedules_received, 0);
+  EXPECT_GT(report.fallbacks, 0);
+}
+
+TEST(SimulationTest, LatencyStillDeliversSchedules) {
+  SimulationConfig cfg = SmallConfig();
+  cfg.days = 2;
+  cfg.bus.latency_slices = 2;
+  EdmsSimulation sim(cfg);
+  SimulationReport report = sim.Run();
+  CheckInvariants(report);
+  EXPECT_GT(report.schedules_received, 0);
+}
+
+TEST(SimulationTest, ExecutedSchedulesRespectOfferConstraints) {
+  SimulationConfig cfg = SmallConfig();
+  EdmsSimulation sim(cfg);
+  (void)sim.Run();
+  for (const auto& prosumer : sim.prosumers()) {
+    for (const auto& fact : prosumer->store().FlexOffersInState(
+             storage::FlexOfferState::kExecuted)) {
+      EXPECT_TRUE(fact.schedule.ValidateAgainst(fact.offer).ok());
+    }
+  }
+}
+
+TEST(SimulationTest, ProsumerEarningsMatchAcceptedPrices) {
+  SimulationConfig cfg = SmallConfig();
+  EdmsSimulation sim(cfg);
+  SimulationReport report = sim.Run();
+  if (report.offers_accepted > 0) {
+    EXPECT_GT(report.prosumer_earnings_eur, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mirabel::node

@@ -1,0 +1,216 @@
+#include "storage/data_store.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace mirabel::storage {
+namespace {
+
+using flexoffer::FlexOffer;
+using flexoffer::FlexOfferBuilder;
+using flexoffer::ScheduledFlexOffer;
+
+TEST(TableTest, InsertFindErase) {
+  struct Row {
+    int64_t id;
+    int payload;
+  };
+  Table<Row> table([](const Row& r) { return r.id; });
+  ASSERT_TRUE(table.Insert({1, 10}).ok());
+  ASSERT_TRUE(table.Insert({2, 20}).ok());
+  EXPECT_EQ(table.Insert({1, 99}).code(), StatusCode::kAlreadyExists);
+  auto row = table.Find(2);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)->payload, 20);
+  ASSERT_TRUE(table.Erase(1).ok());
+  EXPECT_FALSE(table.Find(1).ok());
+  EXPECT_EQ(table.Erase(1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(TableTest, UpsertReplaces) {
+  struct Row {
+    int64_t id;
+    int payload;
+  };
+  Table<Row> table([](const Row& r) { return r.id; });
+  table.Upsert({1, 10});
+  table.Upsert({1, 20});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ((*table.Find(1))->payload, 20);
+}
+
+TEST(TableTest, EraseKeepsIndexConsistent) {
+  struct Row {
+    int64_t id;
+  };
+  Table<Row> table([](const Row& r) { return r.id; });
+  for (int64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(table.Insert({i}).ok());
+  }
+  ASSERT_TRUE(table.Erase(3).ok());  // swap-with-last moves row 10
+  for (int64_t i = 1; i <= 10; ++i) {
+    EXPECT_EQ(table.Find(i).ok(), i != 3) << i;
+  }
+}
+
+TEST(TableTest, ScanFilters) {
+  struct Row {
+    int64_t id;
+    bool flag;
+  };
+  Table<Row> table([](const Row& r) { return r.id; });
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.Insert({i, i % 2 == 0}).ok());
+  }
+  auto hits = table.Scan([](const Row& r) { return r.flag; });
+  EXPECT_EQ(hits.size(), 5u);
+}
+
+TEST(TimeDimTest, DenormalisedAttributes) {
+  TimeDim t = MakeTimeDim(flexoffer::DaysToSlices(5) + 37, true);
+  EXPECT_EQ(t.day, 5);
+  EXPECT_EQ(t.day_of_week, 5);
+  EXPECT_TRUE(t.is_weekend);
+  EXPECT_TRUE(t.is_holiday);
+  EXPECT_EQ(t.hour_of_day, 9);
+  EXPECT_EQ(t.slice_of_day, 37);
+}
+
+TEST(DataStoreTest, ActorHierarchy) {
+  DataStore store;
+  ASSERT_TRUE(store.AddActor({1, "tso", ActorRole::kTransmissionSystemOperator, 0}).ok());
+  ASSERT_TRUE(store.AddActor({2, "brp", ActorRole::kBalanceResponsibleParty, 1}).ok());
+  ASSERT_TRUE(store.AddActor({3, "alice", ActorRole::kProsumer, 2}).ok());
+  ASSERT_TRUE(store.AddActor({4, "bob", ActorRole::kProsumer, 2}).ok());
+  EXPECT_EQ(store.AddActor({1, "dup", ActorRole::kProsumer, 0}).code(),
+            StatusCode::kAlreadyExists);
+  auto kids = store.ActorsUnder(2);
+  EXPECT_EQ(kids.size(), 2u);
+  ASSERT_TRUE(store.FindActor(3).ok());
+  EXPECT_FALSE(store.FindActor(99).ok());
+}
+
+TEST(DataStoreTest, MeasurementSeriesAccumulates) {
+  DataStore store;
+  store.AppendMeasurement(1, 10, EnergyType::kConsumption, 2.0);
+  store.AppendMeasurement(1, 10, EnergyType::kConsumption, 1.0);
+  store.AppendMeasurement(1, 11, EnergyType::kConsumption, 5.0);
+  store.AppendMeasurement(1, 11, EnergyType::kProductionWind, 9.0);
+  store.AppendMeasurement(2, 10, EnergyType::kConsumption, 7.0);
+  auto series = store.MeasurementSeries(1, EnergyType::kConsumption, 10, 13);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 3.0);
+  EXPECT_DOUBLE_EQ(series[1], 5.0);
+  EXPECT_DOUBLE_EQ(series[2], 0.0);
+}
+
+FlexOffer MakeOffer(uint64_t id) {
+  FlexOffer fo = FlexOfferBuilder(id)
+                     .CreatedAt(0)
+                     .AssignBefore(8)
+                     .StartWindow(10, 20)
+                     .AddSlices(2, 1.0, 2.0)
+                     .Build();
+  return fo;
+}
+
+TEST(DataStoreTest, FlexOfferLifecycleHappyPath) {
+  DataStore store;
+  ASSERT_TRUE(store.PutFlexOffer(MakeOffer(1)).ok());
+  EXPECT_EQ(store.PutFlexOffer(MakeOffer(1)).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(store.TransitionFlexOffer(1, FlexOfferState::kAccepted).ok());
+  ASSERT_TRUE(store.TransitionFlexOffer(1, FlexOfferState::kAggregated).ok());
+  ScheduledFlexOffer s{1, 12, {1.5, 1.5}};
+  ASSERT_TRUE(store.AttachSchedule(s).ok());
+  EXPECT_EQ((*store.FindFlexOffer(1))->state, FlexOfferState::kScheduled);
+  ASSERT_TRUE(store.TransitionFlexOffer(1, FlexOfferState::kExecuted).ok());
+}
+
+TEST(DataStoreTest, IllegalTransitionsRejected) {
+  DataStore store;
+  ASSERT_TRUE(store.PutFlexOffer(MakeOffer(1)).ok());
+  // Offered -> Scheduled skips acceptance.
+  EXPECT_EQ(store.TransitionFlexOffer(1, FlexOfferState::kScheduled).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(store.TransitionFlexOffer(1, FlexOfferState::kRejected).ok());
+  // Terminal states admit nothing.
+  EXPECT_FALSE(store.TransitionFlexOffer(1, FlexOfferState::kAccepted).ok());
+  EXPECT_EQ(store.TransitionFlexOffer(42, FlexOfferState::kAccepted).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DataStoreTest, AttachScheduleValidatesAgainstOffer) {
+  DataStore store;
+  ASSERT_TRUE(store.PutFlexOffer(MakeOffer(1)).ok());
+  ASSERT_TRUE(store.TransitionFlexOffer(1, FlexOfferState::kAccepted).ok());
+  ScheduledFlexOffer bad{1, 30, {1.5, 1.5}};  // start outside window
+  EXPECT_FALSE(store.AttachSchedule(bad).ok());
+  ScheduledFlexOffer unknown{7, 12, {1.5, 1.5}};
+  EXPECT_EQ(store.AttachSchedule(unknown).code(), StatusCode::kNotFound);
+}
+
+TEST(DataStoreTest, ExpiredUnscheduledQuery) {
+  DataStore store;
+  ASSERT_TRUE(store.PutFlexOffer(MakeOffer(1)).ok());  // deadline 8
+  ASSERT_TRUE(store.PutFlexOffer(MakeOffer(2)).ok());
+  ASSERT_TRUE(store.TransitionFlexOffer(2, FlexOfferState::kAccepted).ok());
+  FlexOffer late = MakeOffer(3);
+  late.assignment_before = 15;  // still within the window, later than 1/2
+  ASSERT_TRUE(store.PutFlexOffer(late).ok());
+
+  EXPECT_EQ(store.ExpiredUnscheduled(7).size(), 0u);
+  auto expired = store.ExpiredUnscheduled(8);
+  EXPECT_EQ(expired.size(), 2u);  // offers 1 and 2; offer 3 not yet due
+
+  // Scheduled offers never expire via this query.
+  ScheduledFlexOffer s{2, 12, {1.5, 1.5}};
+  ASSERT_TRUE(store.AttachSchedule(s).ok());
+  EXPECT_EQ(store.ExpiredUnscheduled(8).size(), 1u);
+}
+
+TEST(DataStoreTest, AgreedPriceStored) {
+  DataStore store;
+  ASSERT_TRUE(store.PutFlexOffer(MakeOffer(1)).ok());
+  ASSERT_TRUE(store.SetAgreedPrice(1, 1.25).ok());
+  EXPECT_DOUBLE_EQ((*store.FindFlexOffer(1))->agreed_price_eur, 1.25);
+  EXPECT_FALSE(store.SetAgreedPrice(9, 1.0).ok());
+}
+
+TEST(DataStoreTest, LatestPriceWins) {
+  DataStore store;
+  store.AppendPrice(1, 100, 0.10, 0.05);
+  store.AppendPrice(1, 100, 0.12, 0.06);
+  store.AppendPrice(2, 100, 0.50, 0.40);
+  auto price = store.LatestPrice(1, 100);
+  ASSERT_TRUE(price.ok());
+  EXPECT_DOUBLE_EQ(price->buy_price_eur, 0.12);
+  EXPECT_FALSE(store.LatestPrice(1, 101).ok());
+}
+
+TEST(DataStoreTest, OpenContractCoversSliceRange) {
+  DataStore store;
+  store.AddContract(5, 100, 0.25, 0, 1000);
+  auto hit = store.OpenContract(5, 500);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_DOUBLE_EQ(hit->tariff_eur_per_kwh, 0.25);
+  EXPECT_FALSE(store.OpenContract(5, 1000).ok());  // exclusive end
+  EXPECT_FALSE(store.OpenContract(6, 500).ok());
+}
+
+TEST(DataStoreTest, FlexOffersInState) {
+  DataStore store;
+  for (uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(store.PutFlexOffer(MakeOffer(id)).ok());
+  }
+  ASSERT_TRUE(store.TransitionFlexOffer(1, FlexOfferState::kAccepted).ok());
+  ASSERT_TRUE(store.TransitionFlexOffer(2, FlexOfferState::kAccepted).ok());
+  EXPECT_EQ(store.FlexOffersInState(FlexOfferState::kAccepted).size(), 2u);
+  EXPECT_EQ(store.FlexOffersInState(FlexOfferState::kOffered).size(), 2u);
+  EXPECT_EQ(store.num_flex_offers(), 4u);
+}
+
+}  // namespace
+}  // namespace mirabel::storage
