@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "aggregation/pipeline.h"
+#include "bench_main.h"
 #include "common/csv.h"
 #include "common/stopwatch.h"
 #include "datagen/flex_offer_generator.h"
@@ -112,5 +113,21 @@ int main() {
   std::printf("\ntotal: incremental %.3fs vs from-scratch %.3fs (%.1fx)\n",
               total_incremental, total_scratch,
               total_scratch / std::max(1e-9, total_incremental));
+
+  bench::BenchReport report("ablation_incremental");
+  report.AddConfig("base_count", base_count);
+  report.AddConfig("batch_size", batch_size);
+  report.AddConfig("batches", static_cast<int64_t>(batches));
+  // Items per batch = inserts + removals actually applied.
+  const double batch_updates = static_cast<double>(batch_size) * 1.5;
+  report.AddResult("incremental")
+      .Wall(total_incremental)
+      .Items(batch_updates * batches);
+  report.AddResult("from_scratch")
+      .Wall(total_scratch)
+      .Items(batch_updates * batches)
+      .Metric("speedup_vs_incremental",
+              total_scratch / std::max(1e-9, total_incremental));
+  report.WriteFile();
   return 0;
 }

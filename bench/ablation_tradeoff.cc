@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "aggregation/pipeline.h"
+#include "bench_main.h"
 #include "common/csv.h"
 #include "common/stopwatch.h"
 #include "datagen/flex_offer_generator.h"
@@ -57,6 +58,10 @@ int main() {
     with_packer.bin_packer = bounds;
     settings.push_back({"P3+binpack(64)", true, with_packer});
   }
+
+  bench::BenchReport report("ablation_tradeoff");
+  report.AddConfig("offer_count", offer_count);
+  report.AddConfig("schedule_budget_s", schedule_budget_s);
 
   CsvTable table({"setting", "macro_count", "agg_time_s", "tf_loss_per_offer",
                   "schedule_cost_eur", "sched_time_to_best_s"});
@@ -117,6 +122,15 @@ int main() {
     table.AddNumber(tf_loss, 3);
     table.AddNumber(run->cost.total(), 1);
     table.AddNumber(run->trace.back().time_s, 3);
+
+    report.AddResult(setting.name)
+        .Wall(agg_time + schedule_budget_s)
+        .Items(static_cast<double>(offer_count))
+        .Metric("macro_count", static_cast<double>(macros.size()))
+        .Metric("aggregation_s", agg_time)
+        .Metric("tf_loss_per_offer", tf_loss)
+        .Metric("schedule_cost_eur", run->cost.total())
+        .Metric("sched_time_to_best_s", run->trace.back().time_s);
   }
 
   std::cout << "=== Ablation: aggregation aggressiveness vs scheduling "
@@ -126,5 +140,6 @@ int main() {
       "\nreading: stronger aggregation -> fewer macros and faster scheduling "
       "convergence, bought with time-flexibility loss; no aggregation leaves "
       "the scheduler too many objects for the budget.\n");
+  report.WriteFile();
   return 0;
 }

@@ -1,0 +1,67 @@
+// Shared JSON reporting for the bench binaries. Each bench builds a
+// BenchReport, tags it with config, appends one result row per measured
+// phase, and writes BENCH_<name>.json (machine-readable trajectory file)
+// into the working directory — or $MIRABEL_BENCH_OUT_DIR when set.
+#ifndef MIRABEL_BENCH_BENCH_MAIN_H_
+#define MIRABEL_BENCH_BENCH_MAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mirabel::bench {
+
+// One measured benchmark case: a wall time, an optional throughput, and
+// free-form extra numeric metrics.
+struct BenchResult {
+  std::string name;
+  double wall_s = 0.0;
+  // items / wall_s; < 0 means "not reported".
+  double throughput_items_per_s = -1.0;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  BenchResult& Wall(double seconds);
+  // Records items processed and derives throughput from the current wall_s.
+  BenchResult& Items(double items);
+  BenchResult& Metric(const std::string& key, double value);
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  // Config key/values are echoed verbatim into the JSON "config" object.
+  void AddConfig(const std::string& key, const std::string& value);
+  void AddConfig(const std::string& key, double value);
+  void AddConfig(const std::string& key, int64_t value);
+  void AddConfig(const std::string& key, bool value);
+
+  // Appends a result row; the returned reference stays valid until the next
+  // AddResult call mutates the vector, so fill it immediately.
+  BenchResult& AddResult(const std::string& name);
+
+  const std::string& name() const { return name_; }
+  std::string ToJson() const;
+
+  // Writes BENCH_<name>.json; returns the path written, or "" on failure.
+  std::string WriteFile() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;  // key -> raw JSON
+  std::vector<BenchResult> results_;
+};
+
+// True when the bench should shrink its workload (CTest smoke runs set
+// MIRABEL_BENCH_SMALL=1).
+bool SmallMode();
+
+// JSON string escaping, exposed for the google-benchmark reporter shim.
+std::string JsonEscape(const std::string& s);
+// Formats a double as a JSON number (nan/inf become null).
+std::string JsonNumber(double v);
+
+}  // namespace mirabel::bench
+
+#endif  // MIRABEL_BENCH_BENCH_MAIN_H_

@@ -14,8 +14,10 @@
 #include <limits>
 #include <iostream>
 
+#include "bench_main.h"
 #include "common/csv.h"
 #include "common/math_util.h"
+#include "common/stopwatch.h"
 #include "datagen/energy_series_generator.h"
 #include "forecasting/estimator.h"
 #include "forecasting/hwt_model.h"
@@ -41,6 +43,11 @@ int main() {
 
   const std::vector<int> seasons = {48, 336};
 
+  bench::BenchReport report("fig4a_estimators");
+  report.AddConfig("time_budget_s", budget_s);
+  report.AddConfig("train_periods", static_cast<int64_t>(train.size()));
+  report.AddConfig("holdout_periods", static_cast<int64_t>(holdout));
+
   CsvTable table({"estimator", "time_s", "sse", "holdout_smape", "evals"});
   for (const std::string name :
        {"RandomRestartNelderMead", "SimulatedAnnealing", "RandomSearch"}) {
@@ -53,8 +60,10 @@ int main() {
     EstimatorOptions options;
     options.time_budget_s = budget_s;
     options.seed = 2012;
+    Stopwatch est_watch;
     EstimationResult est =
         estimator->Estimate(objective, model.Bounds(), options);
+    double est_wall_s = est_watch.ElapsedSeconds();
 
     // Evaluate the best-so-far trajectory on the holdout day.
     for (const TracePoint& tp : est.trace) {
@@ -74,6 +83,10 @@ int main() {
     }
     std::printf("%-26s final SSE %.1f after %d evals\n", name.c_str(),
                 est.best_value, est.evals);
+    report.AddResult(name)
+        .Wall(est_wall_s)
+        .Items(static_cast<double>(est.evals))
+        .Metric("final_sse", est.best_value);
   }
 
   std::cout << "\n=== Figure 4(a): accuracy (holdout SMAPE) vs estimation "
@@ -81,5 +94,6 @@ int main() {
   table.WritePretty(std::cout);
   std::printf("\npaper shape: all estimators converge to similar SMAPE; "
               "Random Restart Nelder Mead slightly ahead.\n");
+  report.WriteFile();
   return 0;
 }

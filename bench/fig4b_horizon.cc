@@ -10,12 +10,15 @@
 // Paper shape to check: error grows with the horizon for both series; the
 // supply series is much harder (steeper degradation), since it carries fewer
 // seasonal effects.
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <iostream>
 
+#include "bench_main.h"
 #include "common/csv.h"
 #include "common/math_util.h"
+#include "common/stopwatch.h"
 #include "datagen/energy_series_generator.h"
 #include "forecasting/estimator.h"
 #include "forecasting/hwt_model.h"
@@ -88,23 +91,34 @@ int main() {
   wind_cfg.seed = 11;
   std::vector<double> wind = datagen::GenerateWindSeries(wind_cfg);
 
+  bench::BenchReport report("fig4b_horizon");
+  report.AddConfig("estimation_budget_s", budget);
+  report.AddConfig("days", static_cast<int64_t>(60));
+
   CsvTable table({"series", "horizon_days", "smape"});
-  for (auto& [h, smape] : HorizonSweep(demand, budget)) {
-    table.BeginRow();
-    table.AddCell("demand");
-    table.AddNumber(h, 3);
-    table.AddNumber(smape, 5);
-  }
-  for (auto& [h, smape] : HorizonSweep(wind, budget)) {
-    table.BeginRow();
-    table.AddCell("wind_supply");
-    table.AddNumber(h, 3);
-    table.AddNumber(smape, 5);
+  const std::pair<const char*, const std::vector<double>*> series_list[] = {
+      {"demand", &demand}, {"wind_supply", &wind}};
+  for (const auto& [series_name, values] : series_list) {
+    Stopwatch sweep_watch;
+    auto sweep = HorizonSweep(*values, budget);
+    bench::BenchResult& row = report.AddResult(series_name);
+    row.Wall(sweep_watch.ElapsedSeconds())
+        .Items(static_cast<double>(sweep.size()));
+    for (auto& [h, smape] : sweep) {
+      table.BeginRow();
+      table.AddCell(series_name);
+      table.AddNumber(h, 3);
+      table.AddNumber(smape, 5);
+      char key[32];
+      std::snprintf(key, sizeof(key), "smape_%gd", h);
+      row.Metric(key, smape);
+    }
   }
 
   std::cout << "=== Figure 4(b): accuracy vs forecast horizon ===\n";
   table.WritePretty(std::cout);
   std::printf("\npaper shape: error grows with horizon; wind supply degrades "
               "much faster than demand.\n");
+  report.WriteFile();
   return 0;
 }

@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "aggregation/pipeline.h"
+#include "bench_main.h"
 #include "common/csv.h"
 #include "common/math_util.h"
 #include "common/rng.h"
@@ -145,11 +146,23 @@ int main() {
   std::vector<double> agg_times;
   std::vector<double> disagg_times;
 
+  bench::BenchReport report("fig5_aggregation");
+  report.AddConfig("max_offers", counts.back());
+  report.AddConfig("horizon_days", static_cast<int64_t>(workload.horizon_days));
+
   for (const Combo& combo : combos) {
     for (int64_t count : counts) {
       std::vector<flexoffer::FlexOffer> offers(
           all.begin(), all.begin() + static_cast<ptrdiff_t>(count));
       ComboResult r = RunCombo(combo.name, combo.params, offers);
+      report.AddResult(combo.name + "/" + std::to_string(count))
+          .Wall(r.aggregation_s)
+          .Items(static_cast<double>(r.offers))
+          .Metric("aggregate_count", static_cast<double>(r.aggregates))
+          .Metric("compression_ratio", static_cast<double>(r.offers) /
+                                           static_cast<double>(r.aggregates))
+          .Metric("tf_loss_per_offer_slices", r.tf_loss_per_offer)
+          .Metric("disaggregation_s", r.disaggregation_s);
       table.BeginRow();
       table.AddCell(r.combo);
       table.AddInt(r.offers);
@@ -177,8 +190,13 @@ int main() {
                 fit->slope, fit->intercept, fit->r_squared);
     std::printf("paper reports y = 0.36*x - 0.68 (disaggregation ~3x faster "
                 "than aggregation)\n");
+    report.AddResult("disagg_vs_agg_fit")
+        .Metric("slope", fit->slope)
+        .Metric("intercept", fit->intercept)
+        .Metric("r_squared", fit->r_squared);
   } else {
     std::cout << "line fit unavailable: " << fit.status() << "\n";
   }
+  report.WriteFile();
   return 0;
 }

@@ -4,6 +4,8 @@
 // scheduler's incremental cost evaluation (Fig. 6).
 #include <benchmark/benchmark.h>
 
+#include "gbench_json_reporter.h"
+
 #include "aggregation/aggregated_flex_offer.h"
 #include "aggregation/aggregation_params.h"
 #include "common/rng.h"
@@ -153,4 +155,11 @@ BENCHMARK(BM_FullCostEval)->Arg(100)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  mirabel::bench::GBenchJsonReporter reporter("micro_core");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

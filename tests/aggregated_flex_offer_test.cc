@@ -5,36 +5,28 @@
 
 #include "common/rng.h"
 #include "datagen/flex_offer_generator.h"
+#include "test_util.h"
 
 namespace mirabel::aggregation {
 namespace {
 
 using flexoffer::FlexOffer;
-using flexoffer::FlexOfferBuilder;
+using testutil::UniformOffer;
 using flexoffer::ScheduledFlexOffer;
 
-FlexOffer Offer(uint64_t id, int64_t earliest, int64_t tf, int dur,
-                double emin, double emax) {
-  FlexOffer fo = FlexOfferBuilder(id)
-                     .StartWindow(earliest, earliest + tf)
-                     .AddSlices(dur, emin, emax)
-                     .Build();
-  fo.assignment_before = earliest;
-  return fo;
-}
 
 TEST(BuildAggregateTest, EmptyMemberListRejected) {
   EXPECT_FALSE(BuildAggregate(1, {}).ok());
 }
 
 TEST(BuildAggregateTest, InvalidMemberRejected) {
-  FlexOffer bad = Offer(1, 10, 4, 2, 1.0, 2.0);
+  FlexOffer bad = UniformOffer(1, 10, 4, 2, 1.0, 2.0);
   bad.profile[0] = {3.0, 1.0};
   EXPECT_FALSE(BuildAggregate(1, {bad}).ok());
 }
 
 TEST(BuildAggregateTest, SingleMemberAggregateMirrorsOffer) {
-  FlexOffer fo = Offer(1, 10, 4, 2, 1.0, 2.0);
+  FlexOffer fo = UniformOffer(1, 10, 4, 2, 1.0, 2.0);
   auto agg = BuildAggregate(7, {fo});
   ASSERT_TRUE(agg.ok());
   EXPECT_EQ(agg->macro.id, 7u);
@@ -50,8 +42,8 @@ TEST(BuildAggregateTest, SingleMemberAggregateMirrorsOffer) {
 TEST(BuildAggregateTest, ConservativeTimeWindow) {
   // Members with different windows: aggregate earliest = min, time flex =
   // min member flexibility.
-  FlexOffer a = Offer(1, 10, 8, 2, 1.0, 2.0);
-  FlexOffer b = Offer(2, 14, 4, 2, 1.0, 2.0);
+  FlexOffer a = UniformOffer(1, 10, 8, 2, 1.0, 2.0);
+  FlexOffer b = UniformOffer(2, 14, 4, 2, 1.0, 2.0);
   auto agg = BuildAggregate(1, {a, b});
   ASSERT_TRUE(agg.ok());
   EXPECT_EQ(agg->macro.earliest_start, 10);
@@ -62,8 +54,8 @@ TEST(BuildAggregateTest, ConservativeTimeWindow) {
 }
 
 TEST(BuildAggregateTest, ProfileSumsWithOffsets) {
-  FlexOffer a = Offer(1, 10, 4, 2, 1.0, 2.0);
-  FlexOffer b = Offer(2, 11, 4, 2, 0.5, 1.0);
+  FlexOffer a = UniformOffer(1, 10, 4, 2, 1.0, 2.0);
+  FlexOffer b = UniformOffer(2, 11, 4, 2, 0.5, 1.0);
   auto agg = BuildAggregate(1, {a, b});
   ASSERT_TRUE(agg.ok());
   // Aggregate profile spans slices 10..13 relative: [a0, a1+b0, b1].
@@ -76,9 +68,9 @@ TEST(BuildAggregateTest, ProfileSumsWithOffsets) {
 }
 
 TEST(BuildAggregateTest, AssignmentDeadlineIsEarliestMemberDeadline) {
-  FlexOffer a = Offer(1, 10, 4, 2, 1.0, 2.0);
+  FlexOffer a = UniformOffer(1, 10, 4, 2, 1.0, 2.0);
   a.assignment_before = 8;
-  FlexOffer b = Offer(2, 12, 4, 2, 1.0, 2.0);
+  FlexOffer b = UniformOffer(2, 12, 4, 2, 1.0, 2.0);
   b.assignment_before = 5;
   auto agg = BuildAggregate(1, {a, b});
   ASSERT_TRUE(agg.ok());
@@ -86,8 +78,8 @@ TEST(BuildAggregateTest, AssignmentDeadlineIsEarliestMemberDeadline) {
 }
 
 TEST(BuildAggregateTest, MixedConsumptionAndProduction) {
-  FlexOffer load = Offer(1, 10, 4, 2, 1.0, 2.0);
-  FlexOffer gen = Offer(2, 10, 4, 2, -2.0, -1.0);
+  FlexOffer load = UniformOffer(1, 10, 4, 2, 1.0, 2.0);
+  FlexOffer gen = UniformOffer(2, 10, 4, 2, -2.0, -1.0);
   auto agg = BuildAggregate(1, {load, gen});
   ASSERT_TRUE(agg.ok());
   EXPECT_TRUE(agg->Validate().ok());
@@ -125,16 +117,16 @@ TEST(AddMemberTest, MatchesRebuildFromScratch) {
 }
 
 TEST(AddMemberTest, EarlierMemberTriggersOffsetShift) {
-  auto agg = BuildAggregate(1, {Offer(1, 20, 4, 2, 1.0, 2.0)});
+  auto agg = BuildAggregate(1, {UniformOffer(1, 20, 4, 2, 1.0, 2.0)});
   ASSERT_TRUE(agg.ok());
-  ASSERT_TRUE(AddMember(Offer(2, 15, 6, 2, 1.0, 1.0), &*agg).ok());
+  ASSERT_TRUE(AddMember(UniformOffer(2, 15, 6, 2, 1.0, 1.0), &*agg).ok());
   EXPECT_EQ(agg->macro.earliest_start, 15);
   EXPECT_TRUE(agg->Validate().ok());
 }
 
 TEST(RemoveMemberTest, RemovesAndRebuilds) {
-  FlexOffer a = Offer(1, 10, 8, 2, 1.0, 2.0);
-  FlexOffer b = Offer(2, 14, 4, 2, 1.0, 2.0);
+  FlexOffer a = UniformOffer(1, 10, 8, 2, 1.0, 2.0);
+  FlexOffer b = UniformOffer(2, 14, 4, 2, 1.0, 2.0);
   auto agg = BuildAggregate(1, {a, b});
   ASSERT_TRUE(agg.ok());
   ASSERT_TRUE(RemoveMember(2, &*agg).ok());
@@ -144,24 +136,24 @@ TEST(RemoveMemberTest, RemovesAndRebuilds) {
 }
 
 TEST(RemoveMemberTest, UnknownMemberNotFound) {
-  auto agg = BuildAggregate(1, {Offer(1, 10, 4, 2, 1.0, 2.0)});
+  auto agg = BuildAggregate(1, {UniformOffer(1, 10, 4, 2, 1.0, 2.0)});
   EXPECT_EQ(RemoveMember(99, &*agg).code(), StatusCode::kNotFound);
 }
 
 TEST(RemoveMemberTest, LastMemberRefused) {
-  auto agg = BuildAggregate(1, {Offer(1, 10, 4, 2, 1.0, 2.0)});
+  auto agg = BuildAggregate(1, {UniformOffer(1, 10, 4, 2, 1.0, 2.0)});
   EXPECT_EQ(RemoveMember(1, &*agg).code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(DisaggregateTest, InvalidMacroScheduleRejected) {
-  auto agg = BuildAggregate(1, {Offer(1, 10, 4, 2, 1.0, 2.0)});
+  auto agg = BuildAggregate(1, {UniformOffer(1, 10, 4, 2, 1.0, 2.0)});
   ScheduledFlexOffer s{1, 9, {1.0, 1.0}};  // start before window
   EXPECT_FALSE(Disaggregate(*agg, s).ok());
 }
 
 TEST(DisaggregateTest, MemberStartsShiftByOffset) {
-  FlexOffer a = Offer(1, 10, 8, 2, 1.0, 2.0);
-  FlexOffer b = Offer(2, 14, 8, 2, 1.0, 2.0);
+  FlexOffer a = UniformOffer(1, 10, 8, 2, 1.0, 2.0);
+  FlexOffer b = UniformOffer(2, 14, 8, 2, 1.0, 2.0);
   auto agg = BuildAggregate(1, {a, b});
   ASSERT_TRUE(agg.ok());
   ScheduledFlexOffer s;

@@ -2,20 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace mirabel::aggregation {
 namespace {
 
 using flexoffer::FlexOffer;
-using flexoffer::FlexOfferBuilder;
 
+// Fixed-energy offer (no energy flexibility), window [10, 10 + tf].
 FlexOffer Offer(uint64_t id, double energy = 1.0, int64_t tf = 4) {
-  FlexOffer fo = FlexOfferBuilder(id)
-                     .StartWindow(10, 10 + tf)
-                     .AddSlice(energy / 2, energy / 2)
-                     .AddSlice(energy / 2, energy / 2)
-                     .Build();
-  fo.assignment_before = 10;
-  return fo;
+  return testutil::UniformOffer(id, /*earliest=*/10, tf, /*dur=*/2,
+                                energy / 2, energy / 2);
 }
 
 GroupUpdate Created(GroupId g, std::vector<FlexOffer> offers) {

@@ -71,10 +71,10 @@ TEST(LoggingTest, LevelFilterSuppressesBelowThreshold) {
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch watch;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   double t1 = watch.ElapsedSeconds();
   EXPECT_GE(t1, 0.0);
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   double t2 = watch.ElapsedSeconds();
   EXPECT_GE(t2, t1);
   watch.Reset();

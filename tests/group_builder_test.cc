@@ -2,34 +2,28 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace mirabel::aggregation {
 namespace {
 
 using flexoffer::FlexOffer;
-using flexoffer::FlexOfferBuilder;
+using testutil::UniformOffer;
 
-FlexOffer Offer(uint64_t id, int64_t earliest, int64_t tf, int dur = 2) {
-  FlexOffer fo = FlexOfferBuilder(id)
-                     .StartWindow(earliest, earliest + tf)
-                     .AddSlices(dur, 1.0, 2.0)
-                     .Build();
-  fo.assignment_before = earliest;
-  return fo;
-}
 
 TEST(GroupKeyTest, ExactToleranceSeparatesValues) {
   AggregationParams p0 = AggregationParams::P0();
-  EXPECT_EQ(MakeGroupKey(Offer(1, 10, 4), p0), MakeGroupKey(Offer(2, 10, 4), p0));
-  EXPECT_NE(MakeGroupKey(Offer(1, 10, 4), p0), MakeGroupKey(Offer(2, 11, 4), p0));
-  EXPECT_NE(MakeGroupKey(Offer(1, 10, 4), p0), MakeGroupKey(Offer(2, 10, 5), p0));
+  EXPECT_EQ(MakeGroupKey(UniformOffer(1, 10, 4), p0), MakeGroupKey(UniformOffer(2, 10, 4), p0));
+  EXPECT_NE(MakeGroupKey(UniformOffer(1, 10, 4), p0), MakeGroupKey(UniformOffer(2, 11, 4), p0));
+  EXPECT_NE(MakeGroupKey(UniformOffer(1, 10, 4), p0), MakeGroupKey(UniformOffer(2, 10, 5), p0));
 }
 
 TEST(GroupKeyTest, ToleranceBucketsNearbyValues) {
   AggregationParams p;
   p.start_after_tolerance = 8;
   p.time_flexibility_tolerance = 0;
-  EXPECT_EQ(MakeGroupKey(Offer(1, 0, 4), p), MakeGroupKey(Offer(2, 8, 4), p));
-  EXPECT_NE(MakeGroupKey(Offer(1, 8, 4), p), MakeGroupKey(Offer(2, 9, 4), p));
+  EXPECT_EQ(MakeGroupKey(UniformOffer(1, 0, 4), p), MakeGroupKey(UniformOffer(2, 8, 4), p));
+  EXPECT_NE(MakeGroupKey(UniformOffer(1, 8, 4), p), MakeGroupKey(UniformOffer(2, 9, 4), p));
 }
 
 TEST(GroupKeyTest, BucketedOffersDeviateAtMostTolerance) {
@@ -37,7 +31,7 @@ TEST(GroupKeyTest, BucketedOffersDeviateAtMostTolerance) {
   p.start_after_tolerance = 5;
   for (int64_t a = 0; a < 40; ++a) {
     for (int64_t b = 0; b < 40; ++b) {
-      if (MakeGroupKey(Offer(1, a, 0), p) == MakeGroupKey(Offer(2, b, 0), p)) {
+      if (MakeGroupKey(UniformOffer(1, a, 0), p) == MakeGroupKey(UniformOffer(2, b, 0), p)) {
         EXPECT_LE(std::abs(a - b), 5);
       }
     }
@@ -48,7 +42,7 @@ TEST(GroupKeyTest, NegativeToleranceIgnoresAttribute) {
   AggregationParams p;
   p.start_after_tolerance = -1;
   p.time_flexibility_tolerance = 0;
-  EXPECT_EQ(MakeGroupKey(Offer(1, 0, 4), p), MakeGroupKey(Offer(2, 500, 4), p));
+  EXPECT_EQ(MakeGroupKey(UniformOffer(1, 0, 4), p), MakeGroupKey(UniformOffer(2, 500, 4), p));
 }
 
 TEST(GroupKeyTest, DurationGroupingWhenEnabled) {
@@ -56,15 +50,15 @@ TEST(GroupKeyTest, DurationGroupingWhenEnabled) {
   p.start_after_tolerance = -1;
   p.time_flexibility_tolerance = -1;
   p.duration_tolerance = 0;
-  EXPECT_NE(MakeGroupKey(Offer(1, 0, 4, 2), p),
-            MakeGroupKey(Offer(2, 0, 4, 3), p));
+  EXPECT_NE(MakeGroupKey(UniformOffer(1, 0, 4, 2), p),
+            MakeGroupKey(UniformOffer(2, 0, 4, 3), p));
 }
 
 TEST(GroupBuilderTest, InsertsGroupSimilarOffers) {
   GroupBuilder builder(AggregationParams::P0());
-  ASSERT_TRUE(builder.Insert(Offer(1, 10, 4)).ok());
-  ASSERT_TRUE(builder.Insert(Offer(2, 10, 4)).ok());
-  ASSERT_TRUE(builder.Insert(Offer(3, 20, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(1, 10, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(2, 10, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(3, 20, 4)).ok());
   auto updates = builder.Flush();
   ASSERT_EQ(updates.size(), 2u);
   EXPECT_EQ(builder.num_groups(), 2u);
@@ -76,17 +70,17 @@ TEST(GroupBuilderTest, InsertsGroupSimilarOffers) {
 
 TEST(GroupBuilderTest, DuplicateIdRejected) {
   GroupBuilder builder(AggregationParams::P0());
-  ASSERT_TRUE(builder.Insert(Offer(1, 10, 4)).ok());
-  EXPECT_EQ(builder.Insert(Offer(1, 10, 4)).code(),
+  ASSERT_TRUE(builder.Insert(UniformOffer(1, 10, 4)).ok());
+  EXPECT_EQ(builder.Insert(UniformOffer(1, 10, 4)).code(),
             StatusCode::kAlreadyExists);
   builder.Flush();
-  EXPECT_EQ(builder.Insert(Offer(1, 10, 4)).code(),
+  EXPECT_EQ(builder.Insert(UniformOffer(1, 10, 4)).code(),
             StatusCode::kAlreadyExists);
 }
 
 TEST(GroupBuilderTest, IdZeroRejected) {
   GroupBuilder builder(AggregationParams::P0());
-  EXPECT_EQ(builder.Insert(Offer(0, 10, 4)).code(),
+  EXPECT_EQ(builder.Insert(UniformOffer(0, 10, 4)).code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -97,7 +91,7 @@ TEST(GroupBuilderTest, RemoveUnknownNotFound) {
 
 TEST(GroupBuilderTest, InsertThenRemoveInSameBatchCancels) {
   GroupBuilder builder(AggregationParams::P0());
-  ASSERT_TRUE(builder.Insert(Offer(1, 10, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(1, 10, 4)).ok());
   ASSERT_TRUE(builder.Remove(1).ok());
   auto updates = builder.Flush();
   EXPECT_TRUE(updates.empty());
@@ -106,7 +100,7 @@ TEST(GroupBuilderTest, InsertThenRemoveInSameBatchCancels) {
 
 TEST(GroupBuilderTest, RemovalEmptiesGroupEmitsDeleted) {
   GroupBuilder builder(AggregationParams::P0());
-  ASSERT_TRUE(builder.Insert(Offer(1, 10, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(1, 10, 4)).ok());
   builder.Flush();
   ASSERT_TRUE(builder.Remove(1).ok());
   auto updates = builder.Flush();
@@ -117,10 +111,10 @@ TEST(GroupBuilderTest, RemovalEmptiesGroupEmitsDeleted) {
 
 TEST(GroupBuilderTest, ChangedGroupCarriesDeltas) {
   GroupBuilder builder(AggregationParams::P0());
-  ASSERT_TRUE(builder.Insert(Offer(1, 10, 4)).ok());
-  ASSERT_TRUE(builder.Insert(Offer(2, 10, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(1, 10, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(2, 10, 4)).ok());
   builder.Flush();
-  ASSERT_TRUE(builder.Insert(Offer(3, 10, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(3, 10, 4)).ok());
   ASSERT_TRUE(builder.Remove(1).ok());
   auto updates = builder.Flush();
   ASSERT_EQ(updates.size(), 1u);
@@ -133,8 +127,8 @@ TEST(GroupBuilderTest, ChangedGroupCarriesDeltas) {
 
 TEST(GroupBuilderTest, GroupMembersReturnsSortedMembership) {
   GroupBuilder builder(AggregationParams::P0());
-  ASSERT_TRUE(builder.Insert(Offer(5, 10, 4)).ok());
-  ASSERT_TRUE(builder.Insert(Offer(2, 10, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(5, 10, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(2, 10, 4)).ok());
   auto updates = builder.Flush();
   ASSERT_EQ(updates.size(), 1u);
   auto members = builder.GroupMembers(updates[0].group);
@@ -147,22 +141,22 @@ TEST(GroupBuilderTest, GroupMembersReturnsSortedMembership) {
 
 TEST(GroupBuilderTest, ReinsertAfterRemoveWorks) {
   GroupBuilder builder(AggregationParams::P0());
-  ASSERT_TRUE(builder.Insert(Offer(1, 10, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(1, 10, 4)).ok());
   builder.Flush();
   ASSERT_TRUE(builder.Remove(1).ok());
   builder.Flush();
-  EXPECT_TRUE(builder.Insert(Offer(1, 10, 4)).ok());
+  EXPECT_TRUE(builder.Insert(UniformOffer(1, 10, 4)).ok());
   builder.Flush();
   EXPECT_EQ(builder.num_offers(), 1u);
 }
 
 TEST(GroupBuilderTest, GroupCreatedAndEmptiedInOneBatchIsNoOp) {
   GroupBuilder builder(AggregationParams::P0());
-  ASSERT_TRUE(builder.Insert(Offer(1, 10, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(1, 10, 4)).ok());
   builder.Flush();
   // New group for offer 2 appears and disappears within one batch via the
   // cancel path; only offer 1's group exists.
-  ASSERT_TRUE(builder.Insert(Offer(2, 30, 4)).ok());
+  ASSERT_TRUE(builder.Insert(UniformOffer(2, 30, 4)).ok());
   ASSERT_TRUE(builder.Remove(2).ok());
   auto updates = builder.Flush();
   EXPECT_TRUE(updates.empty());

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "negotiation/flexibility_metrics.h"
 #include "negotiation/negotiator.h"
 #include "negotiation/pricing.h"
@@ -8,22 +10,11 @@ namespace mirabel::negotiation {
 namespace {
 
 using flexoffer::FlexOffer;
-using flexoffer::FlexOfferBuilder;
 
-FlexOffer Offer(int64_t assignment_lead, int64_t tf, double flex_per_slice,
-                int dur = 4) {
-  FlexOffer fo = FlexOfferBuilder(1)
-                     .CreatedAt(0)
-                     .AssignBefore(assignment_lead)
-                     .StartWindow(assignment_lead + 4,
-                                  assignment_lead + 4 + tf)
-                     .AddSlices(dur, 1.0, 1.0 + flex_per_slice)
-                     .Build();
-  return fo;
-}
+using testutil::FlexibilityOffer;
 
 TEST(FlexibilityMetricsTest, ExtractsAllThreeParameters) {
-  FlexOffer fo = Offer(/*assignment_lead=*/20, /*tf=*/12,
+  FlexOffer fo = FlexibilityOffer(/*assignment_lead=*/20, /*tf=*/12,
                        /*flex_per_slice=*/0.5);
   FlexibilityMetrics m = ComputeFlexibilityMetrics(fo);
   EXPECT_EQ(m.assignment_flexibility, 20);
@@ -56,8 +47,8 @@ TEST(PotentialsTest, MonotoneInEachParameter) {
 
 TEST(MonetizePricerTest, MoreFlexibleOffersAreWorthMore) {
   MonetizeFlexibilityPricer pricer;
-  double rigid = pricer.Value(Offer(4, 0, 0.0));
-  double flexible = pricer.Value(Offer(40, 24, 2.0));
+  double rigid = pricer.Value(FlexibilityOffer(4, 0, 0.0));
+  double flexible = pricer.Value(FlexibilityOffer(40, 24, 2.0));
   EXPECT_GT(flexible, rigid);
   EXPECT_GT(rigid, 0.0);  // sigmoid never reaches zero
 }
@@ -66,8 +57,8 @@ TEST(MonetizePricerTest, EnergyOnlyOfferStillHasValue) {
   // "Such a flex-offer may still provide a benefit for the BRP if it offers
   // Energy flexibility" (paper §7): zero scheduling flexibility, big band.
   MonetizeFlexibilityPricer pricer;
-  double energy_only = pricer.Value(Offer(20, 0, 3.0));
-  double nothing = pricer.Value(Offer(20, 0, 0.0));
+  double energy_only = pricer.Value(FlexibilityOffer(20, 0, 3.0));
+  double nothing = pricer.Value(FlexibilityOffer(20, 0, 0.0));
   EXPECT_GT(energy_only, nothing + 0.3);
 }
 
@@ -76,7 +67,7 @@ TEST(MonetizePricerTest, WeightsScaleValue) {
   heavy.scheduling_eur = 10.0;
   MonetizeFlexibilityPricer pricer(heavy, PotentialConfig());
   MonetizeFlexibilityPricer base;
-  FlexOffer fo = Offer(20, 24, 1.0);
+  FlexOffer fo = FlexibilityOffer(20, 24, 1.0);
   EXPECT_GT(pricer.Value(fo), base.Value(fo));
 }
 
@@ -97,7 +88,7 @@ TEST(ProfitSharingTest, ShareClampedToUnitInterval) {
 
 TEST(AcceptancePolicyTest, AcceptsProfitableProcessableOffer) {
   AcceptancePolicy policy;
-  EXPECT_EQ(policy.Evaluate(Offer(20, 24, 1.0)),
+  EXPECT_EQ(policy.Evaluate(FlexibilityOffer(20, 24, 1.0)),
             AcceptancePolicy::Verdict::kAccepted);
 }
 
@@ -105,7 +96,7 @@ TEST(AcceptancePolicyTest, RejectsLateOffer) {
   AcceptancePolicy::Config cfg;
   cfg.min_processing_slices = 8;
   AcceptancePolicy policy(cfg);
-  EXPECT_EQ(policy.Evaluate(Offer(4, 24, 1.0)),
+  EXPECT_EQ(policy.Evaluate(FlexibilityOffer(4, 24, 1.0)),
             AcceptancePolicy::Verdict::kTooLateToProcess);
 }
 
@@ -113,13 +104,13 @@ TEST(AcceptancePolicyTest, RejectsWorthlessOffer) {
   AcceptancePolicy::Config cfg;
   cfg.min_value_eur = 2.0;  // above what a rigid offer can reach
   AcceptancePolicy policy(cfg);
-  EXPECT_EQ(policy.Evaluate(Offer(20, 0, 0.0)),
+  EXPECT_EQ(policy.Evaluate(FlexibilityOffer(20, 0, 0.0)),
             AcceptancePolicy::Verdict::kTooLittleValue);
 }
 
 TEST(NegotiatorTest, AgreesOnFlexibleOffer) {
   Negotiator negotiator;
-  auto outcome = negotiator.Negotiate(Offer(30, 24, 2.0), 0.0);
+  auto outcome = negotiator.Negotiate(FlexibilityOffer(30, 24, 2.0), 0.0);
   EXPECT_EQ(outcome.decision, NegotiationOutcome::Decision::kAgreed);
   EXPECT_GT(outcome.agreed_price_eur, 0.0);
   EXPECT_LT(outcome.agreed_price_eur, outcome.brp_value_eur);
@@ -129,14 +120,14 @@ TEST(NegotiatorTest, BrpKeepsConfiguredMargin) {
   Negotiator::Config cfg;
   cfg.brp_margin = 0.5;
   Negotiator negotiator(cfg);
-  auto outcome = negotiator.Negotiate(Offer(30, 24, 2.0), 0.0);
+  auto outcome = negotiator.Negotiate(FlexibilityOffer(30, 24, 2.0), 0.0);
   ASSERT_EQ(outcome.decision, NegotiationOutcome::Decision::kAgreed);
   EXPECT_NEAR(outcome.agreed_price_eur, 0.5 * outcome.brp_value_eur, 1e-9);
 }
 
 TEST(NegotiatorTest, ProsumerRejectsLowballProposal) {
   Negotiator negotiator;
-  auto outcome = negotiator.Negotiate(Offer(30, 24, 2.0),
+  auto outcome = negotiator.Negotiate(FlexibilityOffer(30, 24, 2.0),
                                       /*reservation_price_eur=*/100.0);
   EXPECT_EQ(outcome.decision,
             NegotiationOutcome::Decision::kRejectedByProsumer);
@@ -147,7 +138,7 @@ TEST(NegotiatorTest, BrpRejectsUnprocessableOffer) {
   Negotiator::Config cfg;
   cfg.acceptance.min_processing_slices = 16;
   Negotiator negotiator(cfg);
-  auto outcome = negotiator.Negotiate(Offer(4, 24, 2.0), 0.0);
+  auto outcome = negotiator.Negotiate(FlexibilityOffer(4, 24, 2.0), 0.0);
   EXPECT_EQ(outcome.decision, NegotiationOutcome::Decision::kRejectedByBrp);
 }
 

@@ -2,6 +2,8 @@
 // assembled hierarchy).
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "node/aggregating_node.h"
 #include "node/prosumer_node.h"
 
@@ -105,13 +107,8 @@ TEST(AggregatingNodeTest, NegotiatesAndAggregatesIncomingOffers) {
   msg.from = 1000;
   msg.to = 100;
   msg.sent_at = 0;
-  msg.offer = flexoffer::FlexOfferBuilder(42)
-                  .OwnedBy(1000)
-                  .CreatedAt(0)
-                  .AssignBefore(24)
-                  .StartWindow(30, 50)
-                  .AddSlices(4, 1.0, 2.0)
-                  .Build();
+  msg.offer = testutil::OwnedOffer(42, 1000, /*assign_before=*/24,
+                                   /*earliest=*/30, /*latest=*/50, /*dur=*/4);
   ASSERT_TRUE(bus.Send(msg).ok());
   bus.AdvanceTo(0);
 
@@ -146,13 +143,9 @@ TEST(AggregatingNodeTest, RejectsInflexibleOffer) {
   msg.to = 100;
   msg.sent_at = 0;
   // Rigid offer: no time flexibility, no energy flexibility.
-  msg.offer = flexoffer::FlexOfferBuilder(43)
-                  .OwnedBy(1000)
-                  .CreatedAt(0)
-                  .AssignBefore(24)
-                  .StartWindow(30, 30)
-                  .AddSlices(4, 1.0, 1.0)
-                  .Build();
+  msg.offer = testutil::OwnedOffer(43, 1000, /*assign_before=*/24,
+                                   /*earliest=*/30, /*latest=*/30, /*dur=*/4,
+                                   /*emin=*/1.0, /*emax=*/1.0);
   ASSERT_TRUE(bus.Send(msg).ok());
   bus.AdvanceTo(0);
   EXPECT_EQ(brp.stats().offers_rejected, 1);
@@ -170,13 +163,8 @@ TEST(AggregatingNodeTest, ExpiresStaleOffersAtGate) {
   msg.from = 1000;
   msg.to = 100;
   msg.sent_at = 0;
-  msg.offer = flexoffer::FlexOfferBuilder(44)
-                  .OwnedBy(1000)
-                  .CreatedAt(0)
-                  .AssignBefore(4)
-                  .StartWindow(6, 10)
-                  .AddSlices(2, 1.0, 2.0)
-                  .Build();
+  msg.offer = testutil::OwnedOffer(44, 1000, /*assign_before=*/4,
+                                   /*earliest=*/6, /*latest=*/10);
   ASSERT_TRUE(bus.Send(msg).ok());
   bus.AdvanceTo(0);
   ASSERT_EQ(brp.stats().offers_accepted, 1);

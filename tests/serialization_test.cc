@@ -2,22 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "datagen/flex_offer_generator.h"
 
 namespace mirabel::flexoffer {
 namespace {
 
-FlexOffer SampleOffer() {
-  return FlexOfferBuilder(42)
-      .OwnedBy(7)
-      .CreatedAt(0)
-      .AssignBefore(80)
-      .StartWindow(88, 100)
-      .AddSlice(1.0, 2.0)
-      .AddSlice(0.5, 0.5)
-      .UnitPrice(0.03)
-      .Build();
-}
+using testutil::SampleOffer;
 
 TEST(SerializationTest, FlexOfferRoundTrip) {
   FlexOffer original = SampleOffer();

@@ -2,13 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "storage/table.h"
 
 namespace mirabel::storage {
 namespace {
 
 using flexoffer::FlexOffer;
-using flexoffer::FlexOfferBuilder;
 using flexoffer::ScheduledFlexOffer;
 
 TEST(TableTest, InsertFindErase) {
@@ -107,13 +108,8 @@ TEST(DataStoreTest, MeasurementSeriesAccumulates) {
 }
 
 FlexOffer MakeOffer(uint64_t id) {
-  FlexOffer fo = FlexOfferBuilder(id)
-                     .CreatedAt(0)
-                     .AssignBefore(8)
-                     .StartWindow(10, 20)
-                     .AddSlices(2, 1.0, 2.0)
-                     .Build();
-  return fo;
+  return testutil::OwnedOffer(id, /*owner=*/0, /*assign_before=*/8,
+                              /*earliest=*/10, /*latest=*/20);
 }
 
 TEST(DataStoreTest, FlexOfferLifecycleHappyPath) {

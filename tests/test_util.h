@@ -1,0 +1,74 @@
+// Shared test fixtures: the sample flex-offer builders that used to be
+// copy-pasted across suites. Header-only; include as "test_util.h".
+#ifndef MIRABEL_TESTS_TEST_UTIL_H_
+#define MIRABEL_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "flexoffer/flex_offer.h"
+
+namespace mirabel::testutil {
+
+// Canonical fully-populated two-slice offer; suites that exercise round
+// trips (serialization, storage) start from this one.
+inline flexoffer::FlexOffer SampleOffer(flexoffer::FlexOfferId id = 42) {
+  return flexoffer::FlexOfferBuilder(id)
+      .OwnedBy(7)
+      .CreatedAt(0)
+      .AssignBefore(80)
+      .StartWindow(88, 100)
+      .AddSlice(1.0, 2.0)
+      .AddSlice(0.5, 0.5)
+      .UnitPrice(0.03)
+      .Build();
+}
+
+// Uniform-profile offer: `dur` slices of [emin, emax] kWh, start window
+// [earliest, earliest + tf], assignment deadline right at the window start
+// (the aggregation suites' convention).
+inline flexoffer::FlexOffer UniformOffer(flexoffer::FlexOfferId id,
+                                         int64_t earliest, int64_t tf,
+                                         int dur = 2, double emin = 1.0,
+                                         double emax = 2.0) {
+  flexoffer::FlexOffer fo = flexoffer::FlexOfferBuilder(id)
+                                .StartWindow(earliest, earliest + tf)
+                                .AddSlices(dur, emin, emax)
+                                .Build();
+  fo.assignment_before = earliest;
+  return fo;
+}
+
+// Fully-specified offer with an owner and an explicit assignment deadline,
+// created at t=0 — the node/storage suites' convention.
+inline flexoffer::FlexOffer OwnedOffer(flexoffer::FlexOfferId id,
+                                       uint64_t owner, int64_t assign_before,
+                                       int64_t earliest, int64_t latest,
+                                       int dur = 2, double emin = 1.0,
+                                       double emax = 2.0) {
+  return flexoffer::FlexOfferBuilder(id)
+      .OwnedBy(owner)
+      .CreatedAt(0)
+      .AssignBefore(assign_before)
+      .StartWindow(earliest, latest)
+      .AddSlices(dur, emin, emax)
+      .Build();
+}
+
+// Offer parameterized by its three flexibility dimensions (assignment lead,
+// time flexibility, per-slice energy flexibility) — what the negotiation
+// metrics extract.
+inline flexoffer::FlexOffer FlexibilityOffer(int64_t assignment_lead,
+                                             int64_t tf,
+                                             double flex_per_slice,
+                                             int dur = 4) {
+  return flexoffer::FlexOfferBuilder(1)
+      .CreatedAt(0)
+      .AssignBefore(assignment_lead)
+      .StartWindow(assignment_lead + 4, assignment_lead + 4 + tf)
+      .AddSlices(dur, 1.0, 1.0 + flex_per_slice)
+      .Build();
+}
+
+}  // namespace mirabel::testutil
+
+#endif  // MIRABEL_TESTS_TEST_UTIL_H_
