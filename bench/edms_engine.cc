@@ -1,0 +1,132 @@
+// End-to-end throughput of the EdmsEngine facade: offers per second through
+// the full submit -> negotiate -> aggregate -> schedule -> disaggregate round
+// trip, driven exactly the way nodes drive the engine (batch intake, then
+// tick-driven gate closures). Emits BENCH_edms_engine.json via the shared
+// reporter.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_main.h"
+#include "common/stopwatch.h"
+#include "datagen/flex_offer_generator.h"
+#include "edms/edms_engine.h"
+
+using namespace mirabel;  // NOLINT: bench brevity
+
+namespace {
+
+struct RunResult {
+  int64_t offers = 0;
+  size_t accepted = 0;
+  double intake_s = 0.0;
+  double loop_s = 0.0;
+  int64_t macros = 0;
+  int64_t micro_schedules = 0;
+  int64_t expired = 0;
+  int64_t scheduling_runs = 0;
+};
+
+RunResult RunWorkload(int64_t count, int days) {
+  datagen::FlexOfferWorkloadConfig workload;
+  workload.count = count;
+  workload.seed = 1312;
+  workload.horizon_days = days;
+  std::vector<flexoffer::FlexOffer> offers =
+      datagen::GenerateFlexOffers(workload);
+
+  edms::EdmsEngine::Config config;
+  config.actor = 100;
+  config.negotiate = true;
+  config.aggregation.params = aggregation::AggregationParams::P2();
+  config.gate_period = 16;
+  config.horizon = 2 * flexoffer::kSlicesPerDay;
+  config.scheduler_budget_s = 0.02;
+  config.seed = 11;
+  config.baseline = std::make_shared<edms::VectorBaselineProvider>(
+      std::vector<double>(
+          static_cast<size_t>((days + 2) * flexoffer::kSlicesPerDay), 8.0));
+  edms::EdmsEngine engine(config);
+
+  RunResult r;
+  r.offers = count;
+
+  Stopwatch intake_watch;
+  auto accepted = engine.SubmitOffers(offers, 0);
+  if (!accepted.ok()) {
+    std::cerr << "intake failed: " << accepted.status() << "\n";
+    std::exit(1);
+  }
+  r.intake_s = intake_watch.ElapsedSeconds();
+  r.accepted = *accepted;
+
+  Stopwatch loop_watch;
+  const flexoffer::TimeSlice end =
+      static_cast<flexoffer::TimeSlice>(days + 1) * flexoffer::kSlicesPerDay;
+  for (flexoffer::TimeSlice now = 0; now < end; now += config.gate_period) {
+    if (Status st = engine.Advance(now); !st.ok()) {
+      std::cerr << "gate failed: " << st << "\n";
+      std::exit(1);
+    }
+    for (const edms::Event& event : engine.PollEvents()) {
+      if (std::get_if<edms::MacroPublished>(&event) != nullptr) ++r.macros;
+      if (std::get_if<edms::ScheduleAssigned>(&event) != nullptr) {
+        ++r.micro_schedules;
+      }
+      if (std::get_if<edms::OfferExpired>(&event) != nullptr) ++r.expired;
+    }
+  }
+  r.loop_s = loop_watch.ElapsedSeconds();
+  r.scheduling_runs = engine.stats().scheduling_runs;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bool small = bench::SmallMode();
+  std::vector<int64_t> counts =
+      small ? std::vector<int64_t>{2000, 10000}
+            : std::vector<int64_t>{10000, 50000, 200000};
+  const int days = 2;
+
+  bench::BenchReport report("edms_engine");
+  report.AddConfig("days", static_cast<int64_t>(days));
+  report.AddConfig("gate_period", static_cast<int64_t>(16));
+  report.AddConfig("scheduler", std::string("GreedySearch"));
+  report.AddConfig("small_mode", small);
+
+  for (int64_t count : counts) {
+    RunResult r = RunWorkload(count, days);
+    double total_s = r.intake_s + r.loop_s;
+    report.AddResult("roundtrip/" + std::to_string(count))
+        .Wall(total_s)
+        .Items(static_cast<double>(r.offers))
+        .Metric("intake_s", r.intake_s)
+        .Metric("control_loop_s", r.loop_s)
+        .Metric("accepted", static_cast<double>(r.accepted))
+        .Metric("macro_offers", static_cast<double>(r.macros))
+        .Metric("micro_schedules", static_cast<double>(r.micro_schedules))
+        .Metric("expired", static_cast<double>(r.expired))
+        .Metric("scheduling_runs", static_cast<double>(r.scheduling_runs));
+    std::printf(
+        "%8lld offers: intake %.2fs, loop %.2fs -> %.0f offers/s "
+        "(%lld macros, %lld micro schedules, %lld expired, %lld runs)\n",
+        static_cast<long long>(count), r.intake_s, r.loop_s,
+        static_cast<double>(r.offers) / std::max(1e-9, total_s),
+        static_cast<long long>(r.macros),
+        static_cast<long long>(r.micro_schedules),
+        static_cast<long long>(r.expired),
+        static_cast<long long>(r.scheduling_runs));
+  }
+
+  std::string path = report.WriteFile();
+  if (path.empty()) {
+    std::cerr << "failed to write bench report\n";
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

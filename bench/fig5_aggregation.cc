@@ -18,6 +18,7 @@
 // to cap at 200k for quick runs.
 #include <cstdlib>
 #include <iostream>
+#include <span>
 
 #include "aggregation/pipeline.h"
 #include "bench_main.h"
@@ -49,12 +50,10 @@ ComboResult RunCombo(const std::string& name,
   aggregation::AggregationPipeline pipeline(config);
 
   Stopwatch agg_watch;
-  for (const auto& fo : offers) {
-    Status st = pipeline.Insert(fo);
-    if (!st.ok()) {
-      std::cerr << "insert failed: " << st << "\n";
-      std::exit(1);
-    }
+  Status st = pipeline.Insert(std::span<const flexoffer::FlexOffer>(offers));
+  if (!st.ok()) {
+    std::cerr << "insert failed: " << st << "\n";
+    std::exit(1);
   }
   pipeline.Flush();
   double agg_time = agg_watch.ElapsedSeconds();

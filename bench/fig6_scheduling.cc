@@ -13,6 +13,7 @@
 
 #include "bench_main.h"
 #include "common/csv.h"
+#include "edms/scheduler_registry.h"
 #include "scheduling/scenario.h"
 #include "scheduling/scheduler.h"
 
@@ -70,7 +71,9 @@ int main() {
       std::vector<double> sums(checkpoints.size(), 0.0);
       double final_sum = 0.0;
       for (int r = 0; r < runs; ++r) {
-        auto scheduler = MakeScheduler(algo);
+        auto scheduler =
+            std::move(edms::SchedulerRegistry::Default().Create(algo))
+                .value();
         SchedulerOptions options;
         options.time_budget_s = scale.budget_s;
         options.seed = 1000 + static_cast<uint64_t>(r);

@@ -13,6 +13,7 @@
 #include "bench_main.h"
 #include "common/csv.h"
 #include "common/stopwatch.h"
+#include "edms/scheduler_registry.h"
 #include "scheduling/scenario.h"
 #include "scheduling/scheduler.h"
 
@@ -68,7 +69,8 @@ int main() {
 
   for (const std::string algo : {"GreedySearch", "EvolutionaryAlgorithm"}) {
     Stopwatch watch;
-    auto scheduler = MakeScheduler(algo);
+    auto scheduler =
+        std::move(edms::SchedulerRegistry::Default().Create(algo)).value();
     SchedulerOptions options;
     options.time_budget_s = 1.0;
     options.seed = 5;

@@ -1,19 +1,18 @@
-// A balance-responsible party's trading day at realistic scale: forecast the
-// area's demand and wind supply with the forecasting component, collect and
-// negotiate thousands of prosumer flex-offers, aggregate them (P2-style
-// parameters plus bin-packer), schedule the macro offers with the
-// evolutionary algorithm, and disaggregate back to micro schedules.
+// A balance-responsible party's trading day at realistic scale: train the
+// forecasting component on 4 weeks of area history, plug it straight into an
+// EdmsEngine via ForecastBaselineProvider, stream thousands of prosumer
+// flex-offers through batch intake, and let the engine's control loop
+// negotiate, aggregate (P2 + bin-packer), schedule with the evolutionary
+// algorithm and disaggregate — all observed through the typed event stream.
 #include <cstdio>
-#include <limits>
 #include <iostream>
+#include <vector>
 
-#include "aggregation/pipeline.h"
 #include "common/stopwatch.h"
 #include "datagen/energy_series_generator.h"
 #include "datagen/flex_offer_generator.h"
+#include "edms/edms_engine.h"
 #include "forecasting/forecaster.h"
-#include "negotiation/negotiator.h"
-#include "scheduling/scheduler.h"
 
 using namespace mirabel;             // NOLINT: example brevity
 using namespace mirabel::flexoffer;  // NOLINT
@@ -38,7 +37,7 @@ int main() {
   wind_cfg.capacity_mw = 4000.0;
   std::vector<double> wind_history = datagen::GenerateWindSeries(wind_cfg);
 
-  // Hold out the final day: that's the trading day we schedule.
+  // Hold out the final day: that's the trading day the engine schedules.
   size_t train = static_cast<size_t>(28 * kSlicesPerDay);
   forecasting::ForecasterConfig fc;
   fc.seasonal_periods = {kSlicesPerDay, 7 * kSlicesPerDay};
@@ -60,104 +59,88 @@ int main() {
       return 1;
     }
   }
-  auto demand_fc = demand_forecaster.Forecast(kSlicesPerDay);
-  auto wind_fc = wind_forecaster.Forecast(kSlicesPerDay);
-  if (!demand_fc.ok() || !wind_fc.ok()) {
-    std::cerr << "forecast failed\n";
-    return 1;
-  }
-  std::puts("forecasts for the trading day ready (demand + wind, HWT)");
+  std::puts("forecasters for the trading day ready (demand + wind, HWT)");
 
-  // --- Offers: 10k prosumer flex-offers, negotiated then aggregated --------
+  // --- The engine: forecasting plugged in directly -------------------------
+  // Slice 0 of the engine clock is the first slice after the training
+  // history; the provider forecasts demand minus wind on demand, scaled down
+  // to the flexible-load magnitude (as in the paper's experiments).
+  edms::EdmsEngine::Config config;
+  config.actor = 100;
+  config.negotiate = true;
+  config.aggregation.params = aggregation::AggregationParams::P2();
+  aggregation::BinPackerBounds bounds;
+  bounds.max_offers = 256;
+  config.aggregation.bin_packer = bounds;
+  config.gate_period = 16;
+  config.horizon = 2 * kSlicesPerDay;  // day + spill-over for tails
+  config.scheduler_factory = [] {
+    return std::make_unique<scheduling::EvolutionaryScheduler>();
+  };
+  config.scheduler_budget_s = 0.5;
+  config.seed = 7;
+  config.penalty_eur_per_kwh = 0.25;
+  config.buy_price_eur = 0.12;
+  config.sell_price_eur = 0.05;
+  config.max_buy_kwh = 40.0;
+  config.max_sell_kwh = 40.0;
+  config.baseline = std::make_shared<edms::ForecastBaselineProvider>(
+      &demand_forecaster, &wind_forecaster, /*origin=*/0, /*scale=*/0.01);
+  edms::EdmsEngine engine(config);
+
+  // --- Offers: 10k prosumer flex-offers, batch intake ----------------------
   datagen::FlexOfferWorkloadConfig workload;
   workload.count = 10000;
   workload.seed = 99;
   workload.horizon_days = 1;
   std::vector<FlexOffer> offers = datagen::GenerateFlexOffers(workload);
 
-  negotiation::Negotiator negotiator;
-  aggregation::PipelineConfig agg_cfg;
-  agg_cfg.params = aggregation::AggregationParams::P2();
-  aggregation::BinPackerBounds bounds;
-  bounds.max_offers = 256;
-  agg_cfg.bin_packer = bounds;
-  aggregation::AggregationPipeline pipeline(agg_cfg);
-
-  int accepted = 0;
-  int rejected = 0;
-  double payments = 0.0;
-  for (const FlexOffer& fo : offers) {
-    auto outcome = negotiator.Negotiate(fo, 0.0);
-    if (outcome.decision ==
-        negotiation::NegotiationOutcome::Decision::kAgreed) {
-      if (pipeline.Insert(fo).ok()) {
-        ++accepted;
-        payments += outcome.agreed_price_eur;
-        continue;
-      }
-    }
-    ++rejected;
-  }
-  Stopwatch agg_watch;
-  pipeline.Flush();
-  auto stats = pipeline.Stats();
-  std::printf("negotiation: %d accepted, %d rejected, %.0f EUR flexibility "
-              "payments\n",
-              accepted, rejected, payments);
-  std::printf("aggregation: %zu offers -> %zu macros (%.1fx) in %.2fs, "
-              "avg tf loss %.2f slices\n",
-              stats.offer_count, stats.aggregate_count,
-              stats.compression_ratio, agg_watch.ElapsedSeconds(),
-              stats.avg_time_flexibility_loss);
-
-  // --- Scheduling: balance the day with the macro offers --------------------
-  scheduling::SchedulingProblem problem;
-  problem.horizon_start = 0;
-  problem.horizon_length = 2 * kSlicesPerDay;  // day + spill-over for tails
-  size_t h = static_cast<size_t>(problem.horizon_length);
-  problem.baseline_imbalance_kwh.assign(h, 0.0);
-  for (size_t s = 0; s < h; ++s) {
-    size_t idx = s % static_cast<size_t>(kSlicesPerDay);
-    problem.baseline_imbalance_kwh[s] =
-        ((*demand_fc)[idx] - (*wind_fc)[idx]) / 100.0;  // scale to flex size
-  }
-  problem.imbalance_penalty_eur.assign(h, 0.25);
-  problem.market.buy_price_eur.assign(h, 0.12);
-  problem.market.sell_price_eur.assign(h, 0.05);
-  problem.market.max_buy_kwh = 40.0;
-  problem.market.max_sell_kwh = 40.0;
-  for (const auto& [id, agg] : pipeline.aggregates()) {
-    const FlexOffer& m = agg.macro;
-    if (m.earliest_start >= 0 &&
-        m.LatestEnd() <= problem.horizon_length) {
-      problem.offers.push_back(m);
-    }
-  }
-  std::printf("scheduling %zu macro offers...\n", problem.offers.size());
-
-  scheduling::EvolutionaryScheduler scheduler;
-  scheduling::SchedulerOptions options;
-  options.time_budget_s = 3.0;
-  options.seed = 7;
-  auto run = scheduler.Run(problem, options);
-  if (!run.ok()) {
-    std::cerr << "scheduling failed: " << run.status() << "\n";
+  Stopwatch intake_watch;
+  auto accepted = engine.SubmitOffers(offers, 0);
+  if (!accepted.ok()) {
+    std::cerr << "intake failed: " << accepted.status() << "\n";
     return 1;
   }
-  std::printf("schedule cost %.0f EUR after %d generations\n",
-              run->cost.total(), run->iterations);
+  std::printf("negotiation: %zu accepted, %lld rejected, %.0f EUR "
+              "flexibility payments (%.2fs)\n",
+              *accepted, static_cast<long long>(engine.stats().offers_rejected),
+              engine.stats().payments_eur, intake_watch.ElapsedSeconds());
 
-  // --- Disaggregation: macro schedules back to prosumers --------------------
-  scheduling::CostEvaluator evaluator(problem);
-  (void)evaluator.SetSchedule(run->schedule);
-  Stopwatch disagg_watch;
-  size_t micro_count = 0;
-  for (const auto& macro_schedule : evaluator.ToScheduledOffers()) {
-    auto micro = pipeline.DisaggregateSchedule(macro_schedule);
-    if (micro.ok()) micro_count += micro->size();
+  // --- The control loop: gates fire across the trading day -----------------
+  Stopwatch loop_watch;
+  size_t macros = 0;
+  size_t micro_schedules = 0;
+  size_t expired = 0;
+  for (TimeSlice now = 0; now < 2 * kSlicesPerDay; now += config.gate_period) {
+    if (Status st = engine.Advance(now); !st.ok()) {
+      std::cerr << "gate failed: " << st << "\n";
+      return 1;
+    }
+    for (const edms::Event& event : engine.PollEvents()) {
+      if (std::get_if<edms::MacroPublished>(&event) != nullptr) {
+        ++macros;
+      } else if (std::get_if<edms::ScheduleAssigned>(&event) != nullptr) {
+        ++micro_schedules;
+      } else if (std::get_if<edms::OfferExpired>(&event) != nullptr) {
+        ++expired;
+      }
+    }
   }
-  std::printf("disaggregated to %zu micro schedules in %.2fs\n", micro_count,
-              disagg_watch.ElapsedSeconds());
+
+  const edms::EngineStats& stats = engine.stats();
+  const aggregation::AggregationStats agg_stats = engine.pipeline().Stats();
+  std::printf("control loop: %lld scheduling runs, %zu macro offers, "
+              "%zu micro schedules, %zu expired (%.2fs)\n",
+              static_cast<long long>(stats.scheduling_runs), macros,
+              micro_schedules, expired, loop_watch.ElapsedSeconds());
+  std::printf("imbalance %.0f -> %.0f kWh, schedule cost %.0f EUR, "
+              "%zu offers still pooled\n",
+              stats.imbalance_before_kwh, stats.imbalance_after_kwh,
+              stats.schedule_cost_eur, agg_stats.offer_count);
   std::printf("trading day done in %.1fs\n", total_watch.ElapsedSeconds());
+  if (micro_schedules == 0) {
+    std::cerr << "no schedules assigned\n";
+    return 1;
+  }
   return 0;
 }

@@ -3,17 +3,17 @@
 //           the battery must be full by 07:00.
 //   Step 2  The prosumer node generates a flex-offer (Fig. 3): a 2 h profile,
 //           earliest start 22:00, latest start 05:00.
-//   Step 3  The trader node schedules the offer against the wind forecast —
-//           charging starts when RES supply peaks (the paper's run lands at
-//           03:00) — and sends the schedule back.
+//   Step 3  The trader's EdmsEngine negotiates, aggregates and schedules the
+//           offer against the wind forecast — charging starts when RES supply
+//           peaks (the paper's run lands at 03:00) — and assigns the schedule.
 //   Step 4  The consumer node charges the car; the battery is full by ~05:00.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "datagen/energy_series_generator.h"
+#include "edms/edms_engine.h"
 #include "flexoffer/flex_offer.h"
-#include "negotiation/negotiator.h"
-#include "scheduling/scheduler.h"
 
 using namespace mirabel;             // NOLINT: example brevity
 using namespace mirabel::flexoffer;  // NOLINT
@@ -34,23 +34,9 @@ int main() {
               static_cast<long long>(ev.TimeFlexibility()),
               static_cast<long long>(ev.TimeFlexibility() / kSlicesPerHour));
 
-  // Negotiation: the BRP prices the flexibility before accepting (paper §7).
-  negotiation::Negotiator negotiator;
-  auto outcome = negotiator.Negotiate(ev, /*reservation_price_eur=*/0.10);
-  if (outcome.decision != negotiation::NegotiationOutcome::Decision::kAgreed) {
-    std::cerr << "BRP rejected the offer\n";
-    return 1;
-  }
-  std::printf("negotiated flexibility price: %.2f EUR (BRP values it at "
-              "%.2f EUR)\n",
-              outcome.agreed_price_eur, outcome.brp_value_eur);
-
   // Step 3: the trader's wind forecast for the night. Wind ramps up after
-  // midnight and peaks around 02:00-05:00.
-  scheduling::SchedulingProblem problem;
-  problem.horizon_start = HoursToSlices(22);
-  problem.horizon_length = HoursToSlices(10);  // 22:00 .. 08:00
-  size_t h = static_cast<size_t>(problem.horizon_length);
+  // midnight and peaks around 02:00-05:00. The curve is indexed by absolute
+  // slice and served to the engine through the BaselineProvider seam.
   datagen::WindSeriesConfig wind_cfg;
   wind_cfg.periods_per_day = kSlicesPerDay;
   wind_cfg.days = 1;
@@ -58,40 +44,68 @@ int main() {
   wind_cfg.mean_speed = 9.5;
   wind_cfg.seed = 3;
   std::vector<double> wind = datagen::GenerateWindSeries(wind_cfg);
-  problem.baseline_imbalance_kwh.resize(h);
-  for (size_t s = 0; s < h; ++s) {
-    int slice_of_day = (static_cast<int>(s) + 22 * kSlicesPerHour) %
-                       kSlicesPerDay;
+  std::vector<double> imbalance(static_cast<size_t>(HoursToSlices(34)), 0.0);
+  for (int t = HoursToSlices(22); t < HoursToSlices(34); ++t) {
+    int slice_of_day = t % kSlicesPerDay;
     double night_household_load = 1.0;  // kWh per slice, non-flexible
     // Wind picks up after midnight: weight the synthetic series upward there.
     double wind_kwh = wind[static_cast<size_t>(slice_of_day)] *
                       (slice_of_day < 22 * 4 && slice_of_day >= 4 ? 0.9 : 0.3);
-    problem.baseline_imbalance_kwh[s] = night_household_load - wind_kwh;
+    imbalance[static_cast<size_t>(t)] = night_household_load - wind_kwh;
   }
-  problem.imbalance_penalty_eur.assign(h, 0.35);
-  problem.market.buy_price_eur.assign(h, 0.18);
-  problem.market.sell_price_eur.assign(h, 0.03);
-  problem.market.max_buy_kwh = 3.0;
-  problem.market.max_sell_kwh = 3.0;
-  problem.offers.push_back(ev);
 
-  scheduling::GreedyScheduler scheduler;
-  scheduling::SchedulerOptions options;
-  options.time_budget_s = 0.2;
-  auto run = scheduler.Run(problem, options);
-  if (!run.ok()) {
-    std::cerr << "scheduling failed: " << run.status() << "\n";
+  // The trader: one EdmsEngine negotiating with the prosumer and scheduling
+  // greedily over a 10 h horizon (22:00 .. 08:00).
+  edms::EdmsEngine::Config config;
+  config.actor = 1;
+  config.negotiate = true;
+  config.horizon = HoursToSlices(10);
+  config.scheduler_budget_s = 0.2;
+  config.penalty_eur_per_kwh = 0.35;
+  config.buy_price_eur = 0.18;
+  config.sell_price_eur = 0.03;
+  config.max_buy_kwh = 3.0;
+  config.max_sell_kwh = 3.0;
+  config.baseline =
+      std::make_shared<edms::VectorBaselineProvider>(std::move(imbalance));
+  edms::EdmsEngine engine(config);
+
+  // Intake at 22:00; the gate closes just before the start window opens.
+  const TimeSlice arrival = HoursToSlices(22);
+  if (Status st = engine.SubmitOffer(ev, arrival); !st.ok()) {
+    std::cerr << "submit failed: " << st << "\n";
+    return 1;
+  }
+  if (Status st = engine.Advance(arrival - 1); !st.ok()) {
+    std::cerr << "advance failed: " << st << "\n";
     return 1;
   }
 
-  scheduling::CostEvaluator evaluator(problem);
-  (void)evaluator.SetSchedule(run->schedule);
-  ScheduledFlexOffer schedule = evaluator.ToScheduledOffers().front();
+  bool accepted = false;
+  ScheduledFlexOffer schedule;
+  for (const edms::Event& event : engine.PollEvents()) {
+    if (const auto* e = std::get_if<edms::OfferAccepted>(&event)) {
+      accepted = true;
+      std::printf("negotiated flexibility price: %.2f EUR\n",
+                  e->agreed_price_eur);
+    } else if (std::get_if<edms::OfferRejected>(&event) != nullptr) {
+      std::cerr << "BRP rejected the offer\n";
+      return 1;
+    } else if (const auto* e = std::get_if<edms::ScheduleAssigned>(&event)) {
+      schedule = e->schedule;
+    }
+  }
+  if (!accepted || schedule.offer_id != ev.id) {
+    std::cerr << "no schedule assigned\n";
+    return 1;
+  }
+
   Status valid = schedule.ValidateAgainst(ev);
   std::printf("scheduled charging start: %s (%s)\n",
-              FormatTimeSlice(schedule.start).c_str(), valid.ToString().c_str());
+              FormatTimeSlice(schedule.start).c_str(),
+              valid.ToString().c_str());
   std::printf("scheduled energy: %.1f kWh, schedule cost %.2f EUR\n",
-              schedule.TotalEnergy(), run->cost.total());
+              schedule.TotalEnergy(), engine.stats().schedule_cost_eur);
 
   // Step 4: execution timeline.
   TimeSlice done = schedule.start + ev.Duration();

@@ -1,14 +1,15 @@
-// Quickstart: the full flex-offer round trip on a handful of offers —
-// build offers, aggregate them, schedule the macro offers against a toy
-// imbalance curve, disaggregate, and verify every constraint held.
+// Quickstart: the full flex-offer round trip on a handful of offers, driven
+// end to end by EdmsEngine — submit offers, advance the control loop, and
+// read the life cycle off the typed event stream. No hand-wiring of
+// negotiator / pipeline / scheduler: the engine owns all three.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
-#include "aggregation/pipeline.h"
+#include "edms/edms_engine.h"
 #include "flexoffer/flex_offer.h"
-#include "scheduling/scheduler.h"
 
-using namespace mirabel;           // NOLINT: example brevity
+using namespace mirabel;             // NOLINT: example brevity
 using namespace mirabel::flexoffer;  // NOLINT
 
 int main() {
@@ -41,74 +42,77 @@ int main() {
                        .UnitPrice(0.04)
                        .Build());
 
-  // --- 2. Aggregate (group-builder + n-to-1, bin-packer off) ----------------
-  aggregation::PipelineConfig agg_config;
-  agg_config.params = aggregation::AggregationParams::P3();
-  aggregation::AggregationPipeline pipeline(agg_config);
-  for (const auto& fo : offers) {
-    Status st = pipeline.Insert(fo);
-    if (!st.ok()) {
-      std::cerr << "insert failed: " << st << "\n";
-      return 1;
+  // --- 2. One engine runs intake, aggregation, scheduling, disaggregation --
+  // Overnight wind surplus (negative imbalance) around 01:00-05:00 that the
+  // flexible load should absorb; the engine schedules against it.
+  edms::EdmsEngine::Config config;
+  config.actor = 100;
+  config.negotiate = true;
+  config.aggregation.params = aggregation::AggregationParams::P3();
+  config.horizon = HoursToSlices(12);
+  config.scheduler_budget_s = 0.2;
+  config.penalty_eur_per_kwh = 0.30;
+  config.buy_price_eur = 0.15;
+  config.sell_price_eur = 0.04;
+  config.max_buy_kwh = 2.0;
+  config.max_sell_kwh = 2.0;
+  {
+    // Covers the whole scheduling horizon: the gate at 20:00 schedules
+    // (20:00, 08:15], one slice past 20 + 12 hours.
+    std::vector<double> imbalance(
+        static_cast<size_t>(HoursToSlices(20 + 13)), 0.5);
+    for (int hour = 25; hour <= 28; ++hour) {  // 01:00-05:00 wind surplus
+      for (int s = HoursToSlices(hour); s < HoursToSlices(hour + 1); ++s) {
+        imbalance[static_cast<size_t>(s)] = -3.0;
+      }
     }
+    config.baseline =
+        std::make_shared<edms::VectorBaselineProvider>(std::move(imbalance));
   }
-  pipeline.Flush();
-  aggregation::AggregationStats stats = pipeline.Stats();
-  std::printf("aggregated %zu offers into %zu macro offer(s), "
-              "compression %.1fx, avg time-flex loss %.2f slices\n",
-              stats.offer_count, stats.aggregate_count,
-              stats.compression_ratio, stats.avg_time_flexibility_loss);
+  edms::EdmsEngine engine(config);
 
-  // --- 3. Schedule the macro offers -----------------------------------------
-  // Overnight horizon 20:00 .. 08:00; wind surplus (negative imbalance)
-  // around 02:00 that the flexible load should absorb.
-  scheduling::SchedulingProblem problem;
-  problem.horizon_start = HoursToSlices(20);
-  problem.horizon_length = HoursToSlices(12);
-  size_t h = static_cast<size_t>(problem.horizon_length);
-  problem.baseline_imbalance_kwh.assign(h, 0.5);
-  for (size_t s = 0; s < h; ++s) {
-    int hour = 20 + static_cast<int>(s) / kSlicesPerHour;
-    if (hour >= 24 + 1 && hour <= 24 + 4) {
-      problem.baseline_imbalance_kwh[s] = -3.0;  // 01:00-05:00 wind surplus
-    }
-  }
-  problem.imbalance_penalty_eur.assign(h, 0.30);
-  problem.market.buy_price_eur.assign(h, 0.15);
-  problem.market.sell_price_eur.assign(h, 0.04);
-  problem.market.max_buy_kwh = 2.0;
-  problem.market.max_sell_kwh = 2.0;
-  for (const auto& [id, agg] : pipeline.aggregates()) {
-    problem.offers.push_back(agg.macro);
-  }
-
-  scheduling::GreedyScheduler scheduler;
-  scheduling::SchedulerOptions options;
-  options.time_budget_s = 0.2;
-  auto run = scheduler.Run(problem, options);
-  if (!run.ok()) {
-    std::cerr << "scheduling failed: " << run.status() << "\n";
+  // --- 3. Batch intake + one gate closure -----------------------------------
+  auto submitted = engine.SubmitOffers(offers, HoursToSlices(20));
+  if (!submitted.ok()) {
+    std::cerr << "submit failed: " << submitted.status() << "\n";
     return 1;
   }
-  std::printf("schedule cost: imbalance %.2f + flex %.2f + market %.2f "
-              "= %.2f EUR\n",
-              run->cost.imbalance_eur, run->cost.flex_activation_eur,
-              run->cost.market_eur, run->cost.total());
+  Status advanced = engine.Advance(HoursToSlices(20));
+  if (!advanced.ok()) {
+    std::cerr << "advance failed: " << advanced << "\n";
+    return 1;
+  }
 
-  // --- 4. Disaggregate back to per-prosumer schedules ------------------------
-  scheduling::CostEvaluator evaluator(problem);
-  (void)evaluator.SetSchedule(run->schedule);
-  for (const auto& macro_schedule : evaluator.ToScheduledOffers()) {
-    auto micro = pipeline.DisaggregateSchedule(macro_schedule);
-    if (!micro.ok()) {
-      std::cerr << "disaggregation failed: " << micro.status() << "\n";
-      return 1;
-    }
-    for (const auto& s : *micro) {
+  // --- 4. The life cycle, read off the event stream -------------------------
+  int assigned = 0;
+  for (const edms::Event& event : engine.PollEvents()) {
+    if (const auto* e = std::get_if<edms::OfferAccepted>(&event)) {
+      std::printf("accepted offer %llu at %.3f EUR flexibility price\n",
+                  static_cast<unsigned long long>(e->offer),
+                  e->agreed_price_eur);
+    } else if (const auto* e = std::get_if<edms::MacroPublished>(&event)) {
+      std::printf("macro offer %llu aggregates %zu member offer(s)\n",
+                  static_cast<unsigned long long>(e->macro.id),
+                  e->member_count);
+    } else if (const auto* e = std::get_if<edms::ScheduleAssigned>(&event)) {
+      const auto& s = e->schedule;
       std::printf("  offer %llu starts at %s, %.2f kWh total\n",
                   static_cast<unsigned long long>(s.offer_id),
                   FormatTimeSlice(s.start).c_str(), s.TotalEnergy());
+      ++assigned;
     }
+  }
+
+  const edms::EngineStats& stats = engine.stats();
+  std::printf("%lld offers accepted -> %lld macro(s) scheduled, cost %.2f "
+              "EUR, imbalance %.1f -> %.1f kWh\n",
+              static_cast<long long>(stats.offers_accepted),
+              static_cast<long long>(stats.macros_scheduled),
+              stats.schedule_cost_eur, stats.imbalance_before_kwh,
+              stats.imbalance_after_kwh);
+  if (assigned != 3) {
+    std::cerr << "expected 3 assigned schedules, got " << assigned << "\n";
+    return 1;
   }
   std::puts("quickstart OK");
   return 0;

@@ -73,12 +73,12 @@ Status AggregatedFlexOffer::Validate() const {
   if (members.empty()) {
     return Status::FailedPrecondition("aggregate has no members");
   }
-  MIRABEL_RETURN_NOT_OK(macro.Validate());
+  MIRABEL_RETURN_IF_ERROR(macro.Validate());
   constexpr double kTol = 1e-6;
   std::vector<double> min_sum(macro.profile.size(), 0.0);
   std::vector<double> max_sum(macro.profile.size(), 0.0);
   for (const auto& m : members) {
-    MIRABEL_RETURN_NOT_OK(m.offer.Validate());
+    MIRABEL_RETURN_IF_ERROR(m.offer.Validate());
     if (m.offset < 0) return Status::Internal("negative member offset");
     if (m.offset + m.offer.Duration() >
         static_cast<int64_t>(macro.profile.size())) {
@@ -113,7 +113,7 @@ Result<AggregatedFlexOffer> BuildAggregate(
     return Status::InvalidArgument("cannot aggregate zero flex-offers");
   }
   for (const auto& m : members) {
-    MIRABEL_RETURN_NOT_OK(m.Validate());
+    MIRABEL_RETURN_IF_ERROR(m.Validate());
   }
   AggregatedFlexOffer agg;
   agg.macro.id = aggregate_id;
@@ -125,7 +125,7 @@ Result<AggregatedFlexOffer> BuildAggregate(
 }
 
 Status AddMember(const FlexOffer& member, AggregatedFlexOffer* agg) {
-  MIRABEL_RETURN_NOT_OK(member.Validate());
+  MIRABEL_RETURN_IF_ERROR(member.Validate());
   if (agg->members.empty()) {
     return Status::FailedPrecondition("aggregate has no members");
   }
@@ -192,7 +192,7 @@ Status RemoveMember(FlexOfferId member_id, AggregatedFlexOffer* agg) {
 
 Result<std::vector<ScheduledFlexOffer>> Disaggregate(
     const AggregatedFlexOffer& agg, const ScheduledFlexOffer& schedule) {
-  MIRABEL_RETURN_NOT_OK(schedule.ValidateAgainst(agg.macro));
+  MIRABEL_RETURN_IF_ERROR(schedule.ValidateAgainst(agg.macro));
 
   // Per-slice fill fraction f in [0, 1]: how far the scheduled energy sits
   // inside the aggregated [min, max] band.
@@ -218,7 +218,7 @@ Result<std::vector<ScheduledFlexOffer>> Disaggregate(
       double f = fraction[static_cast<size_t>(m.offset + j)];
       s.energies_kwh.push_back(band.min_kwh + f * band.Flexibility());
     }
-    MIRABEL_RETURN_NOT_OK(s.ValidateAgainst(m.offer));
+    MIRABEL_RETURN_IF_ERROR(s.ValidateAgainst(m.offer));
     out.push_back(std::move(s));
   }
   return out;

@@ -28,7 +28,7 @@ Result<AggregateUpdate> NToOneAggregator::AddIncremental(
   AggregateId aid = map_it->second;
   AggregatedFlexOffer& agg = aggregates_[aid];
   for (const FlexOffer& fo : additions) {
-    MIRABEL_RETURN_NOT_OK(AddMember(fo, &agg));
+    MIRABEL_RETURN_IF_ERROR(AddMember(fo, &agg));
   }
   AggregateUpdate u;
   u.kind = UpdateKind::kChanged;

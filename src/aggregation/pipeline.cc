@@ -14,8 +14,16 @@ AggregationPipeline::AggregationPipeline(const PipelineConfig& config)
 }
 
 Status AggregationPipeline::Insert(const FlexOffer& offer) {
-  MIRABEL_RETURN_NOT_OK(offer.Validate());
+  MIRABEL_RETURN_IF_ERROR(offer.Validate());
   return group_builder_.Insert(offer);
+}
+
+Status AggregationPipeline::Insert(std::span<const FlexOffer> offers) {
+  group_builder_.Reserve(offers.size());
+  for (const FlexOffer& offer : offers) {
+    MIRABEL_RETURN_IF_ERROR(Insert(offer));
+  }
+  return Status::OK();
 }
 
 Status AggregationPipeline::Remove(FlexOfferId id) {

@@ -46,7 +46,7 @@ Status CheckSameNonEmpty(const std::vector<double>& a,
 
 Result<double> Smape(const std::vector<double>& actual,
                      const std::vector<double>& forecast) {
-  MIRABEL_RETURN_NOT_OK(CheckSameNonEmpty(actual, forecast));
+  MIRABEL_RETURN_IF_ERROR(CheckSameNonEmpty(actual, forecast));
   double acc = 0.0;
   for (size_t i = 0; i < actual.size(); ++i) {
     double denom = (std::fabs(actual[i]) + std::fabs(forecast[i])) / 2.0;
@@ -58,7 +58,7 @@ Result<double> Smape(const std::vector<double>& actual,
 
 Result<double> Mape(const std::vector<double>& actual,
                     const std::vector<double>& forecast) {
-  MIRABEL_RETURN_NOT_OK(CheckSameNonEmpty(actual, forecast));
+  MIRABEL_RETURN_IF_ERROR(CheckSameNonEmpty(actual, forecast));
   double acc = 0.0;
   size_t n = 0;
   for (size_t i = 0; i < actual.size(); ++i) {
@@ -78,7 +78,7 @@ Result<double> Rmse(const std::vector<double>& actual,
 
 Result<double> SumSquaredError(const std::vector<double>& actual,
                                const std::vector<double>& forecast) {
-  MIRABEL_RETURN_NOT_OK(CheckSameNonEmpty(actual, forecast));
+  MIRABEL_RETURN_IF_ERROR(CheckSameNonEmpty(actual, forecast));
   double acc = 0.0;
   for (size_t i = 0; i < actual.size(); ++i) {
     double d = forecast[i] - actual[i];
@@ -89,7 +89,7 @@ Result<double> SumSquaredError(const std::vector<double>& actual,
 
 Result<LinearFit> FitLine(const std::vector<double>& x,
                           const std::vector<double>& y) {
-  MIRABEL_RETURN_NOT_OK(CheckSameNonEmpty(x, y));
+  MIRABEL_RETURN_IF_ERROR(CheckSameNonEmpty(x, y));
   if (x.size() < 2) return Status::InvalidArgument("need >= 2 points");
   double mx = Mean(x);
   double my = Mean(y);

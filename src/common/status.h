@@ -89,7 +89,7 @@ class Status {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Propagates a non-OK Status to the caller. Evaluates `expr` once.
-#define MIRABEL_RETURN_NOT_OK(expr)                  \
+#define MIRABEL_RETURN_IF_ERROR(expr)                \
   do {                                               \
     ::mirabel::Status _st = (expr);                  \
     if (!_st.ok()) return _st;                       \

@@ -1,0 +1,65 @@
+#include "edms/baseline_provider.h"
+
+#include <string>
+
+namespace mirabel::edms {
+
+using flexoffer::TimeSlice;
+
+Result<std::vector<double>> ZeroBaselineProvider::Baseline(TimeSlice start,
+                                                           int length) {
+  (void)start;
+  if (length < 0) return Status::InvalidArgument("negative horizon length");
+  return std::vector<double>(static_cast<size_t>(length), 0.0);
+}
+
+Result<std::vector<double>> VectorBaselineProvider::Baseline(TimeSlice start,
+                                                             int length) {
+  if (length < 0) return Status::InvalidArgument("negative horizon length");
+  std::vector<double> out(static_cast<size_t>(length), 0.0);
+  for (int s = 0; s < length; ++s) {
+    TimeSlice t = start + s - origin_;
+    if (t >= 0 && t < static_cast<TimeSlice>(imbalance_kwh_.size())) {
+      out[static_cast<size_t>(s)] = imbalance_kwh_[static_cast<size_t>(t)];
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> ForecastBaselineProvider::Baseline(TimeSlice start,
+                                                               int length) {
+  if (length < 0) return Status::InvalidArgument("negative horizon length");
+  if (demand_ == nullptr) {
+    return Status::InvalidArgument("demand forecaster is required");
+  }
+  if (start < origin_) {
+    return Status::FailedPrecondition(
+        "baseline requested for slice " + std::to_string(start) +
+        " before the forecast origin " + std::to_string(origin_));
+  }
+  size_t needed = static_cast<size_t>(start - origin_) +
+                  static_cast<size_t>(length);
+  if (needed > cache_.size()) {
+    // Re-forecast from the origin with headroom so steadily advancing gates
+    // trigger only O(log) rebuilds.
+    int horizon = static_cast<int>(needed + needed / 2);
+    MIRABEL_ASSIGN_OR_RETURN(std::vector<double> demand,
+                             demand_->Forecast(horizon));
+    std::vector<double> supply;
+    if (supply_ != nullptr) {
+      MIRABEL_ASSIGN_OR_RETURN(supply, supply_->Forecast(horizon));
+    }
+    cache_.resize(static_cast<size_t>(horizon));
+    for (size_t s = 0; s < cache_.size(); ++s) {
+      double net = demand[s];
+      if (!supply.empty()) net -= supply[s];
+      cache_[s] = scale_ * net;
+    }
+  }
+  size_t offset = static_cast<size_t>(start - origin_);
+  return std::vector<double>(cache_.begin() + static_cast<ptrdiff_t>(offset),
+                             cache_.begin() +
+                                 static_cast<ptrdiff_t>(offset + length));
+}
+
+}  // namespace mirabel::edms

@@ -1,0 +1,89 @@
+#ifndef MIRABEL_EDMS_BASELINE_PROVIDER_H_
+#define MIRABEL_EDMS_BASELINE_PROVIDER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "flexoffer/time_slice.h"
+#include "forecasting/forecaster.h"
+
+namespace mirabel::edms {
+
+/// Source of the per-slice baseline imbalance (non-flexible demand minus
+/// forecast RES supply, kWh; positive = deficit) the engine schedules
+/// against. Replaces the injected `baseline_imbalance_kwh` vector of the old
+/// node config: the forecasting component plugs in directly, simulations
+/// inject precomputed curves, and tests use zeros.
+class BaselineProvider {
+ public:
+  virtual ~BaselineProvider() = default;
+
+  /// Baseline imbalance for the `length` slices starting at absolute slice
+  /// `start`. Must return exactly `length` values on success.
+  virtual Result<std::vector<double>> Baseline(flexoffer::TimeSlice start,
+                                               int length) = 0;
+};
+
+/// All-zero baseline: the engine schedules flex-offers against a flat
+/// system. The default when no provider is configured.
+class ZeroBaselineProvider : public BaselineProvider {
+ public:
+  Result<std::vector<double>> Baseline(flexoffer::TimeSlice start,
+                                       int length) override;
+};
+
+/// Serves a precomputed curve indexed by absolute slice (minus `origin`).
+/// Slices outside the curve read as 0 — simulations size the curve to the
+/// simulated span plus the horizon tail.
+class VectorBaselineProvider : public BaselineProvider {
+ public:
+  explicit VectorBaselineProvider(std::vector<double> imbalance_kwh,
+                                  flexoffer::TimeSlice origin = 0)
+      : imbalance_kwh_(std::move(imbalance_kwh)), origin_(origin) {}
+
+  Result<std::vector<double>> Baseline(flexoffer::TimeSlice start,
+                                       int length) override;
+
+ private:
+  std::vector<double> imbalance_kwh_;
+  flexoffer::TimeSlice origin_;
+};
+
+/// Plugs the forecasting component straight into the engine: the baseline is
+/// demand forecast minus (optional) RES supply forecast, both produced by
+/// maintained Forecaster instances whose history ends at slice `origin`.
+/// Requesting slices before `origin` is FailedPrecondition (the past is
+/// measured, not forecast).
+///
+/// The net curve is forecast lazily and cached: a request past the cached
+/// span re-forecasts from the origin once, so per-gate cost stays O(horizon)
+/// instead of growing with the distance from the origin.
+class ForecastBaselineProvider : public BaselineProvider {
+ public:
+  /// `demand` (required) and `supply` (may be nullptr) must be trained and
+  /// outlive the provider. `scale` multiplies the net forecast, letting
+  /// MW-scale area forecasts drive kWh-scale scheduling problems. The
+  /// forecasters must not receive further measurements while the provider is
+  /// in use (the cache snapshots their state).
+  ForecastBaselineProvider(forecasting::Forecaster* demand,
+                           forecasting::Forecaster* supply,
+                           flexoffer::TimeSlice origin, double scale = 1.0)
+      : demand_(demand), supply_(supply), origin_(origin), scale_(scale) {}
+
+  Result<std::vector<double>> Baseline(flexoffer::TimeSlice start,
+                                       int length) override;
+
+ private:
+  forecasting::Forecaster* demand_;
+  forecasting::Forecaster* supply_;
+  flexoffer::TimeSlice origin_;
+  double scale_;
+  /// Net (scaled) forecast for slices [origin_, origin_ + cache_.size()).
+  std::vector<double> cache_;
+};
+
+}  // namespace mirabel::edms
+
+#endif  // MIRABEL_EDMS_BASELINE_PROVIDER_H_

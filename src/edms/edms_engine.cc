@@ -1,0 +1,324 @@
+#include "edms/edms_engine.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "scheduling/scheduling_problem.h"
+
+namespace mirabel::edms {
+
+using aggregation::AggregatedFlexOffer;
+using flexoffer::FlexOffer;
+using flexoffer::FlexOfferId;
+using flexoffer::ScheduledFlexOffer;
+using flexoffer::TimeSlice;
+
+EdmsEngine::EdmsEngine(const Config& config)
+    : config_(config),
+      negotiator_(config.negotiation),
+      pipeline_(config.aggregation) {
+  if (!config_.scheduler_factory) {
+    config_.scheduler_factory = DefaultSchedulerFactory();
+  }
+  if (config_.baseline == nullptr) {
+    config_.baseline = std::make_shared<ZeroBaselineProvider>();
+  }
+}
+
+Result<size_t> EdmsEngine::SubmitOffers(std::span<const FlexOffer> offers,
+                                        TimeSlice now) {
+  // Phase 0: reject duplicate ids up front, before any state mutates —
+  // aborting mid-batch would strand the earlier offers in kOffered.
+  std::unordered_set<FlexOfferId> batch_ids;
+  batch_ids.reserve(offers.size());
+  for (const FlexOffer& offer : offers) {
+    if (lifecycle_.StateOf(offer.id).ok() ||
+        !batch_ids.insert(offer.id).second) {
+      return Status::AlreadyExists("offer " + std::to_string(offer.id) +
+                                   " was already submitted");
+    }
+  }
+
+  // Phase 1: admit. Validation and negotiation decide per offer; the agreed
+  // ones are collected for one batch pipeline insertion.
+  std::vector<FlexOffer> admitted;
+  std::vector<double> prices;
+  admitted.reserve(offers.size());
+  prices.reserve(offers.size());
+  for (const FlexOffer& offer : offers) {
+    ++stats_.offers_received;
+    MIRABEL_RETURN_IF_ERROR(lifecycle_.Begin(offer.id));
+    double price = 0.0;
+    bool agreed = offer.Validate().ok();
+    if (agreed && config_.negotiate) {
+      negotiation::NegotiationOutcome outcome =
+          negotiator_.Negotiate(offer, /*reservation_price_eur=*/0.0);
+      agreed = outcome.decision ==
+               negotiation::NegotiationOutcome::Decision::kAgreed;
+      price = outcome.agreed_price_eur;
+    }
+    if (!agreed) {
+      ++stats_.offers_rejected;
+      MIRABEL_RETURN_IF_ERROR(
+          lifecycle_.Transition(offer.id, OfferState::kRejected).status());
+      events_.push_back(OfferRejected{offer.id, offer.owner, now});
+      continue;
+    }
+    admitted.push_back(offer);
+    prices.push_back(price);
+  }
+  if (admitted.empty()) return size_t{0};
+
+  // Phase 2: one batch insertion. Offers are pre-validated and id-unique
+  // (the lifecycle admitted them), so failures here are engine bugs.
+  MIRABEL_RETURN_IF_ERROR(pipeline_.Insert(std::span<const FlexOffer>(admitted)));
+
+  // Phase 3: bookkeeping + events for the accepted offers.
+  for (size_t i = 0; i < admitted.size(); ++i) {
+    const FlexOffer& offer = admitted[i];
+    ++stats_.offers_accepted;
+    stats_.payments_eur += prices[i];
+    (void)store_.PutFlexOffer(offer);
+    (void)store_.TransitionFlexOffer(offer.id,
+                                     storage::FlexOfferState::kAccepted);
+    (void)store_.SetAgreedPrice(offer.id, prices[i]);
+    MIRABEL_RETURN_IF_ERROR(
+        lifecycle_.Transition(offer.id, OfferState::kAccepted).status());
+    events_.push_back(OfferAccepted{offer.id, offer.owner, now, prices[i]});
+  }
+  return admitted.size();
+}
+
+Status EdmsEngine::SubmitOffer(const FlexOffer& offer, TimeSlice now) {
+  return SubmitOffers(std::span<const FlexOffer>(&offer, 1), now).status();
+}
+
+Status EdmsEngine::Advance(TimeSlice now) {
+  if (last_gate_ >= 0 && now - last_gate_ < config_.gate_period) {
+    return Status::OK();
+  }
+  last_gate_ = now;
+  return RunGate(now);
+}
+
+Status EdmsEngine::RunGate(TimeSlice now) {
+  (void)pipeline_.Flush();
+
+  const TimeSlice horizon_start = now + 1;
+  const TimeSlice horizon_end = horizon_start + config_.horizon;
+
+  std::vector<AggregatedFlexOffer> ready;
+  std::vector<std::pair<FlexOfferId, flexoffer::ActorId>> expired_members;
+  for (const auto& [aid, agg] : pipeline_.aggregates()) {
+    // The macro deadline is the earliest member deadline: past it, members
+    // have already fallen back to their contracts.
+    if (agg.macro.assignment_before <= now ||
+        agg.macro.latest_start < horizon_start) {
+      for (const auto& m : agg.members) {
+        expired_members.emplace_back(m.offer.id, m.offer.owner);
+      }
+      continue;
+    }
+    if (agg.macro.earliest_start >= horizon_start &&
+        agg.macro.LatestEnd() <= horizon_end) {
+      ready.push_back(agg);
+    }
+    // Otherwise the aggregate waits for a later gate.
+  }
+
+  // Expire members whose window already closed (their owners fall back to
+  // the open contract on their own).
+  for (const auto& [id, owner] : expired_members) {
+    (void)pipeline_.Remove(id);
+    (void)store_.TransitionFlexOffer(id, storage::FlexOfferState::kExpired);
+    (void)lifecycle_.Transition(id, OfferState::kExpired);
+    ++stats_.offers_expired_in_pipeline;
+    events_.push_back(OfferExpired{id, owner, now});
+  }
+
+  if (ready.empty()) {
+    (void)pipeline_.Flush();
+    return Status::OK();
+  }
+
+  // Claim the scheduled-now offers: remove members from the pipeline and
+  // keep the aggregate snapshots for disaggregation.
+  for (const auto& agg : ready) {
+    for (const auto& m : agg.members) {
+      (void)pipeline_.Remove(m.offer.id);
+      (void)store_.TransitionFlexOffer(m.offer.id,
+                                       storage::FlexOfferState::kAggregated);
+      MIRABEL_RETURN_IF_ERROR(
+          lifecycle_.Transition(m.offer.id, OfferState::kAggregated)
+              .status());
+    }
+  }
+  (void)pipeline_.Flush();
+
+  if (!config_.schedule_locally) {
+    // Publish macro offers for higher-level aggregation and scheduling.
+    for (const auto& agg : ready) {
+      FlexOffer macro = agg.macro;
+      macro.id = config_.actor * 1000000ULL + agg.macro.id;
+      macro.owner = config_.actor;
+      // The snapshot must carry the wire id so the returning schedule
+      // validates against it at disaggregation time.
+      AggregatedFlexOffer snapshot = agg;
+      snapshot.macro.id = macro.id;
+      snapshot.macro.owner = config_.actor;
+      pending_macros_.emplace(macro.id, std::move(snapshot));
+      events_.push_back(
+          MacroPublished{std::move(macro), now, agg.members.size(), true});
+    }
+    return Status::OK();
+  }
+
+  return ScheduleLocally(now, ready);
+}
+
+Status EdmsEngine::ScheduleLocally(
+    TimeSlice now, const std::vector<AggregatedFlexOffer>& macros) {
+  Status st = ScheduleClaimed(now, macros);
+  if (!st.ok()) {
+    // The members were already claimed out of the pipeline; close their
+    // lifecycles so the owners fall back to their contracts instead of
+    // waiting on a schedule that can no longer arrive.
+    for (const auto& agg : macros) {
+      for (const auto& m : agg.members) {
+        (void)store_.TransitionFlexOffer(m.offer.id,
+                                         storage::FlexOfferState::kExpired);
+        (void)lifecycle_.Transition(m.offer.id, OfferState::kExpired);
+        ++stats_.offers_expired_in_pipeline;
+        events_.push_back(OfferExpired{m.offer.id, m.offer.owner, now});
+      }
+    }
+  }
+  return st;
+}
+
+Status EdmsEngine::ScheduleClaimed(
+    TimeSlice now, const std::vector<AggregatedFlexOffer>& macros) {
+  const TimeSlice horizon_start = now + 1;
+  scheduling::SchedulingProblem problem;
+  problem.horizon_start = horizon_start;
+  problem.horizon_length = config_.horizon;
+  size_t h = static_cast<size_t>(config_.horizon);
+  MIRABEL_ASSIGN_OR_RETURN(
+      problem.baseline_imbalance_kwh,
+      config_.baseline->Baseline(horizon_start, config_.horizon));
+  problem.imbalance_penalty_eur.resize(h);
+  problem.market.buy_price_eur.assign(h, config_.buy_price_eur);
+  problem.market.sell_price_eur.assign(h, config_.sell_price_eur);
+  problem.market.max_buy_kwh = config_.max_buy_kwh;
+  problem.market.max_sell_kwh = config_.max_sell_kwh;
+  for (size_t s = 0; s < h; ++s) {
+    size_t t = static_cast<size_t>(horizon_start) + s;
+    int slice_of_day = flexoffer::SliceOfDay(static_cast<TimeSlice>(t));
+    bool evening_peak = slice_of_day >= 68 && slice_of_day <= 84;  // 17-21 h
+    problem.imbalance_penalty_eur[s] =
+        config_.penalty_eur_per_kwh * (evening_peak ? 3.0 : 1.0);
+  }
+  problem.offers.reserve(macros.size());
+  for (const auto& agg : macros) problem.offers.push_back(agg.macro);
+
+  std::unique_ptr<scheduling::Scheduler> scheduler =
+      config_.scheduler_factory();
+  if (scheduler == nullptr) {
+    return Status::Internal("scheduler factory returned nullptr");
+  }
+  scheduling::SchedulerOptions options;
+  options.time_budget_s = config_.scheduler_budget_s;
+  options.max_iterations = config_.scheduler_max_iterations;
+  options.seed = config_.seed + static_cast<uint64_t>(now);
+  MIRABEL_ASSIGN_OR_RETURN(scheduling::SchedulingResult run,
+                           scheduler->Run(problem, options));
+  ++stats_.scheduling_runs;
+  stats_.schedule_cost_eur += run.cost.total();
+  for (const auto& agg : macros) {
+    events_.push_back(MacroPublished{agg.macro, now, agg.members.size(),
+                                     /*forwarded=*/false});
+  }
+
+  // Imbalance accounting: "before" is the unmanaged placement — every offer
+  // at its fallback position (earliest start, full energy), which is exactly
+  // the CostEvaluator's default schedule — versus the optimised schedule.
+  scheduling::CostEvaluator before_eval(problem);
+  scheduling::CostEvaluator evaluator(problem);
+  (void)evaluator.SetSchedule(run.schedule);
+  for (size_t s = 0; s < h; ++s) {
+    stats_.imbalance_before_kwh += std::fabs(before_eval.net_kwh()[s]);
+    stats_.imbalance_after_kwh += std::fabs(evaluator.net_kwh()[s]);
+  }
+
+  std::vector<ScheduledFlexOffer> macro_schedules =
+      evaluator.ToScheduledOffers();
+  for (size_t i = 0; i < macros.size(); ++i) {
+    ++stats_.macros_scheduled;
+    Status st = EmitMemberSchedules(now, macros[i], macro_schedules[i]);
+    if (!st.ok()) {
+      MIRABEL_LOG(kError) << "disaggregation failed: " << st;
+    }
+  }
+  return Status::OK();
+}
+
+Status EdmsEngine::CompleteMacroSchedule(const ScheduledFlexOffer& schedule,
+                                         TimeSlice now) {
+  auto it = pending_macros_.find(schedule.offer_id);
+  if (it == pending_macros_.end()) {
+    return Status::NotFound("no pending macro offer " +
+                            std::to_string(schedule.offer_id));
+  }
+  // On failure (e.g. a schedule violating the macro's constraints) the
+  // snapshot stays pending so a corrected schedule can still land.
+  MIRABEL_RETURN_IF_ERROR(EmitMemberSchedules(now, it->second, schedule));
+  ++stats_.macros_scheduled;
+  pending_macros_.erase(it);
+  return Status::OK();
+}
+
+Status EdmsEngine::EmitMemberSchedules(
+    TimeSlice now, const AggregatedFlexOffer& agg,
+    const ScheduledFlexOffer& macro_schedule) {
+  MIRABEL_ASSIGN_OR_RETURN(std::vector<ScheduledFlexOffer> members,
+                           aggregation::Disaggregate(agg, macro_schedule));
+  for (size_t i = 0; i < members.size(); ++i) {
+    const ScheduledFlexOffer& schedule = members[i];
+    (void)store_.AttachSchedule(schedule);
+    (void)lifecycle_.Transition(schedule.offer_id, OfferState::kScheduled);
+    (void)lifecycle_.Transition(schedule.offer_id, OfferState::kAssigned);
+    ++stats_.micro_schedules_sent;
+    events_.push_back(
+        ScheduleAssigned{agg.members[i].offer.owner, now, schedule});
+  }
+  return Status::OK();
+}
+
+Status EdmsEngine::RecordExecution(FlexOfferId id, TimeSlice now,
+                                   double energy_kwh) {
+  MIRABEL_ASSIGN_OR_RETURN(const storage::FlexOfferFact* fact,
+                           store_.FindFlexOffer(id));
+  flexoffer::ActorId owner = fact->offer.owner;
+  MIRABEL_RETURN_IF_ERROR(
+      lifecycle_.Transition(id, OfferState::kExecuted).status());
+  (void)store_.TransitionFlexOffer(id, storage::FlexOfferState::kExecuted);
+  ++stats_.offers_executed;
+  events_.push_back(OfferExecuted{id, owner, now, energy_kwh});
+  return Status::OK();
+}
+
+void EdmsEngine::RecordMeasurement(flexoffer::ActorId actor, TimeSlice slice,
+                                   double energy_kwh) {
+  store_.AppendMeasurement(actor, slice, storage::EnergyType::kConsumption,
+                           energy_kwh);
+}
+
+std::vector<Event> EdmsEngine::PollEvents() {
+  std::vector<Event> out;
+  out.swap(events_);
+  return out;
+}
+
+}  // namespace mirabel::edms

@@ -1,0 +1,180 @@
+#ifndef MIRABEL_EDMS_EDMS_ENGINE_H_
+#define MIRABEL_EDMS_EDMS_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "aggregation/pipeline.h"
+#include "edms/baseline_provider.h"
+#include "edms/events.h"
+#include "edms/offer_lifecycle.h"
+#include "edms/scheduler_registry.h"
+#include "negotiation/negotiator.h"
+#include "storage/data_store.h"
+
+namespace mirabel::edms {
+
+/// Counters of one engine's trading activity (the former AggregatingStats).
+struct EngineStats {
+  int64_t offers_received = 0;
+  int64_t offers_accepted = 0;
+  int64_t offers_rejected = 0;
+  int64_t scheduling_runs = 0;
+  int64_t macros_scheduled = 0;
+  int64_t micro_schedules_sent = 0;
+  int64_t offers_expired_in_pipeline = 0;
+  int64_t offers_executed = 0;
+  /// Flexibility payments promised to offer owners (EUR).
+  double payments_eur = 0.0;
+  /// Absolute imbalance over the accounted horizon slices, without / with
+  /// flex-offer scheduling (kWh). The "after" number is what the paper's
+  /// Fig. 1 illustrates: shifted flexible demand absorbs RES production.
+  double imbalance_before_kwh = 0.0;
+  double imbalance_after_kwh = 0.0;
+  /// Total scheduling cost of the accepted schedules (EUR).
+  double schedule_cost_eur = 0.0;
+};
+
+/// The EDMS Control component as a single facade (paper §3, §8): one engine
+/// drives the full flex-offer life cycle — offered, accepted, aggregated,
+/// scheduled, assigned, executed — that nodes, examples and benches used to
+/// hand-wire out of negotiator, pipeline and scheduler.
+///
+/// Usage is batch-first and tick-driven:
+///
+///   EdmsEngine engine(config);
+///   engine.SubmitOffers(offers, now);        // intake + negotiation
+///   engine.Advance(now);                     // fires the gate when due
+///   for (const Event& e : engine.PollEvents()) ...  // typed event stream
+///
+/// In local-scheduling mode a gate closure aggregates, schedules and
+/// disaggregates; in forwarding mode (schedule_locally = false) it publishes
+/// macro offers for a higher EDMS level whose schedules return through
+/// CompleteMacroSchedule() ("the process is essentially repeated at a higher
+/// level", paper §2). All lifecycle bookkeeping runs through an explicit
+/// OfferLifecycle state machine; all side effects surface as events.
+class EdmsEngine {
+ public:
+  struct Config {
+    /// Actor id of the engine's operator (BRP/TSO); stamped as the owner of
+    /// published macro offers.
+    flexoffer::ActorId actor = 0;
+    /// Negotiate (and possibly reject) incoming offers. BRPs negotiate with
+    /// prosumers; a TSO accepts the macro offers of its BRPs.
+    bool negotiate = true;
+    negotiation::Negotiator::Config negotiation;
+    aggregation::PipelineConfig aggregation;
+
+    /// Control-loop cadence (slices between gate closures).
+    int gate_period = 16;
+    /// Scheduling horizon per run (slices).
+    int horizon = 96;
+    /// Scheduler factory (see SchedulerRegistry); empty resolves to
+    /// DefaultSchedulerFactory().
+    SchedulerFactory scheduler_factory;
+    double scheduler_budget_s = 0.05;
+    /// Iteration cap per scheduling run (0 = unlimited). Set this and a
+    /// non-positive time budget for bit-deterministic runs.
+    int scheduler_max_iterations = 0;
+    uint64_t seed = 5;
+
+    /// Baseline imbalance source; null resolves to ZeroBaselineProvider.
+    /// Plug in a ForecastBaselineProvider to drive scheduling straight from
+    /// the forecasting component.
+    std::shared_ptr<BaselineProvider> baseline;
+
+    /// Market / penalty parameters of the engine's scheduling problems.
+    double penalty_eur_per_kwh = 0.25;
+    double buy_price_eur = 0.12;
+    double sell_price_eur = 0.05;
+    double max_buy_kwh = 50.0;
+    double max_sell_kwh = 50.0;
+
+    /// When false, gate closures publish macro offers (MacroPublished with
+    /// forwarded = true) instead of scheduling; schedules return via
+    /// CompleteMacroSchedule().
+    bool schedule_locally = true;
+  };
+
+  explicit EdmsEngine(const Config& config);
+
+  /// Batch intake: validates and negotiates each offer, inserts the agreed
+  /// ones into the aggregation pipeline, and emits one OfferAccepted or
+  /// OfferRejected event per offer. Returns the number accepted. Duplicate
+  /// ids (offers the engine has already seen, or repeats within the batch)
+  /// reject the whole batch with AlreadyExists before any state changes.
+  Result<size_t> SubmitOffers(std::span<const flexoffer::FlexOffer> offers,
+                              flexoffer::TimeSlice now);
+
+  /// Single-offer convenience over SubmitOffers().
+  Status SubmitOffer(const flexoffer::FlexOffer& offer,
+                     flexoffer::TimeSlice now);
+
+  /// Advances the control loop to slice `now`; fires the gate when due. A
+  /// gate closure expires stale offers, claims the aggregates that fit the
+  /// upcoming horizon, and either schedules them locally or publishes them.
+  Status Advance(flexoffer::TimeSlice now);
+
+  /// Delivers the schedule of a previously published (forwarded) macro
+  /// offer: disaggregates it and emits ScheduleAssigned per member.
+  /// NotFound when no such macro is pending.
+  Status CompleteMacroSchedule(const flexoffer::ScheduledFlexOffer& schedule,
+                               flexoffer::TimeSlice now);
+
+  /// Records that the owner executed its assigned schedule (closing the
+  /// lifecycle) and meters the energy.
+  Status RecordExecution(flexoffer::FlexOfferId id, flexoffer::TimeSlice now,
+                         double energy_kwh);
+
+  /// Appends a raw measurement to the store (not tied to an offer).
+  void RecordMeasurement(flexoffer::ActorId actor, flexoffer::TimeSlice slice,
+                         double energy_kwh);
+
+  /// Drains the pending event stream, in emission order.
+  std::vector<Event> PollEvents();
+
+  const EngineStats& stats() const { return stats_; }
+  const OfferLifecycle& lifecycle() const { return lifecycle_; }
+  const storage::DataStore& store() const { return store_; }
+  const aggregation::AggregationPipeline& pipeline() const {
+    return pipeline_;
+  }
+  const Config& config() const { return config_; }
+
+ private:
+  Status RunGate(flexoffer::TimeSlice now);
+  /// Schedules `macros` locally over (now, now + horizon] and emits the
+  /// disaggregated member schedules. On failure the claimed members are
+  /// expired (they are already out of the pipeline).
+  Status ScheduleLocally(
+      flexoffer::TimeSlice now,
+      const std::vector<aggregation::AggregatedFlexOffer>& macros);
+  /// The fallible part of ScheduleLocally: baseline, scheduler run, events.
+  Status ScheduleClaimed(
+      flexoffer::TimeSlice now,
+      const std::vector<aggregation::AggregatedFlexOffer>& macros);
+  /// Disaggregates `macro_schedule` against the snapshot `agg` and emits one
+  /// ScheduleAssigned event per member.
+  Status EmitMemberSchedules(
+      flexoffer::TimeSlice now, const aggregation::AggregatedFlexOffer& agg,
+      const flexoffer::ScheduledFlexOffer& macro_schedule);
+
+  Config config_;
+  storage::DataStore store_;
+  negotiation::Negotiator negotiator_;
+  aggregation::AggregationPipeline pipeline_;
+  OfferLifecycle lifecycle_;
+  EngineStats stats_;
+  std::vector<Event> events_;
+  flexoffer::TimeSlice last_gate_ = -1;
+  /// Snapshots of published macro offers keyed by the composite wire id,
+  /// needed to disaggregate the schedules when they return.
+  std::unordered_map<flexoffer::FlexOfferId, aggregation::AggregatedFlexOffer>
+      pending_macros_;
+};
+
+}  // namespace mirabel::edms
+
+#endif  // MIRABEL_EDMS_EDMS_ENGINE_H_

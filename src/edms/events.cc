@@ -1,0 +1,26 @@
+#include "edms/events.h"
+
+namespace mirabel::edms {
+
+namespace {
+
+struct NameVisitor {
+  std::string_view operator()(const OfferAccepted&) { return "OfferAccepted"; }
+  std::string_view operator()(const OfferRejected&) { return "OfferRejected"; }
+  std::string_view operator()(const MacroPublished&) {
+    return "MacroPublished";
+  }
+  std::string_view operator()(const ScheduleAssigned&) {
+    return "ScheduleAssigned";
+  }
+  std::string_view operator()(const OfferExecuted&) { return "OfferExecuted"; }
+  std::string_view operator()(const OfferExpired&) { return "OfferExpired"; }
+};
+
+}  // namespace
+
+std::string_view EventName(const Event& event) {
+  return std::visit(NameVisitor{}, event);
+}
+
+}  // namespace mirabel::edms

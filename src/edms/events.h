@@ -1,0 +1,74 @@
+#ifndef MIRABEL_EDMS_EVENTS_H_
+#define MIRABEL_EDMS_EVENTS_H_
+
+#include <string_view>
+#include <variant>
+
+#include "flexoffer/flex_offer.h"
+
+namespace mirabel::edms {
+
+/// Typed events emitted by EdmsEngine and drained via PollEvents(). Each
+/// event marks one lifecycle edge of one offer; consumers (nodes, examples,
+/// benches) translate them into wire messages or reporting.
+
+/// Negotiation agreed; the offer entered the aggregation pipeline.
+struct OfferAccepted {
+  flexoffer::FlexOfferId offer = 0;
+  flexoffer::ActorId owner = 0;
+  flexoffer::TimeSlice at = 0;
+  /// Flexibility price promised to the owner (EUR).
+  double agreed_price_eur = 0.0;
+};
+
+/// Negotiation (or intake validation) turned the offer down.
+struct OfferRejected {
+  flexoffer::FlexOfferId offer = 0;
+  flexoffer::ActorId owner = 0;
+  flexoffer::TimeSlice at = 0;
+};
+
+/// A gate closure produced a macro (aggregated) offer. In local-scheduling
+/// mode this precedes the ScheduleAssigned events of its members; in
+/// forwarding mode `macro` must be sent to the parent EDMS level and its
+/// schedule returned via CompleteMacroSchedule().
+struct MacroPublished {
+  flexoffer::FlexOffer macro;
+  flexoffer::TimeSlice at = 0;
+  size_t member_count = 0;
+  /// True when the engine expects the schedule from a higher level.
+  bool forwarded = false;
+};
+
+/// A member offer received its disaggregated schedule.
+struct ScheduleAssigned {
+  flexoffer::ActorId owner = 0;
+  flexoffer::TimeSlice at = 0;
+  flexoffer::ScheduledFlexOffer schedule;
+};
+
+/// The owner reported execution of its assigned schedule.
+struct OfferExecuted {
+  flexoffer::FlexOfferId offer = 0;
+  flexoffer::ActorId owner = 0;
+  flexoffer::TimeSlice at = 0;
+  double energy_kwh = 0.0;
+};
+
+/// The offer timed out before a schedule could be assigned; the owner falls
+/// back to the open contract.
+struct OfferExpired {
+  flexoffer::FlexOfferId offer = 0;
+  flexoffer::ActorId owner = 0;
+  flexoffer::TimeSlice at = 0;
+};
+
+using Event = std::variant<OfferAccepted, OfferRejected, MacroPublished,
+                           ScheduleAssigned, OfferExecuted, OfferExpired>;
+
+/// Short event-kind name ("OfferAccepted", ...), for logs and tests.
+std::string_view EventName(const Event& event);
+
+}  // namespace mirabel::edms
+
+#endif  // MIRABEL_EDMS_EVENTS_H_

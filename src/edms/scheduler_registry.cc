@@ -1,0 +1,67 @@
+#include "edms/scheduler_registry.h"
+
+#include <utility>
+
+namespace mirabel::edms {
+
+SchedulerRegistry& SchedulerRegistry::Default() {
+  static SchedulerRegistry* registry = [] {
+    auto* r = new SchedulerRegistry();
+    (void)r->Register("GreedySearch", [] {
+      return std::make_unique<scheduling::GreedyScheduler>();
+    });
+    (void)r->Register("EvolutionaryAlgorithm", [] {
+      return std::make_unique<scheduling::EvolutionaryScheduler>();
+    });
+    (void)r->Register("Exhaustive", [] {
+      return std::make_unique<scheduling::ExhaustiveScheduler>();
+    });
+    (void)r->Register("Hybrid", [] {
+      return std::make_unique<scheduling::HybridScheduler>();
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Status SchedulerRegistry::Register(const std::string& name,
+                                   SchedulerFactory factory) {
+  if (!factory) {
+    return Status::InvalidArgument("scheduler factory must be callable");
+  }
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("scheduler '" + name +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<SchedulerFactory> SchedulerRegistry::Find(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("no scheduler registered as '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<std::unique_ptr<scheduling::Scheduler>> SchedulerRegistry::Create(
+    const std::string& name) const {
+  MIRABEL_ASSIGN_OR_RETURN(SchedulerFactory factory, Find(name));
+  return factory();
+}
+
+std::vector<std::string> SchedulerRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+SchedulerFactory DefaultSchedulerFactory() {
+  return [] { return std::make_unique<scheduling::GreedyScheduler>(); };
+}
+
+}  // namespace mirabel::edms

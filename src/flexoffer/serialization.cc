@@ -41,13 +41,13 @@ class Parser {
   }
 
   Result<std::string> ParseKey() {
-    MIRABEL_RETURN_NOT_OK(ExpectChar('"'));
+    MIRABEL_RETURN_IF_ERROR(ExpectChar('"'));
     std::string key;
     while (pos_ < text_.size() && text_[pos_] != '"') {
       key += text_[pos_++];
     }
-    MIRABEL_RETURN_NOT_OK(ExpectChar('"'));
-    MIRABEL_RETURN_NOT_OK(ExpectChar(':'));
+    MIRABEL_RETURN_IF_ERROR(ExpectChar('"'));
+    MIRABEL_RETURN_IF_ERROR(ExpectChar(':'));
     return key;
   }
 
@@ -84,21 +84,21 @@ class Parser {
 
   /// Parses "[x, y, ...]" of numbers.
   Result<std::vector<double>> ParseNumberArray() {
-    MIRABEL_RETURN_NOT_OK(ExpectChar('['));
+    MIRABEL_RETURN_IF_ERROR(ExpectChar('['));
     std::vector<double> out;
     if (ConsumeIf(']')) return out;
     while (true) {
       MIRABEL_ASSIGN_OR_RETURN(double v, ParseNumber());
       out.push_back(v);
       if (ConsumeIf(']')) break;
-      MIRABEL_RETURN_NOT_OK(ExpectChar(','));
+      MIRABEL_RETURN_IF_ERROR(ExpectChar(','));
     }
     return out;
   }
 
   /// Parses "[[min,max], ...]".
   Result<std::vector<EnergyRange>> ParseProfile() {
-    MIRABEL_RETURN_NOT_OK(ExpectChar('['));
+    MIRABEL_RETURN_IF_ERROR(ExpectChar('['));
     std::vector<EnergyRange> out;
     if (ConsumeIf(']')) return out;
     while (true) {
@@ -108,7 +108,7 @@ class Parser {
       }
       out.push_back({pair[0], pair[1]});
       if (ConsumeIf(']')) break;
-      MIRABEL_RETURN_NOT_OK(ExpectChar(','));
+      MIRABEL_RETURN_IF_ERROR(ExpectChar(','));
     }
     return out;
   }
@@ -172,7 +172,7 @@ std::string ToJson(const ScheduledFlexOffer& schedule) {
 
 Result<FlexOffer> FlexOfferFromJson(const std::string& json) {
   Parser parser(json);
-  MIRABEL_RETURN_NOT_OK(parser.ExpectChar('{'));
+  MIRABEL_RETURN_IF_ERROR(parser.ExpectChar('{'));
   FlexOffer offer;
   bool saw_id = false;
   bool saw_profile = false;
@@ -202,19 +202,19 @@ Result<FlexOffer> FlexOfferFromJson(const std::string& json) {
       return Status::InvalidArgument("unknown key '" + key + "'");
     }
     if (parser.ConsumeIf('}')) break;
-    MIRABEL_RETURN_NOT_OK(parser.ExpectChar(','));
+    MIRABEL_RETURN_IF_ERROR(parser.ExpectChar(','));
   }
-  MIRABEL_RETURN_NOT_OK(parser.ExpectEnd());
+  MIRABEL_RETURN_IF_ERROR(parser.ExpectEnd());
   if (!saw_id || !saw_profile) {
     return Status::InvalidArgument("missing required key");
   }
-  MIRABEL_RETURN_NOT_OK(offer.Validate());
+  MIRABEL_RETURN_IF_ERROR(offer.Validate());
   return offer;
 }
 
 Result<ScheduledFlexOffer> ScheduledFlexOfferFromJson(const std::string& json) {
   Parser parser(json);
-  MIRABEL_RETURN_NOT_OK(parser.ExpectChar('{'));
+  MIRABEL_RETURN_IF_ERROR(parser.ExpectChar('{'));
   ScheduledFlexOffer schedule;
   bool saw_id = false;
   bool saw_energies = false;
@@ -234,9 +234,9 @@ Result<ScheduledFlexOffer> ScheduledFlexOfferFromJson(const std::string& json) {
       return Status::InvalidArgument("unknown key '" + key + "'");
     }
     if (parser.ConsumeIf('}')) break;
-    MIRABEL_RETURN_NOT_OK(parser.ExpectChar(','));
+    MIRABEL_RETURN_IF_ERROR(parser.ExpectChar(','));
   }
-  MIRABEL_RETURN_NOT_OK(parser.ExpectEnd());
+  MIRABEL_RETURN_IF_ERROR(parser.ExpectEnd());
   if (!saw_id || !saw_energies) {
     return Status::InvalidArgument("missing required key");
   }

@@ -75,7 +75,7 @@ Status EgrvModel::Fit(const TimeSeries& series, const ExogenousData& exog) {
 
 Status EgrvModel::FitParallel(const TimeSeries& series,
                               const ExogenousData& exog, int num_threads) {
-  MIRABEL_RETURN_NOT_OK(exog.CheckSize(series.size()));
+  MIRABEL_RETURN_IF_ERROR(exog.CheckSize(series.size()));
   const size_t week_lag = 7 * static_cast<size_t>(periods_per_day_);
   if (series.size() < 2 * week_lag) {
     return Status::InvalidArgument("EGRV requires at least 14 days of data");
@@ -85,7 +85,7 @@ Status EgrvModel::FitParallel(const TimeSeries& series,
   }
 
   if (num_threads == 1) {
-    MIRABEL_RETURN_NOT_OK(FitRange(series, exog, 0, periods_per_day_));
+    MIRABEL_RETURN_IF_ERROR(FitRange(series, exog, 0, periods_per_day_));
   } else {
     int workers = std::min(num_threads, periods_per_day_);
     std::vector<Status> statuses(static_cast<size_t>(workers), Status::OK());
@@ -101,7 +101,7 @@ Status EgrvModel::FitParallel(const TimeSeries& series,
     }
     for (auto& t : threads) t.join();
     for (const Status& st : statuses) {
-      MIRABEL_RETURN_NOT_OK(st);
+      MIRABEL_RETURN_IF_ERROR(st);
     }
   }
 

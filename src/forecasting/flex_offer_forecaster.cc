@@ -49,7 +49,7 @@ Status FlexOfferForecaster::Train(const std::vector<FlexOffer>& offers,
         estimator.Estimate(objective, pair->Bounds(), estimation);
     const std::vector<double> params =
         est.best_params.empty() ? pair->DefaultParams() : est.best_params;
-    MIRABEL_RETURN_NOT_OK(pair->FitWithParams(series, params).status());
+    MIRABEL_RETURN_IF_ERROR(pair->FitWithParams(series, params).status());
   }
   trained_ = true;
   return Status::OK();

@@ -62,7 +62,7 @@ Status Forecaster::AddMeasurement(double value) {
     window_errors_.pop_front();
   }
 
-  MIRABEL_RETURN_NOT_OK(model_.Update(value));
+  MIRABEL_RETURN_IF_ERROR(model_.Update(value));
   history_.Append(value);
   ++observations_since_estimation_;
 

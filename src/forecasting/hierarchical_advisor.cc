@@ -28,7 +28,7 @@ Result<std::vector<double>> HoldoutForecast(const TimeSeries& series,
       estimator.Estimate(objective, model.Bounds(), options.estimation);
   const std::vector<double> params =
       est.best_params.empty() ? model.DefaultParams() : est.best_params;
-  MIRABEL_RETURN_NOT_OK(model.FitWithParams(split.first, params).status());
+  MIRABEL_RETURN_IF_ERROR(model.FitWithParams(split.first, params).status());
   return model.Forecast(static_cast<int>(options.holdout));
 }
 

@@ -28,7 +28,7 @@ Status AutoForecaster::FitHwt(const TimeSeries& history) {
 }
 
 Status AutoForecaster::Train(const TimeSeries& history) {
-  MIRABEL_RETURN_NOT_OK(FitHwt(history));
+  MIRABEL_RETURN_IF_ERROR(FitHwt(history));
   selected_ = SelectedModel::kHwt;
   egrv_smape_ = -1.0;
   hwt_smape_ = -1.0;
@@ -38,7 +38,7 @@ Status AutoForecaster::Train(const TimeSeries& history) {
 
 Status AutoForecaster::Train(const TimeSeries& history,
                              const ExogenousData& exog) {
-  MIRABEL_RETURN_NOT_OK(exog.CheckSize(history.size()));
+  MIRABEL_RETURN_IF_ERROR(exog.CheckSize(history.size()));
   if (history.size() <= config_.holdout) {
     return Status::InvalidArgument("history shorter than holdout");
   }
@@ -103,11 +103,11 @@ Status AutoForecaster::Train(const TimeSeries& history,
   // Selection + refit on the full history.
   if (egrv_smape_ <= hwt_smape_ * config_.accuracy_ratio) {
     selected_ = SelectedModel::kEgrv;
-    MIRABEL_RETURN_NOT_OK(
+    MIRABEL_RETURN_IF_ERROR(
         egrv_.FitParallel(history, exog, config_.egrv_threads));
   } else {
     selected_ = SelectedModel::kHwt;
-    MIRABEL_RETURN_NOT_OK(FitHwt(history));
+    MIRABEL_RETURN_IF_ERROR(FitHwt(history));
   }
   trained_ = true;
   return Status::OK();

@@ -22,7 +22,7 @@ Status ForecastBroker::Unsubscribe(SubscriberId id) {
 }
 
 Status ForecastBroker::OnMeasurement(double value) {
-  MIRABEL_RETURN_NOT_OK(forecaster_->AddMeasurement(value));
+  MIRABEL_RETURN_IF_ERROR(forecaster_->AddMeasurement(value));
 
   for (auto& [id, sub] : subscribers_) {
     ++evaluations_;

@@ -1,23 +1,20 @@
 #include "node/aggregating_node.h"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace mirabel::node {
 
-using aggregation::AggregatedFlexOffer;
-using flexoffer::FlexOffer;
-using flexoffer::FlexOfferId;
-using flexoffer::ScheduledFlexOffer;
 using flexoffer::TimeSlice;
 
 AggregatingNode::AggregatingNode(const Config& config, MessageBus* bus)
-    : config_(config),
-      bus_(bus),
-      negotiator_(config.negotiation),
-      pipeline_(config.aggregation) {
+    : config_(config), bus_(bus), engine_([&config] {
+        edms::EdmsEngine::Config ec = config.engine;
+        ec.actor = config.id;
+        ec.schedule_locally = config.parent == 0;
+        return ec;
+      }()) {
   Status st = bus_->Register(
       config_.id, [this](const Message& msg) { HandleMessage(msg); });
   if (!st.ok()) {
@@ -29,227 +26,78 @@ AggregatingNode::AggregatingNode(const Config& config, MessageBus* bus)
 void AggregatingNode::HandleMessage(const Message& msg) {
   switch (msg.type) {
     case MessageType::kFlexOffer: {
-      ++stats_.offers_received;
-      double price = 0.0;
-      if (config_.negotiate) {
-        negotiation::NegotiationOutcome outcome =
-            negotiator_.Negotiate(msg.offer, /*reservation_price_eur=*/0.0);
-        if (outcome.decision !=
-            negotiation::NegotiationOutcome::Decision::kAgreed) {
-          ++stats_.offers_rejected;
-          Message reply;
-          reply.type = MessageType::kFlexOfferRejected;
-          reply.from = config_.id;
-          reply.to = msg.from;
-          reply.sent_at = msg.sent_at;
-          reply.offer_id = msg.offer.id;
-          (void)bus_->Send(reply);
-          return;
-        }
-        price = outcome.agreed_price_eur;
-      }
-
-      if (!pipeline_.Insert(msg.offer).ok()) return;
-      ++stats_.offers_accepted;
-      stats_.payments_eur += price;
-      (void)store_.PutFlexOffer(msg.offer);
-      (void)store_.TransitionFlexOffer(msg.offer.id,
-                                       storage::FlexOfferState::kAccepted);
-      (void)store_.SetAgreedPrice(msg.offer.id, price);
-
-      if (config_.negotiate) {
-        Message reply;
-        reply.type = MessageType::kFlexOfferAccepted;
-        reply.from = config_.id;
-        reply.to = msg.from;
-        reply.sent_at = msg.sent_at;
-        reply.offer_id = msg.offer.id;
-        reply.value = price;
-        (void)bus_->Send(reply);
-      }
+      // Duplicate submissions (e.g. re-sent offers) are dropped silently.
+      (void)engine_.SubmitOffer(msg.offer, msg.sent_at);
       break;
     }
     case MessageType::kScheduledFlexOffer: {
       // A schedule for a macro offer this node forwarded to its parent.
-      auto it = pending_macros_.find(msg.schedule.offer_id);
-      if (it == pending_macros_.end()) break;
-      SendMemberSchedules(msg.sent_at, it->second, msg.schedule);
-      pending_macros_.erase(it);
+      (void)engine_.CompleteMacroSchedule(msg.schedule, msg.sent_at);
       break;
     }
     case MessageType::kMeasurement: {
-      store_.AppendMeasurement(msg.from, msg.sent_at,
-                               storage::EnergyType::kConsumption, msg.value);
+      engine_.RecordMeasurement(msg.from, msg.sent_at, msg.value);
+      if (msg.offer_id != 0) {
+        // Metered execution of an assigned offer closes its lifecycle.
+        (void)engine_.RecordExecution(msg.offer_id, msg.sent_at, msg.value);
+      }
       break;
     }
     default:
       break;
   }
+  DispatchEvents();
 }
 
 void AggregatingNode::OnTick(TimeSlice now) {
-  if (last_gate_ >= 0 && now - last_gate_ < config_.gate_period) return;
-  last_gate_ = now;
-  RunGate(now);
+  Status st = engine_.Advance(now);
+  if (!st.ok()) {
+    MIRABEL_LOG(kError) << "node " << config_.id << " gate failed: " << st;
+  }
+  DispatchEvents();
 }
 
-void AggregatingNode::RunGate(TimeSlice now) {
-  (void)pipeline_.Flush();
-
-  const TimeSlice horizon_start = now + 1;
-  const TimeSlice horizon_end = horizon_start + config_.horizon;
-
-  std::vector<AggregatedFlexOffer> ready;
-  std::vector<FlexOfferId> expired_members;
-  for (const auto& [aid, agg] : pipeline_.aggregates()) {
-    // The macro deadline is the earliest member deadline: past it, members
-    // have already fallen back to their contracts.
-    if (agg.macro.assignment_before <= now ||
-        agg.macro.latest_start < horizon_start) {
-      for (const auto& m : agg.members) expired_members.push_back(m.offer.id);
-      continue;
-    }
-    if (agg.macro.earliest_start >= horizon_start &&
-        agg.macro.LatestEnd() <= horizon_end) {
-      ready.push_back(agg);
-    }
-    // Otherwise the aggregate waits for a later gate.
-  }
-
-  // Expire members whose window already closed (their owners fall back to
-  // the open contract on their own).
-  for (FlexOfferId id : expired_members) {
-    (void)pipeline_.Remove(id);
-    (void)store_.TransitionFlexOffer(id, storage::FlexOfferState::kExpired);
-    ++stats_.offers_expired_in_pipeline;
-  }
-
-  if (ready.empty()) {
-    (void)pipeline_.Flush();
-    return;
-  }
-
-  // Claim the scheduled-now offers: remove members from the pipeline and
-  // keep the aggregate snapshots for disaggregation.
-  for (const auto& agg : ready) {
-    for (const auto& m : agg.members) {
-      (void)pipeline_.Remove(m.offer.id);
-      (void)store_.TransitionFlexOffer(m.offer.id,
-                                       storage::FlexOfferState::kAggregated);
-    }
-  }
-  (void)pipeline_.Flush();
-
-  if (config_.parent != 0) {
-    // Forward macro offers for higher-level aggregation and scheduling.
-    for (const auto& agg : ready) {
-      FlexOffer macro = agg.macro;
-      macro.id = config_.id * 1000000ULL + agg.macro.id;
-      macro.owner = config_.id;
-      // The snapshot must carry the wire id so the returning schedule
-      // validates against it at disaggregation time.
-      AggregatedFlexOffer snapshot = agg;
-      snapshot.macro.id = macro.id;
-      snapshot.macro.owner = config_.id;
-      pending_macros_.emplace(macro.id, std::move(snapshot));
+void AggregatingNode::DispatchEvents() {
+  for (edms::Event& event : engine_.PollEvents()) {
+    if (auto* accepted = std::get_if<edms::OfferAccepted>(&event)) {
+      if (!config_.engine.negotiate) continue;
+      Message reply;
+      reply.type = MessageType::kFlexOfferAccepted;
+      reply.from = config_.id;
+      reply.to = accepted->owner;
+      reply.sent_at = accepted->at;
+      reply.offer_id = accepted->offer;
+      reply.value = accepted->agreed_price_eur;
+      (void)bus_->Send(reply);
+    } else if (auto* rejected = std::get_if<edms::OfferRejected>(&event)) {
+      if (!config_.engine.negotiate) continue;
+      Message reply;
+      reply.type = MessageType::kFlexOfferRejected;
+      reply.from = config_.id;
+      reply.to = rejected->owner;
+      reply.sent_at = rejected->at;
+      reply.offer_id = rejected->offer;
+      (void)bus_->Send(reply);
+    } else if (auto* macro = std::get_if<edms::MacroPublished>(&event)) {
+      if (!macro->forwarded) continue;  // scheduled locally this gate
       Message msg;
       msg.type = MessageType::kFlexOffer;
       msg.from = config_.id;
       msg.to = config_.parent;
-      msg.sent_at = now;
-      msg.offer = macro;
+      msg.sent_at = macro->at;
+      msg.offer = std::move(macro->macro);
+      (void)bus_->Send(msg);
+    } else if (auto* assigned = std::get_if<edms::ScheduleAssigned>(&event)) {
+      Message msg;
+      msg.type = MessageType::kScheduledFlexOffer;
+      msg.from = config_.id;
+      msg.to = assigned->owner;
+      msg.sent_at = assigned->at;
+      msg.schedule = std::move(assigned->schedule);
       (void)bus_->Send(msg);
     }
-    return;
-  }
-
-  ScheduleLocally(now, std::move(ready));
-}
-
-void AggregatingNode::ScheduleLocally(TimeSlice now,
-                                      std::vector<AggregatedFlexOffer> macros) {
-  const TimeSlice horizon_start = now + 1;
-  scheduling::SchedulingProblem problem;
-  problem.horizon_start = horizon_start;
-  problem.horizon_length = config_.horizon;
-  size_t h = static_cast<size_t>(config_.horizon);
-  problem.baseline_imbalance_kwh.resize(h, 0.0);
-  problem.imbalance_penalty_eur.resize(h);
-  problem.market.buy_price_eur.assign(h, config_.buy_price_eur);
-  problem.market.sell_price_eur.assign(h, config_.sell_price_eur);
-  problem.market.max_buy_kwh = config_.max_buy_kwh;
-  problem.market.max_sell_kwh = config_.max_sell_kwh;
-  for (size_t s = 0; s < h; ++s) {
-    size_t t = static_cast<size_t>(horizon_start) + s;
-    problem.baseline_imbalance_kwh[s] =
-        t < config_.baseline_imbalance_kwh.size()
-            ? config_.baseline_imbalance_kwh[t]
-            : 0.0;
-    int slice_of_day =
-        flexoffer::SliceOfDay(static_cast<TimeSlice>(t));
-    bool evening_peak = slice_of_day >= 68 && slice_of_day <= 84;  // 17-21 h
-    problem.imbalance_penalty_eur[s] =
-        config_.penalty_eur_per_kwh * (evening_peak ? 3.0 : 1.0);
-  }
-  problem.offers.reserve(macros.size());
-  for (const auto& agg : macros) problem.offers.push_back(agg.macro);
-
-  std::unique_ptr<scheduling::Scheduler> scheduler =
-      scheduling::MakeScheduler(config_.scheduler);
-  if (scheduler == nullptr) {
-    MIRABEL_LOG(kError) << "unknown scheduler " << config_.scheduler;
-    return;
-  }
-  scheduling::SchedulerOptions options;
-  options.time_budget_s = config_.scheduler_budget_s;
-  options.seed = config_.seed + static_cast<uint64_t>(now);
-  Result<scheduling::SchedulingResult> run = scheduler->Run(problem, options);
-  if (!run.ok()) {
-    MIRABEL_LOG(kError) << "scheduling failed: " << run.status();
-    return;
-  }
-  ++stats_.scheduling_runs;
-  stats_.schedule_cost_eur += run->cost.total();
-
-  // Imbalance accounting: "before" is the unmanaged placement — every offer
-  // at its fallback position (earliest start, full energy), which is exactly
-  // the CostEvaluator's default schedule — versus the optimised schedule.
-  scheduling::CostEvaluator before_eval(problem);
-  scheduling::CostEvaluator evaluator(problem);
-  (void)evaluator.SetSchedule(run->schedule);
-  for (size_t s = 0; s < h; ++s) {
-    stats_.imbalance_before_kwh += std::fabs(before_eval.net_kwh()[s]);
-    stats_.imbalance_after_kwh += std::fabs(evaluator.net_kwh()[s]);
-  }
-
-  std::vector<ScheduledFlexOffer> macro_schedules =
-      evaluator.ToScheduledOffers();
-  for (size_t i = 0; i < macros.size(); ++i) {
-    ++stats_.macros_scheduled;
-    SendMemberSchedules(now, macros[i], macro_schedules[i]);
-  }
-}
-
-void AggregatingNode::SendMemberSchedules(
-    TimeSlice now, const AggregatedFlexOffer& agg,
-    const ScheduledFlexOffer& macro_schedule) {
-  Result<std::vector<ScheduledFlexOffer>> members =
-      aggregation::Disaggregate(agg, macro_schedule);
-  if (!members.ok()) {
-    MIRABEL_LOG(kError) << "disaggregation failed: " << members.status();
-    return;
-  }
-  for (size_t i = 0; i < members->size(); ++i) {
-    const ScheduledFlexOffer& schedule = (*members)[i];
-    (void)store_.AttachSchedule(schedule);
-    Message msg;
-    msg.type = MessageType::kScheduledFlexOffer;
-    msg.from = config_.id;
-    msg.to = agg.members[i].offer.owner;
-    msg.sent_at = now;
-    msg.schedule = schedule;
-    (void)bus_->Send(msg);
-    ++stats_.micro_schedules_sent;
+    // OfferExecuted / OfferExpired close lifecycles without wire traffic:
+    // expired owners fall back to their contracts on their own.
   }
 }
 

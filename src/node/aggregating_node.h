@@ -1,81 +1,34 @@
 #ifndef MIRABEL_NODE_AGGREGATING_NODE_H_
 #define MIRABEL_NODE_AGGREGATING_NODE_H_
 
-#include <unordered_map>
-#include <vector>
-
-#include "aggregation/pipeline.h"
-#include "negotiation/negotiator.h"
+#include "edms/edms_engine.h"
 #include "node/message_bus.h"
-#include "scheduling/scheduler.h"
-#include "storage/data_store.h"
 
 namespace mirabel::node {
 
-/// Statistics of one aggregating node's trading activity.
-struct AggregatingStats {
-  int64_t offers_received = 0;
-  int64_t offers_accepted = 0;
-  int64_t offers_rejected = 0;
-  int64_t scheduling_runs = 0;
-  int64_t macros_scheduled = 0;
-  int64_t micro_schedules_sent = 0;
-  int64_t offers_expired_in_pipeline = 0;
-  /// Flexibility payments promised to offer owners (EUR).
-  double payments_eur = 0.0;
-  /// Absolute imbalance over the accounted horizon slices, without / with
-  /// flex-offer scheduling (kWh). The "after" number is what the paper's
-  /// Fig. 1 illustrates: shifted flexible demand absorbs RES production.
-  double imbalance_before_kwh = 0.0;
-  double imbalance_after_kwh = 0.0;
-  /// Total scheduling cost of the accepted schedules (EUR).
-  double schedule_cost_eur = 0.0;
-};
+/// Statistics of one aggregating node's trading activity (kept by the
+/// node's engine).
+using AggregatingStats = edms::EngineStats;
 
-/// A level-2 (BRP) or level-3 (TSO) LEDMS node: the Control component
-/// orchestrating negotiation, aggregation, scheduling and disaggregation
-/// (paper §3, §8).
+/// A level-2 (BRP) or level-3 (TSO) LEDMS node: a thin messaging adapter
+/// around EdmsEngine, which owns the whole flex-offer life cycle — intake
+/// and negotiation, aggregation, scheduling, disaggregation (paper §3, §8).
 ///
-/// Offers stream in from children and pass negotiation (BRP only) into the
-/// aggregation pipeline. Every `gate_period` slices the control loop fires:
-/// the pipeline is flushed, macro offers that fit the upcoming horizon are
-/// either scheduled locally (leaf-of-hierarchy mode) or forwarded to the
-/// parent node for higher-level aggregation and scheduling (paper §2: "the
-/// process is essentially repeated at a higher level"). Schedules coming
-/// back for a macro offer are disaggregated and relayed to the members'
-/// owners.
+/// The node's job is translation only: bus messages become engine calls
+/// (SubmitOffers / CompleteMacroSchedule / RecordExecution), engine events
+/// become bus messages (accept/reject replies, macro forwards to the parent
+/// node, member schedules to their owners). All orchestration lives in the
+/// engine.
 class AggregatingNode {
  public:
   struct Config {
     NodeId id = 0;
     /// Parent node (TSO) to forward macro offers to; 0 = schedule locally.
     NodeId parent = 0;
-    /// Negotiate (and possibly reject) incoming offers. BRPs negotiate with
-    /// prosumers; a TSO accepts the macro offers of its BRPs.
-    bool negotiate = true;
-    negotiation::Negotiator::Config negotiation;
-    aggregation::PipelineConfig aggregation;
-
-    /// Control-loop cadence (slices between gate closures).
-    int gate_period = 16;
-    /// Scheduling horizon per run (slices).
-    int horizon = 96;
-    /// Scheduler ("GreedySearch" or "EvolutionaryAlgorithm") and budget.
-    std::string scheduler = "GreedySearch";
-    double scheduler_budget_s = 0.05;
-    uint64_t seed = 5;
-
-    /// Forecast imbalance (demand - RES supply, kWh per slice) indexed by
-    /// absolute slice; must cover the whole simulated span. In the full
-    /// system this comes from the forecasting component; the simulation
-    /// injects it so runs stay fast and deterministic.
-    std::vector<double> baseline_imbalance_kwh;
-    /// Market / penalty parameters of the node's scheduling problems.
-    double penalty_eur_per_kwh = 0.25;
-    double buy_price_eur = 0.12;
-    double sell_price_eur = 0.05;
-    double max_buy_kwh = 50.0;
-    double max_sell_kwh = 50.0;
+    /// The engine running this node's control loop. `engine.actor` and
+    /// `engine.schedule_locally` are derived from `id`/`parent` by the
+    /// constructor.
+    edms::EdmsEngine::Config engine;
   };
 
   /// Registers the node on `bus` (which must outlive it).
@@ -84,37 +37,22 @@ class AggregatingNode {
   /// Advances the control loop; fires the gate when due.
   void OnTick(flexoffer::TimeSlice now);
 
-  const AggregatingStats& stats() const { return stats_; }
-  const storage::DataStore& store() const { return store_; }
-  const aggregation::AggregationPipeline& pipeline() const { return pipeline_; }
+  const AggregatingStats& stats() const { return engine_.stats(); }
+  const storage::DataStore& store() const { return engine_.store(); }
+  const aggregation::AggregationPipeline& pipeline() const {
+    return engine_.pipeline();
+  }
+  const edms::EdmsEngine& engine() const { return engine_; }
   NodeId id() const { return config_.id; }
 
  private:
   void HandleMessage(const Message& msg);
-  void RunGate(flexoffer::TimeSlice now);
-  /// Schedules `macros` locally over (now, now + horizon] and sends the
-  /// disaggregated member schedules to their owners.
-  void ScheduleLocally(flexoffer::TimeSlice now,
-                       std::vector<aggregation::AggregatedFlexOffer> macros);
-  /// Disaggregates `macro_schedule` against the snapshot `agg` and sends one
-  /// schedule message per member to the member offer's owner.
-  void SendMemberSchedules(
-      flexoffer::TimeSlice now, const aggregation::AggregatedFlexOffer& agg,
-      const flexoffer::ScheduledFlexOffer& macro_schedule);
+  /// Drains the engine's event stream and relays each event on the bus.
+  void DispatchEvents();
 
   Config config_;
   MessageBus* bus_;
-  storage::DataStore store_;
-  negotiation::Negotiator negotiator_;
-  aggregation::AggregationPipeline pipeline_;
-  AggregatingStats stats_;
-  flexoffer::TimeSlice last_gate_ = -1;
-  /// Snapshots of macro offers forwarded to the parent, keyed by the
-  /// composite macro id used on the wire; needed to disaggregate the
-  /// schedules when they return.
-  std::unordered_map<flexoffer::FlexOfferId,
-                     aggregation::AggregatedFlexOffer>
-      pending_macros_;
+  edms::EdmsEngine engine_;
 };
 
 }  // namespace mirabel::node

@@ -48,13 +48,13 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
     AggregatingNode::Config tso_cfg;
     tso_cfg.id = kTsoId;
     tso_cfg.parent = 0;
-    tso_cfg.negotiate = false;
-    tso_cfg.aggregation.params = aggregation::AggregationParams::P3();
-    tso_cfg.gate_period = config.gate_period;
-    tso_cfg.horizon = config.horizon;
-    tso_cfg.scheduler = config.scheduler;
-    tso_cfg.scheduler_budget_s = config.scheduler_budget_s;
-    tso_cfg.seed = config.seed * 7 + 1;
+    tso_cfg.engine.negotiate = false;
+    tso_cfg.engine.aggregation.params = aggregation::AggregationParams::P3();
+    tso_cfg.engine.gate_period = config.gate_period;
+    tso_cfg.engine.horizon = config.horizon;
+    tso_cfg.engine.scheduler_factory = config.scheduler_factory;
+    tso_cfg.engine.scheduler_budget_s = config.scheduler_budget_s;
+    tso_cfg.engine.seed = config.seed * 7 + 1;
     // The TSO balances the residual of the whole area.
     datagen::DemandSeriesConfig demand_cfg;
     demand_cfg.periods_per_day = kSlicesPerDay;
@@ -66,10 +66,11 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
     demand_cfg.annual_amplitude = 0.0;
     demand_cfg.noise_stddev = demand_cfg.daily_amplitude / 30;
     demand_cfg.seed = config.seed + 17;
-    tso_cfg.baseline_imbalance_kwh =
-        datagen::GenerateDemandSeries(demand_cfg);
-    tso_cfg.max_buy_kwh = 5.0 * config.num_brps * config.prosumers_per_brp;
-    tso_cfg.max_sell_kwh = tso_cfg.max_buy_kwh;
+    tso_cfg.engine.baseline = std::make_shared<edms::VectorBaselineProvider>(
+        datagen::GenerateDemandSeries(demand_cfg));
+    tso_cfg.engine.max_buy_kwh =
+        5.0 * config.num_brps * config.prosumers_per_brp;
+    tso_cfg.engine.max_sell_kwh = tso_cfg.engine.max_buy_kwh;
     tso_ = std::make_unique<AggregatingNode>(tso_cfg, &bus_);
   }
 
@@ -77,13 +78,13 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
     AggregatingNode::Config brp_cfg;
     brp_cfg.id = 100 + static_cast<NodeId>(b);
     brp_cfg.parent = config_.use_tso ? kTsoId : 0;
-    brp_cfg.negotiate = true;
-    brp_cfg.aggregation.params = aggregation::AggregationParams::P3();
-    brp_cfg.gate_period = config.gate_period;
-    brp_cfg.horizon = config.horizon;
-    brp_cfg.scheduler = config.scheduler;
-    brp_cfg.scheduler_budget_s = config.scheduler_budget_s;
-    brp_cfg.seed = config.seed * 13 + static_cast<uint64_t>(b);
+    brp_cfg.engine.negotiate = true;
+    brp_cfg.engine.aggregation.params = aggregation::AggregationParams::P3();
+    brp_cfg.engine.gate_period = config.gate_period;
+    brp_cfg.engine.horizon = config.horizon;
+    brp_cfg.engine.scheduler_factory = config.scheduler_factory;
+    brp_cfg.engine.scheduler_budget_s = config.scheduler_budget_s;
+    brp_cfg.engine.seed = config.seed * 13 + static_cast<uint64_t>(b);
 
     // Demand (positive) minus wind supply: the curve the BRP must balance.
     datagen::DemandSeriesConfig demand_cfg;
@@ -104,13 +105,15 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
     wind_cfg.seed = config.seed + static_cast<uint64_t>(200 + b);
     std::vector<double> wind = datagen::GenerateWindSeries(wind_cfg);
 
-    brp_cfg.baseline_imbalance_kwh.resize(static_cast<size_t>(sim_slices));
+    std::vector<double> imbalance(static_cast<size_t>(sim_slices));
     for (int t = 0; t < sim_slices; ++t) {
-      brp_cfg.baseline_imbalance_kwh[static_cast<size_t>(t)] =
+      imbalance[static_cast<size_t>(t)] =
           demand[static_cast<size_t>(t)] - wind[static_cast<size_t>(t)];
     }
-    brp_cfg.max_buy_kwh = 2.0 * config.prosumers_per_brp;
-    brp_cfg.max_sell_kwh = 2.0 * config.prosumers_per_brp;
+    brp_cfg.engine.baseline =
+        std::make_shared<edms::VectorBaselineProvider>(std::move(imbalance));
+    brp_cfg.engine.max_buy_kwh = 2.0 * config.prosumers_per_brp;
+    brp_cfg.engine.max_sell_kwh = 2.0 * config.prosumers_per_brp;
     brps_.push_back(std::make_unique<AggregatingNode>(brp_cfg, &bus_));
 
     for (int p = 0; p < config.prosumers_per_brp; ++p) {

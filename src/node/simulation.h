@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "edms/scheduler_registry.h"
 #include "node/aggregating_node.h"
 #include "node/prosumer_node.h"
 
@@ -28,7 +29,9 @@ struct SimulationConfig {
   /// BRP control-loop cadence and horizon (slices).
   int gate_period = 16;
   int horizon = 96;
-  std::string scheduler = "GreedySearch";
+  /// Scheduler of every aggregating node; empty = the system default
+  /// (resolve names via edms::SchedulerRegistry::Default() at the CLI edge).
+  edms::SchedulerFactory scheduler_factory;
   double scheduler_budget_s = 0.05;
 };
 

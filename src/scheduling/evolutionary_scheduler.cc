@@ -36,7 +36,7 @@ EvolutionaryScheduler::EvolutionaryScheduler(const Config& config)
 
 Result<SchedulingResult> EvolutionaryScheduler::Run(
     const SchedulingProblem& problem, const SchedulerOptions& options) {
-  MIRABEL_RETURN_NOT_OK(problem.Validate());
+  MIRABEL_RETURN_IF_ERROR(problem.Validate());
   if (config_.population_size < 2 || config_.elites >= config_.population_size) {
     return Status::InvalidArgument("degenerate EA configuration");
   }
@@ -162,7 +162,7 @@ Result<SchedulingResult> EvolutionaryScheduler::Run(
     }
   }
 
-  MIRABEL_RETURN_NOT_OK(evaluator.SetSchedule(result.schedule));
+  MIRABEL_RETURN_IF_ERROR(evaluator.SetSchedule(result.schedule));
   result.cost = evaluator.Cost();
   return result;
 }

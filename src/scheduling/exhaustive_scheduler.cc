@@ -20,7 +20,7 @@ uint64_t ExhaustiveScheduler::CountCombinations(
 
 Result<SchedulingResult> ExhaustiveScheduler::Run(
     const SchedulingProblem& problem, const SchedulerOptions& options) {
-  MIRABEL_RETURN_NOT_OK(problem.Validate());
+  MIRABEL_RETURN_IF_ERROR(problem.Validate());
   uint64_t combos = CountCombinations(problem);
   if (combos > max_combinations_) {
     return Status::FailedPrecondition(
@@ -40,7 +40,7 @@ Result<SchedulingResult> ExhaustiveScheduler::Run(
   for (const auto& fo : problem.offers) {
     current.assignments.push_back({fo.earliest_start, 1.0});
   }
-  MIRABEL_RETURN_NOT_OK(evaluator.SetSchedule(current));
+  MIRABEL_RETURN_IF_ERROR(evaluator.SetSchedule(current));
 
   SchedulingResult result;
   result.schedule = current;
@@ -62,13 +62,13 @@ Result<SchedulingResult> ExhaustiveScheduler::Run(
       const auto& fo = problem.offers[d];
       if (offsets[d] < fo.TimeFlexibility()) {
         ++offsets[d];
-        MIRABEL_RETURN_NOT_OK(evaluator.ApplyMove(
+        MIRABEL_RETURN_IF_ERROR(evaluator.ApplyMove(
             d, {fo.earliest_start + offsets[d],
                 evaluator.schedule().assignments[d].fill}));
         break;
       }
       offsets[d] = 0;
-      MIRABEL_RETURN_NOT_OK(evaluator.ApplyMove(
+      MIRABEL_RETURN_IF_ERROR(evaluator.ApplyMove(
           d, {fo.earliest_start, evaluator.schedule().assignments[d].fill}));
       ++d;
     }
@@ -84,19 +84,9 @@ Result<SchedulingResult> ExhaustiveScheduler::Run(
   }
 
   CostEvaluator final_eval(problem);
-  MIRABEL_RETURN_NOT_OK(final_eval.SetSchedule(result.schedule));
+  MIRABEL_RETURN_IF_ERROR(final_eval.SetSchedule(result.schedule));
   result.cost = final_eval.Cost();
   return result;
-}
-
-std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
-  if (name == "GreedySearch") return std::make_unique<GreedyScheduler>();
-  if (name == "EvolutionaryAlgorithm") {
-    return std::make_unique<EvolutionaryScheduler>();
-  }
-  if (name == "Exhaustive") return std::make_unique<ExhaustiveScheduler>();
-  if (name == "Hybrid") return std::make_unique<HybridScheduler>();
-  return nullptr;
 }
 
 }  // namespace mirabel::scheduling

@@ -39,7 +39,7 @@ GreedyScheduler::GreedyScheduler(const Config& config) : config_(config) {}
 
 Result<SchedulingResult> GreedyScheduler::Run(const SchedulingProblem& problem,
                                               const SchedulerOptions& options) {
-  MIRABEL_RETURN_NOT_OK(problem.Validate());
+  MIRABEL_RETURN_IF_ERROR(problem.Validate());
   Stopwatch watch;
   Rng rng(options.seed);
 
@@ -92,7 +92,7 @@ Result<SchedulingResult> GreedyScheduler::Run(const SchedulingProblem& problem,
         }
       }
       if (best_delta < 0.0) {
-        MIRABEL_RETURN_NOT_OK(evaluator.ApplyMove(index, best));
+        MIRABEL_RETURN_IF_ERROR(evaluator.ApplyMove(index, best));
         improved_any = true;
       }
       ++result.iterations;
@@ -112,13 +112,13 @@ Result<SchedulingResult> GreedyScheduler::Run(const SchedulingProblem& problem,
             {fo.earliest_start + rng.UniformInt(0, fo.TimeFlexibility()),
              rng.NextDouble()});
       }
-      MIRABEL_RETURN_NOT_OK(evaluator.SetSchedule(random_schedule));
+      MIRABEL_RETURN_IF_ERROR(evaluator.SetSchedule(random_schedule));
     }
     first_pass = false;
   }
 
   CostEvaluator final_eval(problem);
-  MIRABEL_RETURN_NOT_OK(final_eval.SetSchedule(result.schedule));
+  MIRABEL_RETURN_IF_ERROR(final_eval.SetSchedule(result.schedule));
   result.cost = final_eval.Cost();
   return result;
 }

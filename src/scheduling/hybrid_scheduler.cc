@@ -9,7 +9,7 @@ HybridScheduler::HybridScheduler(const Config& config) : config_(config) {}
 
 Result<SchedulingResult> HybridScheduler::Run(const SchedulingProblem& problem,
                                               const SchedulerOptions& options) {
-  MIRABEL_RETURN_NOT_OK(problem.Validate());
+  MIRABEL_RETURN_IF_ERROR(problem.Validate());
   Stopwatch watch;
 
   // Phase 1: one fast greedy construction seeds the population.

@@ -141,9 +141,8 @@ class HybridScheduler : public Scheduler {
   Config config_;
 };
 
-/// Factory by name ("GreedySearch", "EvolutionaryAlgorithm", "Exhaustive",
-/// "Hybrid"); nullptr for unknown names.
-std::unique_ptr<Scheduler> MakeScheduler(const std::string& name);
+// Name-based construction lives in edms::SchedulerRegistry (the scheduling
+// layer only defines the algorithms; the EDMS layer owns their wiring).
 
 }  // namespace mirabel::scheduling
 

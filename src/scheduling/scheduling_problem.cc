@@ -20,7 +20,7 @@ Status SchedulingProblem::Validate() const {
         "per-slice vectors must match horizon_length");
   }
   for (size_t i = 0; i < offers.size(); ++i) {
-    MIRABEL_RETURN_NOT_OK(offers[i].Validate());
+    MIRABEL_RETURN_IF_ERROR(offers[i].Validate());
     if (offers[i].earliest_start < horizon_start ||
         offers[i].LatestEnd() > horizon_start + horizon_length) {
       return Status::OutOfRange("offer " + std::to_string(i) +
@@ -133,7 +133,7 @@ ScheduleCost CostEvaluator::Cost() const {
 
 Result<double> CostEvaluator::EvaluateTotal(const Schedule& schedule) const {
   CostEvaluator scratch(*problem_);
-  MIRABEL_RETURN_NOT_OK(scratch.SetSchedule(schedule));
+  MIRABEL_RETURN_IF_ERROR(scratch.SetSchedule(schedule));
   return scratch.Cost().total();
 }
 

@@ -82,7 +82,7 @@ std::vector<double> DataStore::MeasurementSeries(ActorId actor, EnergyType type,
 }
 
 Status DataStore::PutFlexOffer(const flexoffer::FlexOffer& offer) {
-  MIRABEL_RETURN_NOT_OK(offer.Validate());
+  MIRABEL_RETURN_IF_ERROR(offer.Validate());
   FlexOfferFact fact;
   fact.id = offer.id;
   fact.offer = offer;
@@ -136,7 +136,7 @@ Status DataStore::TransitionFlexOffer(FlexOfferId id, FlexOfferState to) {
 Status DataStore::AttachSchedule(const flexoffer::ScheduledFlexOffer& schedule) {
   MIRABEL_ASSIGN_OR_RETURN(FlexOfferFact * fact,
                            flex_offers_.FindMutable(schedule.offer_id));
-  MIRABEL_RETURN_NOT_OK(schedule.ValidateAgainst(fact->offer));
+  MIRABEL_RETURN_IF_ERROR(schedule.ValidateAgainst(fact->offer));
   if (fact->state != FlexOfferState::kAccepted &&
       fact->state != FlexOfferState::kAggregated) {
     return Status::FailedPrecondition(

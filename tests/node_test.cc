@@ -2,8 +2,12 @@
 // assembled hierarchy).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "test_util.h"
 
+#include "edms/baseline_provider.h"
 #include "node/aggregating_node.h"
 #include "node/prosumer_node.h"
 
@@ -22,12 +26,13 @@ ProsumerNode::Config ProsumerConfig(NodeId id, NodeId brp) {
 AggregatingNode::Config BrpConfig(NodeId id) {
   AggregatingNode::Config cfg;
   cfg.id = id;
-  cfg.negotiate = true;
-  cfg.aggregation.params = aggregation::AggregationParams::P3();
-  cfg.gate_period = 8;
-  cfg.horizon = 96;
-  cfg.scheduler_budget_s = 0.005;
-  cfg.baseline_imbalance_kwh.assign(96 * 10, 5.0);
+  cfg.engine.negotiate = true;
+  cfg.engine.aggregation.params = aggregation::AggregationParams::P3();
+  cfg.engine.gate_period = 8;
+  cfg.engine.horizon = 96;
+  cfg.engine.scheduler_budget_s = 0.005;
+  cfg.engine.baseline = std::make_shared<edms::VectorBaselineProvider>(
+      std::vector<double>(96 * 10, 5.0));
   return cfg;
 }
 
@@ -130,7 +135,7 @@ TEST(AggregatingNodeTest, NegotiatesAndAggregatesIncomingOffers) {
 TEST(AggregatingNodeTest, RejectsInflexibleOffer) {
   MessageBus bus;
   AggregatingNode::Config cfg = BrpConfig(100);
-  cfg.negotiation.acceptance.min_value_eur = 1.0;
+  cfg.engine.negotiation.acceptance.min_value_eur = 1.0;
   AggregatingNode brp(cfg, &bus);
   std::vector<Message> prosumer_inbox;
   ASSERT_TRUE(bus.Register(1000, [&prosumer_inbox](const Message& m) {

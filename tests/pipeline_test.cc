@@ -30,6 +30,28 @@ TEST(PipelineTest, CompressesWorkload) {
   EXPECT_EQ(stats.aggregate_count, pipeline.aggregates().size());
 }
 
+TEST(PipelineTest, BatchInsertMatchesIncrementalInsert) {
+  std::vector<FlexOffer> offers = Workload(2000, 3);
+  AggregationPipeline incremental({AggregationParams::P3(), std::nullopt});
+  for (const auto& fo : offers) {
+    ASSERT_TRUE(incremental.Insert(fo).ok());
+  }
+  incremental.Flush();
+
+  AggregationPipeline batch({AggregationParams::P3(), std::nullopt});
+  ASSERT_TRUE(batch.Insert(std::span<const FlexOffer>(offers)).ok());
+  batch.Flush();
+
+  EXPECT_EQ(batch.Stats().offer_count, incremental.Stats().offer_count);
+  EXPECT_EQ(batch.Stats().aggregate_count,
+            incremental.Stats().aggregate_count);
+  EXPECT_EQ(batch.num_groups(), incremental.num_groups());
+
+  // A duplicate in the batch surfaces as AlreadyExists.
+  EXPECT_EQ(batch.Insert(std::span<const FlexOffer>(offers)).code(),
+            StatusCode::kAlreadyExists);
+}
+
 TEST(PipelineTest, P0HasZeroFlexibilityLoss) {
   AggregationPipeline pipeline({AggregationParams::P0(), std::nullopt});
   for (const auto& fo : Workload(2000, 4)) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "edms/scheduler_registry.h"
 #include "scheduling/scenario.h"
 
 namespace mirabel::scheduling {
@@ -13,6 +18,12 @@ SchedulerOptions IterBudget(int iters) {
   opt.max_iterations = iters;
   opt.seed = 11;
   return opt;
+}
+
+/// Registry-backed factory; nullptr for unknown names.
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+  auto created = edms::SchedulerRegistry::Default().Create(name);
+  return created.ok() ? std::move(created).value() : nullptr;
 }
 
 class SchedulerSuite : public ::testing::TestWithParam<const char*> {};
@@ -120,8 +131,22 @@ TEST(HybridSchedulerTest, AtLeastAsGoodAsItsGreedyPhase) {
   EXPECT_LE(hybrid_run->cost.total(), greedy_run->cost.total() + 1e-6);
 }
 
-TEST(SchedulerFactoryTest, UnknownNameIsNull) {
-  EXPECT_EQ(MakeScheduler("TabuSearch"), nullptr);
+TEST(SchedulerFactoryTest, UnknownNameIsNotFound) {
+  auto created = edms::SchedulerRegistry::Default().Create("TabuSearch");
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchedulerFactoryTest, DefaultRegistryListsThePaperAlgorithms) {
+  auto names = edms::SchedulerRegistry::Default().Names();
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "EvolutionaryAlgorithm", "Exhaustive", "GreedySearch",
+                       "Hybrid"}));
+  for (const std::string& name : names) {
+    auto created = edms::SchedulerRegistry::Default().Create(name);
+    ASSERT_TRUE(created.ok()) << name;
+    EXPECT_EQ((*created)->Name(), name);
+  }
 }
 
 TEST(EvolutionarySchedulerTest, DegenerateConfigRejected) {

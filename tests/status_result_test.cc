@@ -38,13 +38,13 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
   auto fails = []() -> Status {
-    MIRABEL_RETURN_NOT_OK(Status::Internal("boom"));
+    MIRABEL_RETURN_IF_ERROR(Status::Internal("boom"));
     return Status::OK();
   };
   EXPECT_EQ(fails().code(), StatusCode::kInternal);
 
   auto passes = []() -> Status {
-    MIRABEL_RETURN_NOT_OK(Status::OK());
+    MIRABEL_RETURN_IF_ERROR(Status::OK());
     return Status::InvalidArgument("reached end");
   };
   EXPECT_EQ(passes().code(), StatusCode::kInvalidArgument);
