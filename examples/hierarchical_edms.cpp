@@ -1,8 +1,11 @@
 // A miniature Europe: the 3-level EDMS hierarchy of the paper's Fig. 2 —
 // prosumers issuing flex-offers, BRPs negotiating/aggregating/forwarding,
 // and a TSO scheduling the macro offers — simulated tick by tick on the
-// slice clock, including network latency and message loss.
+// slice clock, including network latency and message loss. Pass a shard
+// count as the first argument to partition every aggregating node's engine
+// (default 1 shard per node).
 #include <cstdio>
+#include <cstdlib>
 
 #include "node/simulation.h"
 
@@ -10,7 +13,13 @@ using mirabel::node::EdmsSimulation;
 using mirabel::node::SimulationConfig;
 using mirabel::node::SimulationReport;
 
-int main() {
+int main(int argc, char** argv) {
+  size_t shards = 1;
+  if (argc > 1) {
+    long parsed = std::strtol(argv[1], nullptr, 10);
+    shards = parsed < 1 ? 1 : (parsed > 64 ? 64 : static_cast<size_t>(parsed));
+  }
+  std::printf("engine shards per aggregating node: %zu\n\n", shards);
   // 2-level deployment first: BRPs schedule locally.
   {
     SimulationConfig config;
@@ -20,6 +29,7 @@ int main() {
     config.use_tso = false;
     config.offers_per_day = 4.0;
     config.seed = 11;
+    config.shards_per_node = shards;
     std::puts("== 2-level EDMS (prosumers + BRPs) ==");
     EdmsSimulation sim(config);
     SimulationReport report = sim.Run();
@@ -36,6 +46,7 @@ int main() {
     config.use_tso = true;
     config.offers_per_day = 4.0;
     config.seed = 11;
+    config.shards_per_node = shards;
     std::puts("== 3-level EDMS (prosumers + BRPs + TSO) ==");
     EdmsSimulation sim(config);
     SimulationReport report = sim.Run();
@@ -55,6 +66,7 @@ int main() {
     config.seed = 11;
     config.bus.latency_slices = 1;
     config.bus.drop_probability = 0.05;
+    config.shards_per_node = shards;
     std::puts("== 2-level EDMS with 5% message loss ==");
     EdmsSimulation sim(config);
     SimulationReport report = sim.Run();

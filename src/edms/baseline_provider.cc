@@ -37,6 +37,9 @@ Result<std::vector<double>> ForecastBaselineProvider::Baseline(TimeSlice start,
         "baseline requested for slice " + std::to_string(start) +
         " before the forecast origin " + std::to_string(origin_));
   }
+  // Serializes concurrent gate closures of runtime shards; the forecasters
+  // are only ever driven from under this lock.
+  std::lock_guard<std::mutex> lock(mu_);
   size_t needed = static_cast<size_t>(start - origin_) +
                   static_cast<size_t>(length);
   if (needed > cache_.size()) {

@@ -2,6 +2,7 @@
 #define MIRABEL_EDMS_BASELINE_PROVIDER_H_
 
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,11 @@ namespace mirabel::edms {
 /// against. Replaces the injected `baseline_imbalance_kwh` vector of the old
 /// node config: the forecasting component plugs in directly, simulations
 /// inject precomputed curves, and tests use zeros.
+///
+/// Threading: one provider instance may be shared by every shard of a
+/// ShardedEdmsRuntime, whose workers close their gates concurrently.
+/// Implementations must therefore make Baseline() safe to call from
+/// multiple threads (stateless reads qualify as-is; caches need a lock).
 class BaselineProvider {
  public:
   virtual ~BaselineProvider() = default;
@@ -80,6 +86,8 @@ class ForecastBaselineProvider : public BaselineProvider {
   forecasting::Forecaster* supply_;
   flexoffer::TimeSlice origin_;
   double scale_;
+  /// Guards cache_ against concurrent gate closures of runtime shards.
+  std::mutex mu_;
   /// Net (scaled) forecast for slices [origin_, origin_ + cache_.size()).
   std::vector<double> cache_;
 };

@@ -15,6 +15,42 @@ using flexoffer::FlexOfferId;
 using flexoffer::ScheduledFlexOffer;
 using flexoffer::TimeSlice;
 
+EngineStats& EngineStats::Merge(const EngineStats& other) {
+  // Destructuring both sides pins the member count at compile time: adding a
+  // field to EngineStats without extending these bindings fails to build.
+  // The size guard additionally catches same-count layout changes.
+  static_assert(sizeof(EngineStats) == 13 * sizeof(int64_t),
+                "EngineStats layout changed: update Merge()");
+  auto& [received, batches, accepted, rejected, runs, macros, micros, expired,
+         executed, payments, imb_before, imb_after, cost] = *this;
+  const auto& [o_received, o_batches, o_accepted, o_rejected, o_runs, o_macros,
+               o_micros, o_expired, o_executed, o_payments, o_imb_before,
+               o_imb_after, o_cost] = other;
+  received += o_received;
+  batches += o_batches;
+  accepted += o_accepted;
+  rejected += o_rejected;
+  runs += o_runs;
+  macros += o_macros;
+  micros += o_micros;
+  expired += o_expired;
+  executed += o_executed;
+  payments += o_payments;
+  imb_before += o_imb_before;
+  imb_after += o_imb_after;
+  cost += o_cost;
+  return *this;
+}
+
+EngineStats& operator+=(EngineStats& lhs, const EngineStats& rhs) {
+  return lhs.Merge(rhs);
+}
+
+EngineStats operator+(EngineStats lhs, const EngineStats& rhs) {
+  lhs.Merge(rhs);
+  return lhs;
+}
+
 EdmsEngine::EdmsEngine(const Config& config)
     : config_(config),
       negotiator_(config.negotiation),
@@ -29,6 +65,8 @@ EdmsEngine::EdmsEngine(const Config& config)
 
 Result<size_t> EdmsEngine::SubmitOffers(std::span<const FlexOffer> offers,
                                         TimeSlice now) {
+  if (offers.empty()) return size_t{0};
+
   // Phase 0: reject duplicate ids up front, before any state mutates —
   // aborting mid-batch would strand the earlier offers in kOffered.
   std::unordered_set<FlexOfferId> batch_ids;
@@ -40,6 +78,7 @@ Result<size_t> EdmsEngine::SubmitOffers(std::span<const FlexOffer> offers,
                                    " was already submitted");
     }
   }
+  ++stats_.submit_batches;
 
   // Phase 1: admit. Validation and negotiation decide per offer; the agreed
   // ones are collected for one batch pipeline insertion.
@@ -63,7 +102,7 @@ Result<size_t> EdmsEngine::SubmitOffers(std::span<const FlexOffer> offers,
       ++stats_.offers_rejected;
       MIRABEL_RETURN_IF_ERROR(
           lifecycle_.Transition(offer.id, OfferState::kRejected).status());
-      events_.push_back(OfferRejected{offer.id, offer.owner, now});
+      events_.Push(OfferRejected{offer.id, offer.owner, now});
       continue;
     }
     admitted.push_back(offer);
@@ -86,7 +125,7 @@ Result<size_t> EdmsEngine::SubmitOffers(std::span<const FlexOffer> offers,
     (void)store_.SetAgreedPrice(offer.id, prices[i]);
     MIRABEL_RETURN_IF_ERROR(
         lifecycle_.Transition(offer.id, OfferState::kAccepted).status());
-    events_.push_back(OfferAccepted{offer.id, offer.owner, now, prices[i]});
+    events_.Push(OfferAccepted{offer.id, offer.owner, now, prices[i]});
   }
   return admitted.size();
 }
@@ -135,7 +174,7 @@ Status EdmsEngine::RunGate(TimeSlice now) {
     (void)store_.TransitionFlexOffer(id, storage::FlexOfferState::kExpired);
     (void)lifecycle_.Transition(id, OfferState::kExpired);
     ++stats_.offers_expired_in_pipeline;
-    events_.push_back(OfferExpired{id, owner, now});
+    events_.Push(OfferExpired{id, owner, now});
   }
 
   if (ready.empty()) {
@@ -161,7 +200,27 @@ Status EdmsEngine::RunGate(TimeSlice now) {
     // Publish macro offers for higher-level aggregation and scheduling.
     for (const auto& agg : ready) {
       FlexOffer macro = agg.macro;
-      macro.id = config_.actor * 1000000ULL + agg.macro.id;
+      // The intra-actor index must stay below the per-actor stride, or the
+      // wire id would alias the next actor's range at the parent level.
+      // Laned ids divide the headroom by the lane count, so guard it: a
+      // shard burning through 1e6 / lanes aggregate ids is a deployment
+      // that needs a wider id scheme, not silent mis-routing.
+      uint64_t intra_actor =
+          agg.macro.id * config_.macro_id_lanes + config_.macro_id_lane;
+      if (intra_actor >= 1000000ULL) {
+        MIRABEL_LOG(kError) << "macro id space exhausted (aggregate "
+                            << agg.macro.id << " x " << config_.macro_id_lanes
+                            << " lanes); expiring its members";
+        for (const auto& m : agg.members) {
+          (void)store_.TransitionFlexOffer(m.offer.id,
+                                           storage::FlexOfferState::kExpired);
+          (void)lifecycle_.Transition(m.offer.id, OfferState::kExpired);
+          ++stats_.offers_expired_in_pipeline;
+          events_.Push(OfferExpired{m.offer.id, m.offer.owner, now});
+        }
+        continue;
+      }
+      macro.id = config_.actor * 1000000ULL + intra_actor;
       macro.owner = config_.actor;
       // The snapshot must carry the wire id so the returning schedule
       // validates against it at disaggregation time.
@@ -169,7 +228,7 @@ Status EdmsEngine::RunGate(TimeSlice now) {
       snapshot.macro.id = macro.id;
       snapshot.macro.owner = config_.actor;
       pending_macros_.emplace(macro.id, std::move(snapshot));
-      events_.push_back(
+      events_.Push(
           MacroPublished{std::move(macro), now, agg.members.size(), true});
     }
     return Status::OK();
@@ -191,7 +250,7 @@ Status EdmsEngine::ScheduleLocally(
                                          storage::FlexOfferState::kExpired);
         (void)lifecycle_.Transition(m.offer.id, OfferState::kExpired);
         ++stats_.offers_expired_in_pipeline;
-        events_.push_back(OfferExpired{m.offer.id, m.offer.owner, now});
+        events_.Push(OfferExpired{m.offer.id, m.offer.owner, now});
       }
     }
   }
@@ -237,7 +296,7 @@ Status EdmsEngine::ScheduleClaimed(
   ++stats_.scheduling_runs;
   stats_.schedule_cost_eur += run.cost.total();
   for (const auto& agg : macros) {
-    events_.push_back(MacroPublished{agg.macro, now, agg.members.size(),
+    events_.Push(MacroPublished{agg.macro, now, agg.members.size(),
                                      /*forwarded=*/false});
   }
 
@@ -290,7 +349,7 @@ Status EdmsEngine::EmitMemberSchedules(
     (void)lifecycle_.Transition(schedule.offer_id, OfferState::kScheduled);
     (void)lifecycle_.Transition(schedule.offer_id, OfferState::kAssigned);
     ++stats_.micro_schedules_sent;
-    events_.push_back(
+    events_.Push(
         ScheduleAssigned{agg.members[i].offer.owner, now, schedule});
   }
   return Status::OK();
@@ -305,7 +364,7 @@ Status EdmsEngine::RecordExecution(FlexOfferId id, TimeSlice now,
       lifecycle_.Transition(id, OfferState::kExecuted).status());
   (void)store_.TransitionFlexOffer(id, storage::FlexOfferState::kExecuted);
   ++stats_.offers_executed;
-  events_.push_back(OfferExecuted{id, owner, now, energy_kwh});
+  events_.Push(OfferExecuted{id, owner, now, energy_kwh});
   return Status::OK();
 }
 
@@ -315,10 +374,6 @@ void EdmsEngine::RecordMeasurement(flexoffer::ActorId actor, TimeSlice slice,
                            energy_kwh);
 }
 
-std::vector<Event> EdmsEngine::PollEvents() {
-  std::vector<Event> out;
-  out.swap(events_);
-  return out;
-}
+std::vector<Event> EdmsEngine::PollEvents() { return events_.DrainAll(); }
 
 }  // namespace mirabel::edms

@@ -8,6 +8,7 @@
 
 #include "aggregation/pipeline.h"
 #include "edms/baseline_provider.h"
+#include "edms/event_queue.h"
 #include "edms/events.h"
 #include "edms/offer_lifecycle.h"
 #include "edms/scheduler_registry.h"
@@ -17,8 +18,12 @@
 namespace mirabel::edms {
 
 /// Counters of one engine's trading activity (the former AggregatingStats).
+/// Every field is additive, so shard stats merge by summation — see Merge().
 struct EngineStats {
   int64_t offers_received = 0;
+  /// Non-empty SubmitOffers() batches processed (mean batch size =
+  /// offers_received / submit_batches).
+  int64_t submit_batches = 0;
   int64_t offers_accepted = 0;
   int64_t offers_rejected = 0;
   int64_t scheduling_runs = 0;
@@ -31,11 +36,22 @@ struct EngineStats {
   /// Absolute imbalance over the accounted horizon slices, without / with
   /// flex-offer scheduling (kWh). The "after" number is what the paper's
   /// Fig. 1 illustrates: shifted flexible demand absorbs RES production.
+  /// Accounted per scheduling problem: when engines sharing one baseline
+  /// are merged (ShardedEdmsRuntime), each shard counts that baseline once,
+  /// so compare the before-after *difference* across shard counts, not the
+  /// raw totals.
   double imbalance_before_kwh = 0.0;
   double imbalance_after_kwh = 0.0;
   /// Total scheduling cost of the accepted schedules (EUR).
   double schedule_cost_eur = 0.0;
+
+  /// Adds `other` field by field. The implementation destructures the whole
+  /// struct, so adding a field without extending Merge() fails to compile.
+  EngineStats& Merge(const EngineStats& other);
 };
+
+EngineStats& operator+=(EngineStats& lhs, const EngineStats& rhs);
+EngineStats operator+(EngineStats lhs, const EngineStats& rhs);
 
 /// The EDMS Control component as a single facade (paper §3, §8): one engine
 /// drives the full flex-offer life cycle — offered, accepted, aggregated,
@@ -96,6 +112,14 @@ class EdmsEngine {
     /// forwarded = true) instead of scheduling; schedules return via
     /// CompleteMacroSchedule().
     bool schedule_locally = true;
+
+    /// Identifier lane of published macro offers: the wire id is
+    /// actor * 1000000 + aggregate id * macro_id_lanes + macro_id_lane.
+    /// The sharded runtime gives every shard its own lane so macros
+    /// published by different shards of one actor never collide; the
+    /// defaults reproduce the single-engine id scheme.
+    uint64_t macro_id_lane = 0;
+    uint64_t macro_id_lanes = 1;
   };
 
   explicit EdmsEngine(const Config& config);
@@ -133,7 +157,18 @@ class EdmsEngine {
                          double energy_kwh);
 
   /// Drains the pending event stream, in emission order.
+  ///
+  /// Threading: the event channel is a single-producer/single-consumer
+  /// queue. All mutating engine calls must stay on one thread (the
+  /// producer), but PollEvents() may be issued from one other thread — this
+  /// is how a ShardedEdmsRuntime shard streams events out of its worker.
   std::vector<Event> PollEvents();
+
+  /// True when a published (forwarded) macro offer with this wire id is
+  /// still awaiting its schedule.
+  bool HasPendingMacro(flexoffer::FlexOfferId id) const {
+    return pending_macros_.count(id) != 0;
+  }
 
   const EngineStats& stats() const { return stats_; }
   const OfferLifecycle& lifecycle() const { return lifecycle_; }
@@ -167,7 +202,7 @@ class EdmsEngine {
   aggregation::AggregationPipeline pipeline_;
   OfferLifecycle lifecycle_;
   EngineStats stats_;
-  std::vector<Event> events_;
+  EventQueue events_;
   flexoffer::TimeSlice last_gate_ = -1;
   /// Snapshots of published macro offers keyed by the composite wire id,
   /// needed to disaggregate the schedules when they return.

@@ -1,0 +1,112 @@
+#ifndef MIRABEL_EDMS_EVENT_QUEUE_H_
+#define MIRABEL_EDMS_EVENT_QUEUE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "edms/events.h"
+
+namespace mirabel::edms {
+
+/// Unbounded lock-free single-producer / single-consumer event stream.
+///
+/// This is the engine's event channel, extracted from the former
+/// `std::vector<Event>` buffer so one type serves both deployments: a
+/// single-threaded EdmsEngine pushes and drains on the same thread, and a
+/// ShardedEdmsRuntime shard pushes from its worker thread while the runtime
+/// drains from the consumer thread — no lock on either side.
+///
+/// The queue is a linked list of fixed-size chunks. The producer fills a
+/// slot, then publishes it with a release store of the chunk's committed
+/// count; the consumer acquires the count before reading slots, so every
+/// drained event's payload is fully visible. On overflow the producer links
+/// a fresh chunk (the queue never blocks and never drops — a burst like a
+/// large SubmitOffers batch before the next poll just grows the list); the
+/// consumer frees chunks as it finishes them.
+///
+/// Contract: at most one thread calls Push() and at most one thread calls
+/// Drain()/DrainAll() at any moment. The two may be different threads.
+class EventQueue {
+ public:
+  /// Events per chunk; one chunk is the steady-state footprint.
+  static constexpr size_t kChunkCapacity = 256;
+
+  EventQueue() : head_(new Chunk()), tail_(head_) {}
+
+  ~EventQueue() {
+    Chunk* chunk = head_;
+    while (chunk != nullptr) {
+      Chunk* next = chunk->next.load(std::memory_order_relaxed);
+      delete chunk;
+      chunk = next;
+    }
+  }
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Producer side: appends one event. Never blocks.
+  void Push(Event event) {
+    if (tail_size_ == kChunkCapacity) {
+      Chunk* next = new Chunk();
+      tail_->next.store(next, std::memory_order_release);
+      tail_ = next;
+      tail_size_ = 0;
+    }
+    tail_->slots[tail_size_] = std::move(event);
+    ++tail_size_;
+    tail_->committed.store(tail_size_, std::memory_order_release);
+  }
+
+  /// Consumer side: moves every published event into `out` (appending) and
+  /// returns how many were drained.
+  size_t Drain(std::vector<Event>* out) {
+    size_t drained = 0;
+    for (;;) {
+      size_t committed = head_->committed.load(std::memory_order_acquire);
+      while (head_read_ < committed) {
+        out->push_back(std::move(head_->slots[head_read_]));
+        ++head_read_;
+        ++drained;
+      }
+      if (head_read_ < kChunkCapacity) return drained;
+      Chunk* next = head_->next.load(std::memory_order_acquire);
+      // The producer is still parked on this full chunk; it will link the
+      // successor on its next Push().
+      if (next == nullptr) return drained;
+      delete head_;
+      head_ = next;
+      head_read_ = 0;
+    }
+  }
+
+  /// Consumer side: Drain() into a fresh vector.
+  std::vector<Event> DrainAll() {
+    std::vector<Event> out;
+    Drain(&out);
+    return out;
+  }
+
+ private:
+  struct Chunk {
+    std::array<Event, kChunkCapacity> slots;
+    /// Slots [0, committed) are published to the consumer.
+    std::atomic<size_t> committed{0};
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  // Consumer-owned cursor. Chunks before head_ are freed; head_ is reachable
+  // from tail_'s chain only through chunks the producer no longer touches.
+  Chunk* head_;
+  size_t head_read_ = 0;
+
+  // Producer-owned cursor; tail_size_ mirrors tail_->committed.
+  Chunk* tail_;
+  size_t tail_size_ = 0;
+};
+
+}  // namespace mirabel::edms
+
+#endif  // MIRABEL_EDMS_EVENT_QUEUE_H_

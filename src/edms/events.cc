@@ -23,4 +23,8 @@ std::string_view EventName(const Event& event) {
   return std::visit(NameVisitor{}, event);
 }
 
+flexoffer::TimeSlice EventTime(const Event& event) {
+  return std::visit([](const auto& e) { return e.at; }, event);
+}
+
 }  // namespace mirabel::edms

@@ -69,6 +69,11 @@ using Event = std::variant<OfferAccepted, OfferRejected, MacroPublished,
 /// Short event-kind name ("OfferAccepted", ...), for logs and tests.
 std::string_view EventName(const Event& event);
 
+/// Slice at which the event was emitted (the `at` of any alternative). The
+/// sharded runtime merges per-shard streams into one ordered output on this
+/// key.
+flexoffer::TimeSlice EventTime(const Event& event);
+
 }  // namespace mirabel::edms
 
 #endif  // MIRABEL_EDMS_EVENTS_H_

@@ -1,0 +1,33 @@
+#ifndef MIRABEL_EDMS_SHARD_ROUTER_H_
+#define MIRABEL_EDMS_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "flexoffer/flex_offer.h"
+
+namespace mirabel::edms {
+
+/// Maps an offer owner to one of `num_shards` engine shards.
+///
+/// Routers must be pure functions of (owner, num_shards) and must return a
+/// value < num_shards: the runtime calls them for every submitted offer and
+/// relies on all calls agreeing on the placement — an owner's offers have to
+/// land on one shard so duplicate detection, lifecycle tracking and
+/// execution metering stay local to a single engine.
+using ShardRouter =
+    std::function<size_t(flexoffer::ActorId owner, size_t num_shards)>;
+
+/// The default router: owner % num_shards. Prosumer populations with dense
+/// id ranges (the simulation's `1000 + i` layout, the datagen workloads)
+/// spread evenly under it.
+inline ShardRouter OwnerModuloRouter() {
+  return [](flexoffer::ActorId owner, size_t num_shards) {
+    return num_shards <= 1 ? size_t{0}
+                           : static_cast<size_t>(owner % num_shards);
+  };
+}
+
+}  // namespace mirabel::edms
+
+#endif  // MIRABEL_EDMS_SHARD_ROUTER_H_

@@ -1,0 +1,317 @@
+#include "edms/sharded_runtime.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace mirabel::edms {
+
+using flexoffer::ActorId;
+using flexoffer::FlexOffer;
+using flexoffer::FlexOfferId;
+using flexoffer::ScheduledFlexOffer;
+using flexoffer::TimeSlice;
+
+/// One engine partition: the engine plus its worker thread and task queue.
+/// Every mutating engine call runs on the worker, so each engine stays
+/// single-threaded; the task-queue mutex and the futures returned by Post()
+/// provide the happens-before edges that make the caller's reads between
+/// fork-join calls race-free.
+struct ShardedEdmsRuntime::Shard {
+  std::unique_ptr<EdmsEngine> engine;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::packaged_task<void()>> tasks;
+  bool stop = false;
+  std::thread worker;
+};
+
+namespace {
+
+/// Per-shard engine configuration derived from the runtime template.
+EdmsEngine::Config ShardEngineConfig(const ShardedEdmsRuntime::Config& config,
+                                     size_t shard, size_t num_shards) {
+  EdmsEngine::Config ec = config.engine;
+  // Collision-free macro wire ids across the shards of one actor.
+  ec.macro_id_lane = shard;
+  ec.macro_id_lanes = num_shards;
+  // Independent stochastic streams per shard.
+  ec.seed = config.engine.seed + 1000003ULL * static_cast<uint64_t>(shard);
+  if (config.divide_scheduler_budget && num_shards > 1) {
+    // Hold the total per-gate scheduling effort constant across shard
+    // counts: each shard gets 1/N of the budget for its 1/N-sized problem.
+    if (ec.scheduler_budget_s > 0.0) {
+      ec.scheduler_budget_s /= static_cast<double>(num_shards);
+    }
+    if (ec.scheduler_max_iterations > 0) {
+      ec.scheduler_max_iterations =
+          (ec.scheduler_max_iterations + static_cast<int>(num_shards) - 1) /
+          static_cast<int>(num_shards);
+    }
+  }
+  return ec;
+}
+
+/// Waits for every posted task before returning or rethrowing: a task that
+/// threw (e.g. bad_alloc on the worker) must not unwind the caller's stack
+/// while sibling tasks still hold references into it.
+void DrainFutures(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+/// Joins a fan-out, keeping the first error.
+Status JoinAll(std::vector<std::future<void>>& futures,
+               std::vector<Status>& statuses) {
+  DrainFutures(futures);
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ShardedEdmsRuntime::ShardedEdmsRuntime(const Config& config)
+    : config_(config) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  if (!config_.router) config_.router = OwnerModuloRouter();
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<EdmsEngine>(
+        ShardEngineConfig(config_, i, config_.num_shards));
+    // The single-shard deployment runs every call inline on the caller
+    // thread (a zero-overhead engine wrapper); workers only exist when
+    // there is a partition to fan out over.
+    if (config_.num_shards > 1) {
+      shard->worker =
+          std::thread(&ShardedEdmsRuntime::WorkerLoop, shard.get());
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedEdmsRuntime::~ShardedEdmsRuntime() {
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stop = true;
+    }
+    shard->cv.notify_one();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedEdmsRuntime::WorkerLoop(Shard* shard) {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->cv.wait(lock,
+                     [shard] { return shard->stop || !shard->tasks.empty(); });
+      if (shard->tasks.empty()) return;  // stop requested, queue drained
+      task = std::move(shard->tasks.front());
+      shard->tasks.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ShardedEdmsRuntime::Post(size_t i,
+                                           std::function<void()> fn) {
+  Shard& shard = *shards_[i];
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.tasks.push_back(std::move(task));
+  }
+  shard.cv.notify_one();
+  return future;
+}
+
+Result<size_t> ShardedEdmsRuntime::SubmitOffers(
+    std::span<const FlexOffer> offers, TimeSlice now) {
+  const size_t n = shards_.size();
+  if (n == 1) return shards_[0]->engine->SubmitOffers(offers, now);
+  std::vector<std::vector<FlexOffer>> buckets(n);
+  for (const FlexOffer& offer : offers) {
+    buckets[ShardOf(offer.owner)].push_back(offer);
+  }
+
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<size_t> accepted(n, 0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (buckets[i].empty()) continue;
+    futures.push_back(Post(i, [this, i, &buckets, &statuses, &accepted,
+                               now] {
+      Result<size_t> r = shards_[i]->engine->SubmitOffers(
+          std::span<const FlexOffer>(buckets[i]), now);
+      if (r.ok()) {
+        accepted[i] = *r;
+      } else {
+        statuses[i] = r.status();
+      }
+    }));
+  }
+  MIRABEL_RETURN_IF_ERROR(JoinAll(futures, statuses));
+  size_t total = 0;
+  for (size_t count : accepted) total += count;
+  return total;
+}
+
+Status ShardedEdmsRuntime::SubmitOffer(const FlexOffer& offer, TimeSlice now) {
+  return SubmitOffers(std::span<const FlexOffer>(&offer, 1), now).status();
+}
+
+Status ShardedEdmsRuntime::Advance(TimeSlice now) {
+  const size_t n = shards_.size();
+  if (n == 1) return shards_[0]->engine->Advance(now);
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(Post(i, [this, i, &statuses, now] {
+      statuses[i] = shards_[i]->engine->Advance(now);
+    }));
+  }
+  return JoinAll(futures, statuses);
+}
+
+Status ShardedEdmsRuntime::CompleteMacroSchedule(
+    const ScheduledFlexOffer& schedule, TimeSlice now) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->engine->HasPendingMacro(schedule.offer_id)) continue;
+    if (shards_.size() == 1) {
+      return shards_[0]->engine->CompleteMacroSchedule(schedule, now);
+    }
+    Status st = Status::OK();
+    Post(i, [this, i, &schedule, &st, now] {
+      st = shards_[i]->engine->CompleteMacroSchedule(schedule, now);
+    }).get();
+    return st;
+  }
+  return Status::NotFound("no shard has pending macro offer " +
+                          std::to_string(schedule.offer_id));
+}
+
+Status ShardedEdmsRuntime::RecordExecution(FlexOfferId id, TimeSlice now,
+                                           double energy_kwh) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->engine->lifecycle().StateOf(id).ok()) continue;
+    if (shards_.size() == 1) {
+      return shards_[0]->engine->RecordExecution(id, now, energy_kwh);
+    }
+    Status st = Status::OK();
+    Post(i, [this, i, id, now, energy_kwh, &st] {
+      st = shards_[i]->engine->RecordExecution(id, now, energy_kwh);
+    }).get();
+    return st;
+  }
+  return Status::NotFound("no shard knows offer " + std::to_string(id));
+}
+
+void ShardedEdmsRuntime::RecordMeasurement(ActorId actor, TimeSlice slice,
+                                           double energy_kwh) {
+  size_t i = ShardOf(actor);
+  if (shards_.size() == 1) {
+    shards_[0]->engine->RecordMeasurement(actor, slice, energy_kwh);
+    return;
+  }
+  Post(i, [this, i, actor, slice, energy_kwh] {
+    shards_[i]->engine->RecordMeasurement(actor, slice, energy_kwh);
+  }).get();
+}
+
+void ShardedEdmsRuntime::RecordMeterReadings(
+    std::span<const MeterReading> readings) {
+  const size_t n = shards_.size();
+  if (n == 1) {
+    EdmsEngine& engine = *shards_[0]->engine;
+    for (const MeterReading& r : readings) {
+      engine.RecordMeasurement(r.actor, r.slice, r.energy_kwh);
+      if (r.offer_id != 0) {
+        (void)engine.RecordExecution(r.offer_id, r.slice, r.energy_kwh);
+      }
+    }
+    return;
+  }
+  std::vector<std::vector<MeterReading>> buckets(n);
+  for (const MeterReading& reading : readings) {
+    buckets[ShardOf(reading.actor)].push_back(reading);
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (buckets[i].empty()) continue;
+    futures.push_back(Post(i, [this, i, &buckets] {
+      EdmsEngine& engine = *shards_[i]->engine;
+      for (const MeterReading& r : buckets[i]) {
+        engine.RecordMeasurement(r.actor, r.slice, r.energy_kwh);
+        if (r.offer_id != 0) {
+          (void)engine.RecordExecution(r.offer_id, r.slice, r.energy_kwh);
+        }
+      }
+    }));
+  }
+  DrainFutures(futures);
+}
+
+std::vector<Event> ShardedEdmsRuntime::PollEvents() {
+  // Concatenate the per-shard drains in shard order, then stable-sort by
+  // emission slice: within one slice, events keep shard order and each
+  // shard's emission order — a deterministic merge for deterministic
+  // shard streams, whatever the worker interleaving was.
+  std::vector<Event> out;
+  for (auto& shard : shards_) {
+    std::vector<Event> drained = shard->engine->PollEvents();
+    out.insert(out.end(), std::make_move_iterator(drained.begin()),
+               std::make_move_iterator(drained.end()));
+  }
+  if (shards_.size() > 1) {
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Event& a, const Event& b) {
+                       return EventTime(a) < EventTime(b);
+                     });
+  }
+  return out;
+}
+
+EngineStats ShardedEdmsRuntime::stats() const {
+  EngineStats merged;
+  for (const auto& shard : shards_) merged.Merge(shard->engine->stats());
+  return merged;
+}
+
+const EdmsEngine& ShardedEdmsRuntime::shard(size_t i) const {
+  return *shards_[i]->engine;
+}
+
+size_t ShardedEdmsRuntime::ShardOf(ActorId owner) const {
+  size_t i = config_.router(owner, shards_.size());
+  return i < shards_.size() ? i : i % shards_.size();
+}
+
+bool ShardedEdmsRuntime::HasSeenOffer(const FlexOffer& offer) const {
+  return shards_[ShardOf(offer.owner)]
+      ->engine->lifecycle()
+      .StateOf(offer.id)
+      .ok();
+}
+
+}  // namespace mirabel::edms

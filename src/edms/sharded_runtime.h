@@ -1,0 +1,149 @@
+#ifndef MIRABEL_EDMS_SHARDED_RUNTIME_H_
+#define MIRABEL_EDMS_SHARDED_RUNTIME_H_
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "edms/edms_engine.h"
+#include "edms/shard_router.h"
+
+namespace mirabel::edms {
+
+/// A partitioned EDMS runtime: N EdmsEngine shards behind one event stream.
+///
+/// The MIRABEL hierarchy absorbs flex-offers from thousands of prosumers per
+/// BRP node (paper §2). One single-threaded engine serializes that whole
+/// load; the runtime instead partitions prosumers across `num_shards`
+/// independent engines (a pluggable ShardRouter maps owner -> shard, owner %
+/// N by default) and runs every shard's intake and gate closures on the
+/// shard's own worker thread. Each shard streams its events through a
+/// lock-free SPSC EventQueue; PollEvents() merges the per-shard streams into
+/// one deterministically ordered output (ascending emission slice, ties by
+/// shard index, per-shard emission order preserved).
+///
+/// Call semantics are fork-join: SubmitOffers()/Advance() fan the work out
+/// to the shard workers, wait for all of them, and return the combined
+/// result, so the caller observes exactly the single-engine API. Between
+/// calls the workers are quiescent, which is what makes the accessors
+/// (stats(), shard()) safe to use without locks.
+///
+/// Threading contract: the runtime itself is driven by one caller thread at
+/// a time (like the engine it replaces); the parallelism lives inside the
+/// calls. Config::engine.baseline is shared by all shards and must be
+/// thread-safe (see BaselineProvider).
+///
+/// Offer ids must be unique per owner across the runtime (true for every
+/// id scheme in the repo: owners mint their own namespaced ids). Duplicate
+/// detection is per shard — the router keeps an owner's offers on one
+/// shard, so resubmissions are still caught.
+class ShardedEdmsRuntime {
+ public:
+  struct Config {
+    /// Number of engine shards; 0 is treated as 1. With 1 shard the runtime
+    /// degenerates to a zero-overhead wrapper: no worker threads, every
+    /// call runs inline on the caller thread against the one engine.
+    size_t num_shards = 1;
+    /// Owner -> shard placement; null resolves to OwnerModuloRouter().
+    ShardRouter router;
+    /// Template configuration applied to every shard. Per shard, the
+    /// runtime derives: macro_id_lane/lanes (collision-free macro wire
+    /// ids), the seed (offset per shard) and — see below — the scheduler
+    /// budget.
+    EdmsEngine::Config engine;
+    /// When true (default), the template's scheduler budget (time and
+    /// iteration caps) is divided by num_shards, holding the *total*
+    /// scheduling effort per gate closure constant across shard counts:
+    /// N shards each solve a 1/N-sized problem with 1/N of the budget.
+    /// Disable to give every shard the full template budget.
+    bool divide_scheduler_budget = true;
+  };
+
+  explicit ShardedEdmsRuntime(const Config& config);
+  ~ShardedEdmsRuntime();
+
+  ShardedEdmsRuntime(const ShardedEdmsRuntime&) = delete;
+  ShardedEdmsRuntime& operator=(const ShardedEdmsRuntime&) = delete;
+
+  /// Routes the batch to its shards and negotiates/admits each sub-batch on
+  /// the shard's worker, in parallel. Returns the total number accepted, or
+  /// the first shard error. Per-shard batches keep the engine's atomic
+  /// duplicate handling: a duplicate id rejects its own shard's sub-batch.
+  Result<size_t> SubmitOffers(std::span<const flexoffer::FlexOffer> offers,
+                              flexoffer::TimeSlice now);
+
+  /// Single-offer convenience over SubmitOffers().
+  Status SubmitOffer(const flexoffer::FlexOffer& offer,
+                     flexoffer::TimeSlice now);
+
+  /// Advances every shard's control loop to `now` in parallel; shards whose
+  /// gate is due aggregate + schedule (or publish) their own partition.
+  Status Advance(flexoffer::TimeSlice now);
+
+  /// Delivers the schedule of a forwarded macro offer to the shard that
+  /// published it. NotFound when no shard has such a macro pending.
+  Status CompleteMacroSchedule(const flexoffer::ScheduledFlexOffer& schedule,
+                               flexoffer::TimeSlice now);
+
+  /// Records execution of an assigned offer on the shard that owns it.
+  /// NotFound when no shard knows the id.
+  Status RecordExecution(flexoffer::FlexOfferId id, flexoffer::TimeSlice now,
+                         double energy_kwh);
+
+  /// Appends a raw measurement to the store of the actor's shard.
+  void RecordMeasurement(flexoffer::ActorId actor, flexoffer::TimeSlice slice,
+                         double energy_kwh);
+
+  /// One metered reading on the bus hot path; `offer_id` != 0 additionally
+  /// closes that offer's lifecycle (execution metering).
+  struct MeterReading {
+    flexoffer::ActorId actor = 0;
+    flexoffer::TimeSlice slice = 0;
+    double energy_kwh = 0.0;
+    flexoffer::FlexOfferId offer_id = 0;
+  };
+
+  /// Batch metering: routes each reading to its actor's shard (the shard
+  /// that owns the actor's offers) and records all of them in one fork-join
+  /// instead of a worker round trip per reading. Execution failures (e.g.
+  /// re-metered offers) are dropped, matching the bus adapter's tolerance
+  /// of duplicate messages.
+  void RecordMeterReadings(std::span<const MeterReading> readings);
+
+  /// Drains every shard's event stream and returns one merged, ordered
+  /// batch: ascending EventTime(), ties broken by shard index with each
+  /// shard's emission order preserved. For a fixed workload the merged
+  /// stream is deterministic regardless of worker interleaving.
+  std::vector<Event> PollEvents();
+
+  /// Shard stats summed with EngineStats::Merge().
+  EngineStats stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  /// The engine of shard `i` (read-only; workers are quiescent between
+  /// runtime calls).
+  const EdmsEngine& shard(size_t i) const;
+  /// The shard offers of `owner` route to.
+  size_t ShardOf(flexoffer::ActorId owner) const;
+  /// True when the shard `offer` routes to has already admitted its id
+  /// (used by bus adapters to drop re-sent offers before batching).
+  bool HasSeenOffer(const flexoffer::FlexOffer& offer) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct Shard;
+
+  /// Enqueues `fn` on shard `i`'s worker; the future joins it.
+  std::future<void> Post(size_t i, std::function<void()> fn);
+  static void WorkerLoop(Shard* shard);
+
+  Config config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mirabel::edms
+
+#endif  // MIRABEL_EDMS_SHARDED_RUNTIME_H_

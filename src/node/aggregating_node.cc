@@ -1,20 +1,33 @@
 #include "node/aggregating_node.h"
 
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace mirabel::node {
 
+using flexoffer::FlexOffer;
+using flexoffer::FlexOfferId;
 using flexoffer::TimeSlice;
 
+namespace {
+
+edms::ShardedEdmsRuntime::Config RuntimeConfig(
+    const AggregatingNode::Config& config) {
+  edms::ShardedEdmsRuntime::Config rc;
+  rc.num_shards = config.num_shards;
+  rc.router = config.router;
+  rc.engine = config.engine;
+  rc.engine.actor = config.id;
+  rc.engine.schedule_locally = config.parent == 0;
+  return rc;
+}
+
+}  // namespace
+
 AggregatingNode::AggregatingNode(const Config& config, MessageBus* bus)
-    : config_(config), bus_(bus), engine_([&config] {
-        edms::EdmsEngine::Config ec = config.engine;
-        ec.actor = config.id;
-        ec.schedule_locally = config.parent == 0;
-        return ec;
-      }()) {
+    : config_(config), bus_(bus), runtime_(RuntimeConfig(config)) {
   Status st = bus_->Register(
       config_.id, [this](const Message& msg) { HandleMessage(msg); });
   if (!st.ok()) {
@@ -26,22 +39,22 @@ AggregatingNode::AggregatingNode(const Config& config, MessageBus* bus)
 void AggregatingNode::HandleMessage(const Message& msg) {
   switch (msg.type) {
     case MessageType::kFlexOffer: {
-      // Duplicate submissions (e.g. re-sent offers) are dropped silently.
-      (void)engine_.SubmitOffer(msg.offer, msg.sent_at);
-      break;
+      // The hot path: buffer, don't submit. The whole tick's intake goes to
+      // the runtime as one routed batch in OnTick().
+      pending_offers_.push_back(msg.offer);
+      return;
     }
     case MessageType::kScheduledFlexOffer: {
       // A schedule for a macro offer this node forwarded to its parent.
-      (void)engine_.CompleteMacroSchedule(msg.schedule, msg.sent_at);
+      (void)runtime_.CompleteMacroSchedule(msg.schedule, msg.sent_at);
       break;
     }
     case MessageType::kMeasurement: {
-      engine_.RecordMeasurement(msg.from, msg.sent_at, msg.value);
-      if (msg.offer_id != 0) {
-        // Metered execution of an assigned offer closes its lifecycle.
-        (void)engine_.RecordExecution(msg.offer_id, msg.sent_at, msg.value);
-      }
-      break;
+      // Also hot-path: meter readings (and execution metering, when
+      // offer_id is set) flush as one routed batch per tick.
+      pending_readings_.push_back(
+          {msg.from, msg.sent_at, msg.value, msg.offer_id});
+      return;
     }
     default:
       break;
@@ -49,8 +62,48 @@ void AggregatingNode::HandleMessage(const Message& msg) {
   DispatchEvents();
 }
 
+void AggregatingNode::FlushOffers(TimeSlice now) {
+  if (pending_offers_.empty()) return;
+  std::vector<FlexOffer> batch;
+  batch.reserve(pending_offers_.size());
+  std::unordered_set<FlexOfferId> batch_ids;
+  batch_ids.reserve(pending_offers_.size());
+  for (FlexOffer& offer : pending_offers_) {
+    // Re-sent offers and repeats within the tick are dropped silently, as
+    // the per-message path used to do.
+    if (!batch_ids.insert(offer.id).second || runtime_.HasSeenOffer(offer)) {
+      continue;
+    }
+    batch.push_back(std::move(offer));
+  }
+  pending_offers_.clear();
+  if (batch.empty()) return;
+  auto submitted =
+      runtime_.SubmitOffers(std::span<const FlexOffer>(batch), now);
+  if (!submitted.ok()) {
+    MIRABEL_LOG(kError) << "node " << config_.id
+                        << " batch intake failed: " << submitted.status();
+  }
+}
+
+void AggregatingNode::FlushMeterReadings() {
+  if (pending_readings_.empty()) return;
+  runtime_.RecordMeterReadings(
+      std::span<const edms::ShardedEdmsRuntime::MeterReading>(
+          pending_readings_));
+  pending_readings_.clear();
+}
+
+void AggregatingNode::FlushBuffers(TimeSlice now) {
+  FlushMeterReadings();
+  FlushOffers(now);
+  DispatchEvents();
+}
+
 void AggregatingNode::OnTick(TimeSlice now) {
-  Status st = engine_.Advance(now);
+  FlushMeterReadings();
+  FlushOffers(now);
+  Status st = runtime_.Advance(now);
   if (!st.ok()) {
     MIRABEL_LOG(kError) << "node " << config_.id << " gate failed: " << st;
   }
@@ -58,7 +111,7 @@ void AggregatingNode::OnTick(TimeSlice now) {
 }
 
 void AggregatingNode::DispatchEvents() {
-  for (edms::Event& event : engine_.PollEvents()) {
+  for (edms::Event& event : runtime_.PollEvents()) {
     if (auto* accepted = std::get_if<edms::OfferAccepted>(&event)) {
       if (!config_.engine.negotiate) continue;
       Message reply;

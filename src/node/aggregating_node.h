@@ -1,31 +1,42 @@
 #ifndef MIRABEL_NODE_AGGREGATING_NODE_H_
 #define MIRABEL_NODE_AGGREGATING_NODE_H_
 
-#include "edms/edms_engine.h"
+#include <vector>
+
+#include "edms/sharded_runtime.h"
 #include "node/message_bus.h"
 
 namespace mirabel::node {
 
-/// Statistics of one aggregating node's trading activity (kept by the
-/// node's engine).
+/// Statistics of one aggregating node's trading activity (merged across the
+/// node's engine shards).
 using AggregatingStats = edms::EngineStats;
 
 /// A level-2 (BRP) or level-3 (TSO) LEDMS node: a thin messaging adapter
-/// around EdmsEngine, which owns the whole flex-offer life cycle — intake
-/// and negotiation, aggregation, scheduling, disaggregation (paper §3, §8).
+/// around a ShardedEdmsRuntime, which owns the whole flex-offer life cycle —
+/// intake and negotiation, aggregation, scheduling, disaggregation (paper
+/// §3, §8) — partitioned across `num_shards` engine shards.
 ///
-/// The node's job is translation only: bus messages become engine calls
-/// (SubmitOffers / CompleteMacroSchedule / RecordExecution), engine events
-/// become bus messages (accept/reject replies, macro forwards to the parent
-/// node, member schedules to their owners). All orchestration lives in the
-/// engine.
+/// The node's job is translation only, and it is batch-first: incoming
+/// flex-offers are buffered and submitted as ONE batch per tick (not one
+/// engine call per bus message), so a node absorbing thousands of prosumer
+/// messages per slice pays one routed fan-out per gate period instead of a
+/// per-message round trip. Engine events become bus messages (accept/reject
+/// replies, macro forwards to the parent node, member schedules to their
+/// owners). All orchestration lives in the runtime's shards.
 class AggregatingNode {
  public:
   struct Config {
     NodeId id = 0;
     /// Parent node (TSO) to forward macro offers to; 0 = schedule locally.
     NodeId parent = 0;
-    /// The engine running this node's control loop. `engine.actor` and
+    /// Engine shards of this node's runtime; prosumers are partitioned by
+    /// owner id (edms::OwnerModuloRouter by default). 1 = the single-engine
+    /// deployment.
+    size_t num_shards = 1;
+    /// Optional custom owner -> shard placement.
+    edms::ShardRouter router;
+    /// Template engine config for every shard. `engine.actor` and
     /// `engine.schedule_locally` are derived from `id`/`parent` by the
     /// constructor.
     edms::EdmsEngine::Config engine;
@@ -34,25 +45,47 @@ class AggregatingNode {
   /// Registers the node on `bus` (which must outlive it).
   AggregatingNode(const Config& config, MessageBus* bus);
 
-  /// Advances the control loop; fires the gate when due.
+  /// Advances the control loop: flushes the tick's buffered meter readings
+  /// and offer batch, then fires due gates on every shard.
   void OnTick(flexoffer::TimeSlice now);
 
-  const AggregatingStats& stats() const { return engine_.stats(); }
-  const storage::DataStore& store() const { return engine_.store(); }
-  const aggregation::AggregationPipeline& pipeline() const {
-    return engine_.pipeline();
+  /// Flushes the buffered meter readings and offers and relays pending
+  /// events WITHOUT advancing the control loop. Wind-down phases use this
+  /// to absorb end-of-run execution meterings (and answer late offers)
+  /// without opening new scheduling gates.
+  void FlushBuffers(flexoffer::TimeSlice now);
+
+  /// Merged stats of all engine shards.
+  AggregatingStats stats() const { return runtime_.stats(); }
+  /// Per-shard state views. The shard index is explicit on purpose: on a
+  /// partitioned node each store/pipeline holds only its shard's slice of
+  /// the state (route an owner with runtime().ShardOf(owner)).
+  const storage::DataStore& store(size_t shard) const {
+    return runtime_.shard(shard).store();
   }
-  const edms::EdmsEngine& engine() const { return engine_; }
+  const aggregation::AggregationPipeline& pipeline(size_t shard) const {
+    return runtime_.shard(shard).pipeline();
+  }
+  const edms::ShardedEdmsRuntime& runtime() const { return runtime_; }
+  /// Offers buffered since the last tick.
+  size_t pending_offers() const { return pending_offers_.size(); }
   NodeId id() const { return config_.id; }
 
  private:
   void HandleMessage(const Message& msg);
-  /// Drains the engine's event stream and relays each event on the bus.
+  /// Submits the buffered offers as one routed batch (dropping re-sent and
+  /// batch-internal duplicate ids, as the per-message path used to).
+  void FlushOffers(flexoffer::TimeSlice now);
+  /// Records the buffered meter readings as one routed batch.
+  void FlushMeterReadings();
+  /// Drains the runtime's merged event stream and relays it on the bus.
   void DispatchEvents();
 
   Config config_;
   MessageBus* bus_;
-  edms::EdmsEngine engine_;
+  edms::ShardedEdmsRuntime runtime_;
+  std::vector<flexoffer::FlexOffer> pending_offers_;
+  std::vector<edms::ShardedEdmsRuntime::MeterReading> pending_readings_;
 };
 
 }  // namespace mirabel::node

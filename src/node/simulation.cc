@@ -48,6 +48,7 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
     AggregatingNode::Config tso_cfg;
     tso_cfg.id = kTsoId;
     tso_cfg.parent = 0;
+    tso_cfg.num_shards = config.shards_per_node;
     tso_cfg.engine.negotiate = false;
     tso_cfg.engine.aggregation.params = aggregation::AggregationParams::P3();
     tso_cfg.engine.gate_period = config.gate_period;
@@ -78,6 +79,7 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
     AggregatingNode::Config brp_cfg;
     brp_cfg.id = 100 + static_cast<NodeId>(b);
     brp_cfg.parent = config_.use_tso ? kTsoId : 0;
+    brp_cfg.num_shards = config.shards_per_node;
     brp_cfg.engine.negotiate = true;
     brp_cfg.engine.aggregation.params = aggregation::AggregationParams::P3();
     brp_cfg.engine.gate_period = config.gate_period;
@@ -140,13 +142,29 @@ SimulationReport EdmsSimulation::Run() {
     bus_.AdvanceTo(now);
   }
   // Drain in-flight messages and give prosumers a final execution pass.
+  // Aggregating nodes only flush their buffers here (no new gates): the
+  // batch-per-tick adapters must absorb the execution meterings arriving
+  // during the drain, but a gate opened now would assign schedules nobody
+  // is left to execute.
   bus_.AdvanceTo(end + config_.bus.latency_slices);
   for (TimeSlice now = end; now < end + 2 * kSlicesPerDay; ++now) {
     for (auto& p : prosumers_) p->OnTick(now);
     bus_.AdvanceTo(now);
+    for (auto& b : brps_) b->FlushBuffers(now);
+    if (tso_ != nullptr) tso_->FlushBuffers(now);
+    bus_.AdvanceTo(now);
   }
-  // Deliver anything sent during the final drain ticks.
-  bus_.AdvanceTo(end + 2 * kSlicesPerDay + config_.bus.latency_slices);
+  // Deliver anything sent during the final drain ticks, then flush once
+  // more: with bus latency, the last meterings only arrive in this final
+  // delivery pass and would otherwise sit in the adapters' buffers.
+  const TimeSlice final_slice =
+      end + 2 * kSlicesPerDay + config_.bus.latency_slices;
+  bus_.AdvanceTo(final_slice);
+  for (auto& b : brps_) b->FlushBuffers(final_slice);
+  if (tso_ != nullptr) tso_->FlushBuffers(final_slice);
+  // The flushes may answer late offers; deliver those replies too so the
+  // bus ends the run settled (prosumer handlers never send in response).
+  bus_.AdvanceTo(final_slice + config_.bus.latency_slices);
 
   SimulationReport report;
   for (const auto& p : prosumers_) {

@@ -26,6 +26,10 @@ struct SimulationConfig {
 
   /// Per-prosumer offer rate (offers per day).
   double offers_per_day = 3.0;
+  /// Engine shards per aggregating node (BRPs and the TSO): prosumers are
+  /// partitioned by owner id across each node's ShardedEdmsRuntime. 1 = the
+  /// single-engine deployment.
+  size_t shards_per_node = 1;
   /// BRP control-loop cadence and horizon (slices).
   int gate_period = 16;
   int horizon = 96;

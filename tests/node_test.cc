@@ -106,7 +106,8 @@ TEST(AggregatingNodeTest, NegotiatesAndAggregatesIncomingOffers) {
                    prosumer_inbox.push_back(m);
                  }).ok());
 
-  // A well-formed flexible offer arrives.
+  // A well-formed flexible offer arrives. The node buffers it: intake is
+  // batched per tick, not per message.
   Message msg;
   msg.type = MessageType::kFlexOffer;
   msg.from = 1000;
@@ -116,20 +117,29 @@ TEST(AggregatingNodeTest, NegotiatesAndAggregatesIncomingOffers) {
                                    /*earliest=*/30, /*latest=*/50, /*dur=*/4);
   ASSERT_TRUE(bus.Send(msg).ok());
   bus.AdvanceTo(0);
+  EXPECT_EQ(brp.pending_offers(), 1u);
+  EXPECT_EQ(brp.stats().offers_received, 0);
 
+  // The tick submits the batch and fires the gate: negotiation reply and
+  // disaggregated schedule go out together.
+  brp.OnTick(0);
+  bus.AdvanceTo(0);
+  EXPECT_EQ(brp.pending_offers(), 0u);
   EXPECT_EQ(brp.stats().offers_received, 1);
   EXPECT_EQ(brp.stats().offers_accepted, 1);
-  ASSERT_EQ(prosumer_inbox.size(), 1u);
+  EXPECT_EQ(brp.stats().submit_batches, 1);
+  ASSERT_EQ(prosumer_inbox.size(), 2u);
   EXPECT_EQ(prosumer_inbox[0].type, MessageType::kFlexOfferAccepted);
   EXPECT_GT(prosumer_inbox[0].value, 0.0);
-
-  // The gate fires and the offer gets scheduled + disaggregated back.
-  brp.OnTick(1);
-  bus.AdvanceTo(1);
-  ASSERT_EQ(prosumer_inbox.size(), 2u);
   EXPECT_EQ(prosumer_inbox[1].type, MessageType::kScheduledFlexOffer);
   EXPECT_TRUE(prosumer_inbox[1].schedule.ValidateAgainst(msg.offer).ok());
   EXPECT_EQ(brp.stats().macros_scheduled, 1);
+
+  // A re-sent copy of the same offer is dropped at the next flush.
+  ASSERT_TRUE(bus.Send(msg).ok());
+  bus.AdvanceTo(1);
+  brp.OnTick(1);
+  EXPECT_EQ(brp.stats().offers_received, 1);
 }
 
 TEST(AggregatingNodeTest, RejectsInflexibleOffer) {
@@ -153,6 +163,8 @@ TEST(AggregatingNodeTest, RejectsInflexibleOffer) {
                                    /*emin=*/1.0, /*emax=*/1.0);
   ASSERT_TRUE(bus.Send(msg).ok());
   bus.AdvanceTo(0);
+  brp.OnTick(0);
+  bus.AdvanceTo(0);
   EXPECT_EQ(brp.stats().offers_rejected, 1);
   ASSERT_EQ(prosumer_inbox.size(), 1u);
   EXPECT_EQ(prosumer_inbox[0].type, MessageType::kFlexOfferRejected);
@@ -172,11 +184,58 @@ TEST(AggregatingNodeTest, ExpiresStaleOffersAtGate) {
                                    /*earliest=*/6, /*latest=*/10);
   ASSERT_TRUE(bus.Send(msg).ok());
   bus.AdvanceTo(0);
-  ASSERT_EQ(brp.stats().offers_accepted, 1);
-  // First gate fires well past the deadline.
+  // The node sits out the deadline; the first tick both admits the offer
+  // and fires a gate that is already past it.
   brp.OnTick(12);
+  ASSERT_EQ(brp.stats().offers_accepted, 1);
   EXPECT_EQ(brp.stats().offers_expired_in_pipeline, 1);
   EXPECT_EQ(brp.stats().macros_scheduled, 0);
+}
+
+TEST(AggregatingNodeTest, ShardedNodePartitionsProsumers) {
+  MessageBus bus;
+  AggregatingNode::Config cfg = BrpConfig(100);
+  cfg.num_shards = 2;
+  AggregatingNode brp(cfg, &bus);
+  std::vector<Message> inbox;
+  for (NodeId owner = 1000; owner < 1004; ++owner) {
+    ASSERT_TRUE(
+        bus.Register(owner, [&inbox](const Message& m) { inbox.push_back(m); })
+            .ok());
+  }
+
+  // Four prosumers (two per shard under owner % 2) each send one offer.
+  for (NodeId owner = 1000; owner < 1004; ++owner) {
+    Message msg;
+    msg.type = MessageType::kFlexOffer;
+    msg.from = owner;
+    msg.to = 100;
+    msg.sent_at = 0;
+    msg.offer =
+        testutil::OwnedOffer(owner * 10, owner, /*assign_before=*/24,
+                             /*earliest=*/30, /*latest=*/50, /*dur=*/4);
+    ASSERT_TRUE(bus.Send(msg).ok());
+  }
+  bus.AdvanceTo(0);
+  brp.OnTick(0);
+  bus.AdvanceTo(0);
+
+  // One batch was routed across both shards; merged stats stay additive.
+  AggregatingStats stats = brp.stats();
+  EXPECT_EQ(stats.offers_received, 4);
+  EXPECT_EQ(stats.offers_accepted, 4);
+  EXPECT_EQ(stats.submit_batches, 2);  // one sub-batch per shard
+  EXPECT_EQ(brp.runtime().shard(0).stats().offers_received, 2);
+  EXPECT_EQ(brp.runtime().shard(1).stats().offers_received, 2);
+  // Every owner got its accept reply and its disaggregated schedule.
+  int accepts = 0;
+  int schedules = 0;
+  for (const Message& m : inbox) {
+    if (m.type == MessageType::kFlexOfferAccepted) ++accepts;
+    if (m.type == MessageType::kScheduledFlexOffer) ++schedules;
+  }
+  EXPECT_EQ(accepts, 4);
+  EXPECT_EQ(schedules, 4);
 }
 
 TEST(AggregatingNodeTest, MeasurementsLandInStore) {
@@ -190,8 +249,10 @@ TEST(AggregatingNodeTest, MeasurementsLandInStore) {
   msg.value = 3.25;
   ASSERT_TRUE(bus.Send(msg).ok());
   bus.AdvanceTo(7);
-  auto series = brp.store().MeasurementSeries(
-      1000, storage::EnergyType::kConsumption, 0, 10);
+  brp.OnTick(7);  // meter readings flush as one routed batch per tick
+  auto series = brp.store(brp.runtime().ShardOf(1000))
+                    .MeasurementSeries(1000, storage::EnergyType::kConsumption,
+                                       0, 10);
   EXPECT_DOUBLE_EQ(series[7], 3.25);
 }
 

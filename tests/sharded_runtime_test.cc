@@ -1,0 +1,287 @@
+// Tests of the ShardedEdmsRuntime: N engine shards behind one event stream.
+//
+// The determinism contract: for a fixed seed and workload, an N-shard run
+// must accept, schedule and execute exactly the same offer ids as the
+// 1-shard run, with identical values for every partition-invariant stats
+// field (per-offer counters and payments). Fields coupled to the scheduling
+// partition itself — scheduling_runs (one per shard with work at a gate),
+// macros_scheduled (grouping is per shard), imbalance and cost (each shard
+// solves its own problem against the shared baseline) — are additive
+// bookkeeping of *how* the work was split and legitimately differ.
+//
+// The CI thread-sanitizer job runs this suite to vet the worker fan-out and
+// the lock-free event merge.
+#include "edms/sharded_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "test_util.h"
+
+namespace mirabel::edms {
+namespace {
+
+using flexoffer::FlexOffer;
+using flexoffer::FlexOfferId;
+using flexoffer::ScheduledFlexOffer;
+using flexoffer::TimeSlice;
+
+EdmsEngine::Config DeterministicEngineConfig() {
+  EdmsEngine::Config cfg;
+  cfg.actor = 100;
+  cfg.negotiate = true;
+  cfg.aggregation.params = aggregation::AggregationParams::P3();
+  cfg.gate_period = 8;
+  cfg.horizon = 96;
+  // Iteration-bounded scheduling: bit-identical runs for a fixed seed.
+  cfg.scheduler_budget_s = 0.0;
+  cfg.scheduler_max_iterations = 40;
+  cfg.seed = 77;
+  cfg.baseline = std::make_shared<VectorBaselineProvider>(
+      std::vector<double>(960, 5.0));
+  return cfg;
+}
+
+ShardedEdmsRuntime::Config RuntimeConfig(size_t num_shards) {
+  ShardedEdmsRuntime::Config rc;
+  rc.num_shards = num_shards;
+  rc.engine = DeterministicEngineConfig();
+  return rc;
+}
+
+/// 24 offers from 8 owners. Every offer shares the same time window, so the
+/// per-shard aggregation grouping cannot change which offers fit a gate's
+/// horizon — the lifecycle outcome is partition-invariant by construction.
+std::vector<FlexOffer> Workload() {
+  std::vector<FlexOffer> offers;
+  for (uint64_t owner = 501; owner <= 508; ++owner) {
+    for (uint64_t k = 0; k < 3; ++k) {
+      offers.push_back(testutil::OwnedOffer(
+          owner * 100 + k, owner, /*assign_before=*/24, /*earliest=*/30,
+          /*latest=*/50, /*dur=*/4, /*emin=*/1.0,
+          /*emax=*/2.0 + 0.125 * static_cast<double>(k)));
+    }
+  }
+  return offers;
+}
+
+std::string Digest(const Event& event) {
+  std::ostringstream os;
+  os << EventName(event) << "@" << EventTime(event) << ":";
+  if (const auto* e = std::get_if<OfferAccepted>(&event)) {
+    os << e->offer << " price=" << e->agreed_price_eur;
+  } else if (const auto* e = std::get_if<OfferRejected>(&event)) {
+    os << e->offer;
+  } else if (const auto* e = std::get_if<MacroPublished>(&event)) {
+    os << e->macro.id << " members=" << e->member_count
+       << " fwd=" << e->forwarded;
+  } else if (const auto* e = std::get_if<ScheduleAssigned>(&event)) {
+    os << e->schedule.offer_id << " start=" << e->schedule.start
+       << " kwh=" << e->schedule.TotalEnergy();
+  } else if (const auto* e = std::get_if<OfferExecuted>(&event)) {
+    os << e->offer << " kwh=" << e->energy_kwh;
+  } else if (const auto* e = std::get_if<OfferExpired>(&event)) {
+    os << e->offer;
+  }
+  return os.str();
+}
+
+struct RunOutcome {
+  std::set<FlexOfferId> accepted;
+  std::set<FlexOfferId> assigned;
+  std::set<FlexOfferId> executed;
+  std::vector<std::string> digests;
+  EngineStats stats;
+};
+
+/// Full lifecycle round trip: batch intake at 0, one gate, execution of
+/// every assigned schedule at slice 40.
+RunOutcome RunWorkload(size_t num_shards) {
+  ShardedEdmsRuntime runtime(RuntimeConfig(num_shards));
+  std::vector<FlexOffer> offers = Workload();
+  auto submitted =
+      runtime.SubmitOffers(std::span<const FlexOffer>(offers), 0);
+  EXPECT_TRUE(submitted.ok()) << submitted.status();
+  EXPECT_TRUE(runtime.Advance(0).ok());
+
+  RunOutcome outcome;
+  std::vector<ScheduledFlexOffer> schedules;
+  for (const Event& event : runtime.PollEvents()) {
+    outcome.digests.push_back(Digest(event));
+    if (const auto* e = std::get_if<OfferAccepted>(&event)) {
+      outcome.accepted.insert(e->offer);
+    } else if (const auto* e = std::get_if<ScheduleAssigned>(&event)) {
+      outcome.assigned.insert(e->schedule.offer_id);
+      schedules.push_back(e->schedule);
+    }
+  }
+  for (const ScheduledFlexOffer& s : schedules) {
+    EXPECT_TRUE(runtime.RecordExecution(s.offer_id, 40, s.TotalEnergy()).ok());
+  }
+  for (const Event& event : runtime.PollEvents()) {
+    outcome.digests.push_back(Digest(event));
+    if (const auto* e = std::get_if<OfferExecuted>(&event)) {
+      outcome.executed.insert(e->offer);
+    }
+  }
+  outcome.stats = runtime.stats();
+  return outcome;
+}
+
+TEST(ShardedRuntimeTest, FourShardsMatchSingleShardOutcomes) {
+  RunOutcome one = RunWorkload(1);
+  RunOutcome four = RunWorkload(4);
+
+  ASSERT_EQ(one.accepted.size(), 24u);
+  EXPECT_EQ(four.accepted, one.accepted);
+  EXPECT_EQ(four.assigned, one.assigned);
+  EXPECT_EQ(four.executed, one.executed);
+  ASSERT_EQ(one.assigned.size(), 24u);
+  ASSERT_EQ(one.executed.size(), 24u);
+
+  // Partition-invariant stats fields agree exactly.
+  EXPECT_EQ(four.stats.offers_received, one.stats.offers_received);
+  EXPECT_EQ(four.stats.offers_accepted, one.stats.offers_accepted);
+  EXPECT_EQ(four.stats.offers_rejected, one.stats.offers_rejected);
+  EXPECT_EQ(four.stats.offers_expired_in_pipeline,
+            one.stats.offers_expired_in_pipeline);
+  EXPECT_EQ(four.stats.offers_executed, one.stats.offers_executed);
+  EXPECT_EQ(four.stats.micro_schedules_sent,
+            one.stats.micro_schedules_sent);
+  EXPECT_DOUBLE_EQ(four.stats.payments_eur, one.stats.payments_eur);
+  // Partition bookkeeping: the 4-shard run split the batch and the
+  // scheduling across shards.
+  EXPECT_GE(four.stats.submit_batches, one.stats.submit_batches);
+  EXPECT_GE(four.stats.scheduling_runs, one.stats.scheduling_runs);
+}
+
+TEST(ShardedRuntimeTest, SameShardCountRunsAreIdentical) {
+  // Worker interleaving must not leak into observable behaviour: two
+  // 4-shard runs produce the same merged event stream, event for event,
+  // and identical merged stats on every field.
+  RunOutcome a = RunWorkload(4);
+  RunOutcome b = RunWorkload(4);
+  ASSERT_FALSE(a.digests.empty());
+  EXPECT_EQ(a.digests, b.digests);
+  EXPECT_EQ(a.stats.submit_batches, b.stats.submit_batches);
+  EXPECT_EQ(a.stats.scheduling_runs, b.stats.scheduling_runs);
+  EXPECT_EQ(a.stats.macros_scheduled, b.stats.macros_scheduled);
+  EXPECT_DOUBLE_EQ(a.stats.payments_eur, b.stats.payments_eur);
+  EXPECT_DOUBLE_EQ(a.stats.imbalance_before_kwh,
+                   b.stats.imbalance_before_kwh);
+  EXPECT_DOUBLE_EQ(a.stats.imbalance_after_kwh, b.stats.imbalance_after_kwh);
+  EXPECT_DOUBLE_EQ(a.stats.schedule_cost_eur, b.stats.schedule_cost_eur);
+}
+
+TEST(ShardedRuntimeTest, MergedEventStreamIsOrderedBySlice) {
+  ShardedEdmsRuntime runtime(RuntimeConfig(3));
+  std::vector<FlexOffer> offers = Workload();
+  // Stream the workload over several ticks, polling only at the end: the
+  // merged drain must still come out ordered by emission slice.
+  size_t next = 0;
+  for (TimeSlice now = 0; now < 32; ++now) {
+    std::vector<FlexOffer> batch;
+    while (next < offers.size() && next < (static_cast<size_t>(now) + 1) * 2) {
+      batch.push_back(offers[next++]);
+    }
+    if (!batch.empty()) {
+      ASSERT_TRUE(
+          runtime.SubmitOffers(std::span<const FlexOffer>(batch), now).ok());
+    }
+    ASSERT_TRUE(runtime.Advance(now).ok());
+  }
+  std::vector<Event> events = runtime.PollEvents();
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(EventTime(events[i - 1]), EventTime(events[i]));
+  }
+}
+
+TEST(ShardedRuntimeTest, RouterControlsPlacement) {
+  ShardedEdmsRuntime::Config rc = RuntimeConfig(2);
+  // Everything below owner 505 pins to shard 0, the rest to shard 1.
+  rc.router = [](flexoffer::ActorId owner, size_t) -> size_t {
+    return owner < 505 ? 0 : 1;
+  };
+  ShardedEdmsRuntime runtime(rc);
+  EXPECT_EQ(runtime.ShardOf(501), 0u);
+  EXPECT_EQ(runtime.ShardOf(505), 1u);
+
+  std::vector<FlexOffer> offers = Workload();  // owners 501..508, 3 each
+  ASSERT_TRUE(runtime.SubmitOffers(std::span<const FlexOffer>(offers), 0).ok());
+  EXPECT_EQ(runtime.shard(0).stats().offers_received, 12);
+  EXPECT_EQ(runtime.shard(1).stats().offers_received, 12);
+  EXPECT_TRUE(runtime.HasSeenOffer(offers.front()));
+}
+
+TEST(ShardedRuntimeTest, ForwardingModePublishesLaneUniqueMacros) {
+  ShardedEdmsRuntime::Config rc = RuntimeConfig(2);
+  rc.engine.schedule_locally = false;
+  ShardedEdmsRuntime runtime(rc);
+  std::vector<FlexOffer> offers = Workload();
+  ASSERT_TRUE(runtime.SubmitOffers(std::span<const FlexOffer>(offers), 0).ok());
+  ASSERT_TRUE(runtime.Advance(0).ok());
+
+  std::vector<FlexOffer> published;
+  for (const Event& event : runtime.PollEvents()) {
+    if (const auto* e = std::get_if<MacroPublished>(&event)) {
+      EXPECT_TRUE(e->forwarded);
+      published.push_back(e->macro);
+    }
+  }
+  ASSERT_GE(published.size(), 2u);
+  // Both shards publish under actor 100; the id lanes keep the wire ids
+  // collision-free.
+  std::set<FlexOfferId> macro_ids;
+  for (const FlexOffer& macro : published) {
+    EXPECT_TRUE(macro_ids.insert(macro.id).second)
+        << "duplicate macro wire id " << macro.id;
+  }
+
+  // Returning schedules route to the shard that published each macro.
+  int assigned = 0;
+  for (const FlexOffer& macro : published) {
+    ScheduledFlexOffer s;
+    s.offer_id = macro.id;
+    s.start = macro.earliest_start;
+    for (const auto& band : macro.profile) {
+      s.energies_kwh.push_back(band.max_kwh);
+    }
+    ASSERT_TRUE(runtime.CompleteMacroSchedule(s, 1).ok());
+  }
+  for (const Event& event : runtime.PollEvents()) {
+    if (std::get_if<ScheduleAssigned>(&event) != nullptr) ++assigned;
+  }
+  EXPECT_EQ(assigned, 24);
+
+  ScheduledFlexOffer bogus;
+  bogus.offer_id = 424242;
+  EXPECT_EQ(runtime.CompleteMacroSchedule(bogus, 1).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ShardedRuntimeTest, ExecutionRoutingRejectsUnknownIds) {
+  ShardedEdmsRuntime runtime(RuntimeConfig(2));
+  EXPECT_EQ(runtime.RecordExecution(999999, 1, 1.0).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ShardedRuntimeTest, DuplicateIdsRejectOnlyTheirShard) {
+  ShardedEdmsRuntime runtime(RuntimeConfig(2));
+  std::vector<FlexOffer> offers = Workload();
+  ASSERT_TRUE(runtime.SubmitOffers(std::span<const FlexOffer>(offers), 0).ok());
+  // Resubmitting one offer poisons its own shard's sub-batch (engine
+  // semantics), and the runtime surfaces the error.
+  auto again = runtime.SubmitOffers(
+      std::span<const FlexOffer>(offers.data(), 1), 0);
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace mirabel::edms

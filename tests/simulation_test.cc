@@ -75,6 +75,26 @@ TEST(SimulationTest, DeterministicForFixedSeed) {
   EXPECT_EQ(ra.messages_sent, rb.messages_sent);
 }
 
+TEST(SimulationTest, ShardedNodesMatchSingleEngineIntake) {
+  // Intake is per-offer deterministic, so partitioning each BRP across
+  // engine shards must not change which offers get created or accepted —
+  // only how the scheduling work is split.
+  SimulationConfig cfg = SmallConfig();
+  EdmsSimulation single(cfg);
+  SimulationReport rs = single.Run();
+  cfg.shards_per_node = 2;
+  EdmsSimulation sharded(cfg);
+  SimulationReport rp = sharded.Run();
+  CheckInvariants(rp);
+  EXPECT_EQ(rp.offers_created, rs.offers_created);
+  EXPECT_EQ(rp.offers_accepted, rs.offers_accepted);
+  EXPECT_EQ(rp.offers_rejected, rs.offers_rejected);
+  EXPECT_GT(rp.schedules_received, 0);
+  for (const auto& brp : sharded.brps()) {
+    EXPECT_EQ(brp->runtime().num_shards(), 2u);
+  }
+}
+
 TEST(SimulationTest, MessageLossDegradesGracefully) {
   SimulationConfig cfg = SmallConfig();
   cfg.days = 2;
