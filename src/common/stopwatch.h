@@ -27,6 +27,88 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+/// Amortizes the clock reads of a time-budgeted anytime loop: instead of one
+/// steady_clock syscall per candidate evaluation, Exhausted(n) counts charged
+/// evaluations and samples the stopwatch only every `stride` of them. The
+/// stride is derived from the elapsed time between a baseline sample and the
+/// first sample after measurable work has accrued — early samples typically
+/// cover only loop setup, which would wildly underestimate the
+/// per-evaluation cost — sized so roughly 64 samples span the budget,
+/// clamped to [1, 64] evaluations. Slow evaluations
+/// (huge problems) thus still observe the budget promptly while fast ones
+/// stop paying a syscall each; the budget may be overshot by up to one
+/// stride of evaluations (~1/64th of the budget).
+///
+/// A non-positive budget disables the gate: Exhausted() is then a constant
+/// false with zero clock reads, which keeps iteration-capped runs
+/// bit-deterministic.
+class BudgetGate {
+ public:
+  /// `watch` must outlive the gate.
+  BudgetGate(const Stopwatch& watch, double budget_s)
+      : watch_(&watch), budget_s_(budget_s) {}
+
+  /// Charges `evals` evaluations against the budget; true once it is spent.
+  bool Exhausted(int64_t evals = 1) {
+    if (budget_s_ <= 0.0) return false;
+    if (exhausted_) return true;
+    charged_ += evals;
+    if (charged_ < next_sample_) return false;
+    Sample();
+    return exhausted_;
+  }
+
+ private:
+  void Sample() {
+    const double elapsed = watch_->ElapsedSeconds();
+    if (elapsed >= budget_s_) {
+      exhausted_ = true;
+      return;
+    }
+    if (last_elapsed_ < 0.0) {
+      // First sample: usually taken before any evaluation has finished, so
+      // it measures setup only. Record the baseline and keep sampling every
+      // charge until enough time accrues to calibrate.
+      last_elapsed_ = elapsed;
+      last_charged_ = charged_;
+    } else if (stride_ == 0) {
+      // Calibrate only once the delta since the baseline covers measurable
+      // work (>= budget/256): early charges may be cheap bookkeeping (a
+      // shuffle, a generation setup) that would wildly understate the
+      // per-evaluation cost. The derived stride is then at most 4x the
+      // charges that accumulated budget/256 of time, bounding the overshoot
+      // past the budget to ~budget/64 regardless of the call pattern.
+      const int64_t delta_evals =
+          charged_ - last_charged_ > 0 ? charged_ - last_charged_ : 1;
+      const double delta_t = elapsed - last_elapsed_;
+      if (delta_t >= budget_s_ / 256.0) {
+        const double per_eval = delta_t / static_cast<double>(delta_evals);
+        const double target_evals = (budget_s_ / 64.0) / per_eval;
+        stride_ = target_evals < 1.0 ? 1
+                  : target_evals > static_cast<double>(kMaxStride)
+                      ? kMaxStride
+                      : static_cast<int64_t>(target_evals);
+      } else if (delta_evals >= kMaxStride) {
+        // kMaxStride charges cost under budget/256 of time: evaluations are
+        // so fast the max stride overshoots by under budget/256.
+        stride_ = kMaxStride;
+      }
+    }
+    next_sample_ = charged_ + (stride_ > 0 ? stride_ : 1);
+  }
+
+  static constexpr int64_t kMaxStride = 64;
+
+  const Stopwatch* watch_;
+  double budget_s_;
+  int64_t charged_ = 0;
+  int64_t next_sample_ = 1;
+  int64_t stride_ = 0;
+  int64_t last_charged_ = 0;
+  double last_elapsed_ = -1.0;
+  bool exhausted_ = false;
+};
+
 }  // namespace mirabel
 
 #endif  // MIRABEL_COMMON_STOPWATCH_H_

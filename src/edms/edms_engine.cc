@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "scheduling/compiled_problem.h"
 #include "scheduling/scheduling_problem.h"
 
 namespace mirabel::edms {
@@ -19,13 +20,13 @@ EngineStats& EngineStats::Merge(const EngineStats& other) {
   // Destructuring both sides pins the member count at compile time: adding a
   // field to EngineStats without extending these bindings fails to build.
   // The size guard additionally catches same-count layout changes.
-  static_assert(sizeof(EngineStats) == 13 * sizeof(int64_t),
+  static_assert(sizeof(EngineStats) == 14 * sizeof(int64_t),
                 "EngineStats layout changed: update Merge()");
   auto& [received, batches, accepted, rejected, runs, macros, micros, expired,
-         executed, payments, imb_before, imb_after, cost] = *this;
+         executed, payments, imb_before, imb_after, cost, budget_saved] = *this;
   const auto& [o_received, o_batches, o_accepted, o_rejected, o_runs, o_macros,
                o_micros, o_expired, o_executed, o_payments, o_imb_before,
-               o_imb_after, o_cost] = other;
+               o_imb_after, o_cost, o_budget_saved] = other;
   received += o_received;
   batches += o_batches;
   accepted += o_accepted;
@@ -39,6 +40,7 @@ EngineStats& EngineStats::Merge(const EngineStats& other) {
   imb_before += o_imb_before;
   imb_after += o_imb_after;
   cost += o_cost;
+  budget_saved += o_budget_saved;
   return *this;
 }
 
@@ -289,6 +291,12 @@ Status EdmsEngine::ScheduleClaimed(
   }
   scheduling::SchedulerOptions options;
   options.time_budget_s = config_.scheduler_budget_s;
+  if (config_.scale_budget_with_problem_size) {
+    options.time_budget_s = ScaledTimeBudget(
+        config_.scheduler_budget_s, problem.offers.size(), config_.horizon,
+        config_.budget_reference_work, /*min_fraction=*/0.02);
+    stats_.budget_saved_s += config_.scheduler_budget_s - options.time_budget_s;
+  }
   options.max_iterations = config_.scheduler_max_iterations;
   options.seed = config_.seed + static_cast<uint64_t>(now);
   MIRABEL_ASSIGN_OR_RETURN(scheduling::SchedulingResult run,
@@ -302,17 +310,21 @@ Status EdmsEngine::ScheduleClaimed(
 
   // Imbalance accounting: "before" is the unmanaged placement — every offer
   // at its fallback position (earliest start, full energy), which is exactly
-  // the CostEvaluator's default schedule — versus the optimised schedule.
-  scheduling::CostEvaluator before_eval(problem);
-  scheduling::CostEvaluator evaluator(problem);
-  (void)evaluator.SetSchedule(run.schedule);
+  // the scheduling kernel's default schedule — versus the optimised
+  // schedule. One compiled problem and one workspace serve both sweeps and
+  // the macro-schedule export (the pre-kernel path built two evaluators).
+  scheduling::CompiledProblem compiled(problem);
+  scheduling::ScheduleWorkspace workspace(compiled);
   for (size_t s = 0; s < h; ++s) {
-    stats_.imbalance_before_kwh += std::fabs(before_eval.net_kwh()[s]);
-    stats_.imbalance_after_kwh += std::fabs(evaluator.net_kwh()[s]);
+    stats_.imbalance_before_kwh += std::fabs(workspace.net_kwh()[s]);
+  }
+  (void)workspace.SetSchedule(compiled, run.schedule);
+  for (size_t s = 0; s < h; ++s) {
+    stats_.imbalance_after_kwh += std::fabs(workspace.net_kwh()[s]);
   }
 
   std::vector<ScheduledFlexOffer> macro_schedules =
-      evaluator.ToScheduledOffers();
+      workspace.ExportScheduledOffers(compiled);
   for (size_t i = 0; i < macros.size(); ++i) {
     ++stats_.macros_scheduled;
     Status st = EmitMemberSchedules(now, macros[i], macro_schedules[i]);

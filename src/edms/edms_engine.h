@@ -44,6 +44,10 @@ struct EngineStats {
   double imbalance_after_kwh = 0.0;
   /// Total scheduling cost of the accepted schedules (EUR).
   double schedule_cost_eur = 0.0;
+  /// Wall-clock budget returned by per-problem-size budget scaling: the sum
+  /// over scheduling runs of (configured per-gate budget - scaled budget).
+  /// See Config::scale_budget_with_problem_size.
+  double budget_saved_s = 0.0;
 
   /// Adds `other` field by field. The implementation destructures the whole
   /// struct, so adding a field without extending Merge() fails to compile.
@@ -91,6 +95,14 @@ class EdmsEngine {
     /// DefaultSchedulerFactory().
     SchedulerFactory scheduler_factory;
     double scheduler_budget_s = 0.05;
+    /// Scale the per-gate budget with problem size (ScaledTimeBudget):
+    /// a gate scheduling `n` macro offers over `horizon` slices gets
+    /// scheduler_budget_s * min(1, n * horizon / budget_reference_work),
+    /// floored at 2% of the cap, so tiny late gates stop burning the full
+    /// budget. The saved time accrues in EngineStats::budget_saved_s.
+    bool scale_budget_with_problem_size = true;
+    /// Problem size (offers x horizon slices) that earns the full budget.
+    double budget_reference_work = 32.0 * 96.0;
     /// Iteration cap per scheduling run (0 = unlimited). Set this and a
     /// non-positive time budget for bit-deterministic runs.
     int scheduler_max_iterations = 0;

@@ -4,6 +4,7 @@
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "scheduling/compiled_problem.h"
 #include "scheduling/scheduler.h"
 
 namespace mirabel::scheduling {
@@ -15,12 +16,13 @@ struct Individual {
   double cost = 0.0;
 };
 
-Schedule RandomSchedule(const SchedulingProblem& problem, Rng* rng) {
+Schedule RandomSchedule(const CompiledProblem& cp, Rng* rng) {
   Schedule s;
-  s.assignments.reserve(problem.offers.size());
-  for (const auto& fo : problem.offers) {
+  s.assignments.reserve(cp.num_offers);
+  for (size_t i = 0; i < cp.num_offers; ++i) {
     s.assignments.push_back(
-        {fo.earliest_start + rng->UniformInt(0, fo.TimeFlexibility()),
+        {cp.earliest_start[i] +
+             rng->UniformInt(0, cp.latest_start[i] - cp.earliest_start[i]),
          rng->NextDouble()});
   }
   return s;
@@ -37,22 +39,33 @@ EvolutionaryScheduler::EvolutionaryScheduler(const Config& config)
 Result<SchedulingResult> EvolutionaryScheduler::Run(
     const SchedulingProblem& problem, const SchedulerOptions& options) {
   MIRABEL_RETURN_IF_ERROR(problem.Validate());
+  CompiledProblem compiled(problem);
+  return RunCompiled(compiled, options);
+}
+
+Result<SchedulingResult> EvolutionaryScheduler::RunCompiled(
+    const CompiledProblem& cp, const SchedulerOptions& options) {
   if (config_.population_size < 2 || config_.elites >= config_.population_size) {
     return Status::InvalidArgument("degenerate EA configuration");
   }
   Stopwatch watch;
   Rng rng(options.seed);
-  CostEvaluator evaluator(problem);
-  if (problem.offers.empty()) {
+  // One pooled workspace serves every child evaluation: EvaluateInto() is a
+  // single fused validate+accumulate+sweep pass with zero allocations, where
+  // the pre-kernel path built a whole scratch CostEvaluator (two vector
+  // allocations plus a thrown-away default-schedule accumulation) per child
+  // per generation.
+  ScheduleWorkspace ws(cp);
+  if (cp.num_offers == 0) {
     SchedulingResult result;
-    result.schedule = evaluator.schedule();
-    result.cost = evaluator.Cost();
+    ws.ExportSchedule(&result.schedule);
+    result.cost = ws.Cost(cp);
     result.trace.push_back({watch.ElapsedSeconds(), result.cost.total()});
     return result;
   }
 
   auto evaluate = [&](const Schedule& s) -> Result<double> {
-    return evaluator.EvaluateTotal(s);
+    return ws.EvaluateInto(cp, s);
   };
 
   // Initial population: random schedules plus the all-earliest baseline.
@@ -60,13 +73,16 @@ Result<SchedulingResult> EvolutionaryScheduler::Run(
   population.reserve(static_cast<size_t>(config_.population_size));
   {
     Individual baseline;
-    baseline.schedule = CostEvaluator(problem).schedule();
+    baseline.schedule.assignments.reserve(cp.num_offers);
+    for (size_t i = 0; i < cp.num_offers; ++i) {
+      baseline.schedule.assignments.push_back({cp.earliest_start[i], 1.0});
+    }
     MIRABEL_ASSIGN_OR_RETURN(baseline.cost, evaluate(baseline.schedule));
     population.push_back(std::move(baseline));
   }
   while (population.size() < static_cast<size_t>(config_.population_size)) {
     Individual ind;
-    ind.schedule = RandomSchedule(problem, &rng);
+    ind.schedule = RandomSchedule(cp, &rng);
     MIRABEL_ASSIGN_OR_RETURN(ind.cost, evaluate(ind.schedule));
     population.push_back(std::move(ind));
   }
@@ -79,11 +95,11 @@ Result<SchedulingResult> EvolutionaryScheduler::Run(
   double best_cost = best_it->cost;
   result.trace.push_back({watch.ElapsedSeconds(), best_cost});
 
+  BudgetGate gate(watch, options.time_budget_s);
   auto out_of_budget = [&]() {
-    if (options.time_budget_s > 0 &&
-        watch.ElapsedSeconds() >= options.time_budget_s) {
-      return true;
-    }
+    // One generation evaluates ~population_size children; charge them all at
+    // the generation boundary (the old code also only read the clock here).
+    if (gate.Exhausted(config_.population_size)) return true;
     if (options.max_iterations > 0 &&
         result.iterations >= options.max_iterations) {
       return true;
@@ -102,7 +118,7 @@ Result<SchedulingResult> EvolutionaryScheduler::Run(
     return population[winner];
   };
 
-  const size_t genes = problem.offers.size();
+  const size_t genes = cp.num_offers;
   while (!out_of_budget()) {
     std::vector<Individual> next;
     next.reserve(population.size());
@@ -131,16 +147,16 @@ Result<SchedulingResult> EvolutionaryScheduler::Run(
       // Mutation.
       for (size_t g = 0; g < genes; ++g) {
         if (!rng.Bernoulli(config_.mutation_rate)) continue;
-        const flexoffer::FlexOffer& fo = problem.offers[g];
         OfferAssignment& a = child.schedule.assignments[g];
-        int64_t window = fo.TimeFlexibility();
+        int64_t window = cp.latest_start[g] - cp.earliest_start[g];
         if (window > 0) {
           int64_t span = std::max<int64_t>(
               1, static_cast<int64_t>(
                      std::llround(config_.start_mutation_span *
                                   static_cast<double>(window))));
           a.start += rng.UniformInt(-span, span);
-          a.start = std::clamp(a.start, fo.earliest_start, fo.latest_start);
+          a.start = std::clamp(a.start, cp.earliest_start[g],
+                               cp.latest_start[g]);
         }
         a.fill = Clamp(a.fill + rng.Gaussian(0.0, config_.fill_mutation_sigma),
                        0.0, 1.0);
@@ -162,8 +178,9 @@ Result<SchedulingResult> EvolutionaryScheduler::Run(
     }
   }
 
-  MIRABEL_RETURN_IF_ERROR(evaluator.SetSchedule(result.schedule));
-  result.cost = evaluator.Cost();
+  // Final full recompute of the incumbent in the pooled workspace.
+  MIRABEL_RETURN_IF_ERROR(ws.SetSchedule(cp, result.schedule));
+  result.cost = ws.Cost(cp);
   return result;
 }
 

@@ -1,4 +1,5 @@
 #include "common/stopwatch.h"
+#include "scheduling/compiled_problem.h"
 #include "scheduling/scheduler.h"
 
 namespace mirabel::scheduling {
@@ -29,63 +30,57 @@ Result<SchedulingResult> ExhaustiveScheduler::Run(
   }
 
   Stopwatch watch;
-  CostEvaluator evaluator(problem);
-  const size_t n = problem.offers.size();
+  CompiledProblem cp(problem);
+  ScheduleWorkspace ws(cp);
+  const size_t n = cp.num_offers;
 
   // Start all offers at their earliest start, fill = 1 (the exhaustive
   // baseline is defined for offers without energy constraints; for offers
-  // with energy flexibility the maximum profile is used).
-  Schedule current;
-  current.assignments.reserve(n);
-  for (const auto& fo : problem.offers) {
-    current.assignments.push_back({fo.earliest_start, 1.0});
-  }
-  MIRABEL_RETURN_IF_ERROR(evaluator.SetSchedule(current));
-
+  // with energy flexibility the maximum profile is used) — exactly the
+  // workspace's default schedule.
   SchedulingResult result;
-  result.schedule = current;
-  double best_cost = evaluator.Cost().total();
+  ws.ExportSchedule(&result.schedule);
+  double best_cost = ws.Cost(cp).total();
   result.trace.push_back({watch.ElapsedSeconds(), best_cost});
   result.iterations = 1;
 
   // Odometer enumeration over the start windows, applying single-offer moves
-  // incrementally so each step is O(profile length).
+  // incrementally so each step is O(profile length). The budget gate
+  // amortizes the per-combination clock read.
+  BudgetGate gate(watch, options.time_budget_s);
   std::vector<int64_t> offsets(n, 0);
   while (true) {
-    if (options.time_budget_s > 0 &&
-        watch.ElapsedSeconds() > options.time_budget_s) {
+    if (gate.Exhausted()) {
       return Status::Timeout("exhaustive enumeration exceeded the budget");
     }
     // Advance the odometer.
     size_t d = 0;
     while (d < n) {
-      const auto& fo = problem.offers[d];
-      if (offsets[d] < fo.TimeFlexibility()) {
+      const int64_t window = cp.latest_start[d] - cp.earliest_start[d];
+      if (offsets[d] < window) {
         ++offsets[d];
-        MIRABEL_RETURN_IF_ERROR(evaluator.ApplyMove(
-            d, {fo.earliest_start + offsets[d],
-                evaluator.schedule().assignments[d].fill}));
+        ws.ApplyMove(cp, d, cp.earliest_start[d] + offsets[d], ws.fill(d));
         break;
       }
       offsets[d] = 0;
-      MIRABEL_RETURN_IF_ERROR(evaluator.ApplyMove(
-          d, {fo.earliest_start, evaluator.schedule().assignments[d].fill}));
+      ws.ApplyMove(cp, d, cp.earliest_start[d], ws.fill(d));
       ++d;
     }
     if (d == n) break;  // odometer wrapped: all combinations visited
 
     ++result.iterations;
-    double cost = evaluator.Cost().total();
+    double cost = ws.Cost(cp).total();
     if (cost < best_cost - 1e-12) {
       best_cost = cost;
-      result.schedule = evaluator.schedule();
+      ws.ExportSchedule(&result.schedule);
       result.trace.push_back({watch.ElapsedSeconds(), best_cost});
     }
   }
 
-  CostEvaluator final_eval(problem);
-  MIRABEL_RETURN_IF_ERROR(final_eval.SetSchedule(result.schedule));
-  result.cost = final_eval.Cost();
+  // Final full recompute of the incumbent, as the pre-kernel version did
+  // with a fresh evaluator.
+  MIRABEL_RETURN_IF_ERROR(ws.SetSchedule(cp, result.schedule));
+  result.cost = ws.Cost(cp);
   return result;
 }
 

@@ -1,4 +1,5 @@
 #include "common/stopwatch.h"
+#include "scheduling/compiled_problem.h"
 #include "scheduling/scheduler.h"
 
 namespace mirabel::scheduling {
@@ -11,6 +12,8 @@ Result<SchedulingResult> HybridScheduler::Run(const SchedulingProblem& problem,
                                               const SchedulerOptions& options) {
   MIRABEL_RETURN_IF_ERROR(problem.Validate());
   Stopwatch watch;
+  // Compile once; both phases run on the same SoA form.
+  CompiledProblem compiled(problem);
 
   // Phase 1: one fast greedy construction seeds the population.
   GreedyScheduler greedy;
@@ -25,7 +28,7 @@ Result<SchedulingResult> HybridScheduler::Run(const SchedulingProblem& problem,
                             static_cast<double>(options.max_iterations)));
   }
   MIRABEL_ASSIGN_OR_RETURN(SchedulingResult constructed,
-                           greedy.Run(problem, greedy_options));
+                           greedy.RunCompiled(compiled, greedy_options));
 
   // Phase 2: evolutionary refinement seeded with the greedy incumbent. The
   // EA's population initialisation already includes the all-earliest
@@ -35,8 +38,13 @@ Result<SchedulingResult> HybridScheduler::Run(const SchedulingProblem& problem,
   EvolutionaryScheduler ea(ea_config);
   SchedulerOptions ea_options = options;
   if (options.time_budget_s > 0) {
+    // Keep the remainder strictly positive: 0.0 means "no time limit" to
+    // the EA, so a construction phase that consumed the whole budget (plus
+    // compile time) would otherwise hand phase 2 an unbounded run when no
+    // iteration cap is set. An epsilon budget exhausts at the EA's first
+    // gate sample, bounding phase 2 to its population initialisation.
     ea_options.time_budget_s =
-        std::max(0.0, options.time_budget_s - watch.ElapsedSeconds());
+        std::max(1e-6, options.time_budget_s - watch.ElapsedSeconds());
   }
   if (options.max_iterations > 0) {
     ea_options.max_iterations =
@@ -44,7 +52,7 @@ Result<SchedulingResult> HybridScheduler::Run(const SchedulingProblem& problem,
   }
   ea_options.seed = options.seed + 1;
   MIRABEL_ASSIGN_OR_RETURN(SchedulingResult refined,
-                           ea.Run(problem, ea_options));
+                           ea.RunCompiled(compiled, ea_options));
 
   // Keep whichever schedule is better; stitch the traces together.
   SchedulingResult result;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "scheduling/compiled_problem.h"
 #include "scheduling/scheduling_problem.h"
 
 namespace mirabel::scheduling {
@@ -70,6 +71,12 @@ class GreedyScheduler : public Scheduler {
   Result<SchedulingResult> Run(const SchedulingProblem& problem,
                                const SchedulerOptions& options) override;
 
+  /// Runs on an already-compiled problem (Run() compiles and delegates;
+  /// HybridScheduler compiles once and shares it across both phases).
+  /// `compiled.source` must outlive the call.
+  Result<SchedulingResult> RunCompiled(const CompiledProblem& compiled,
+                                       const SchedulerOptions& options);
+
  private:
   Config config_;
 };
@@ -96,6 +103,10 @@ class EvolutionaryScheduler : public Scheduler {
   std::string Name() const override { return "EvolutionaryAlgorithm"; }
   Result<SchedulingResult> Run(const SchedulingProblem& problem,
                                const SchedulerOptions& options) override;
+
+  /// Runs on an already-compiled problem; see GreedyScheduler::RunCompiled.
+  Result<SchedulingResult> RunCompiled(const CompiledProblem& compiled,
+                                       const SchedulerOptions& options);
 
  private:
   Config config_;

@@ -2,6 +2,7 @@
 #define MIRABEL_SCHEDULING_SCHEDULING_PROBLEM_H_
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -82,6 +83,9 @@ struct ScheduleCost {
   }
 };
 
+struct CompiledProblem;
+class ScheduleWorkspace;
+
 /// Evaluates schedules against a problem, maintaining the per-slice net load
 /// so that single-offer moves are O(profile length) instead of O(horizon).
 ///
@@ -90,10 +94,25 @@ struct ScheduleCost {
 /// cap while the buy price undercuts the imbalance penalty; sell surplus up
 /// to the cap while the sell price is positive), so search only has to
 /// explore start times and fill levels.
+///
+/// This class is a compatibility shim over the scheduling kernel
+/// (compiled_problem.h): construction compiles the problem into SoA form
+/// once, and every operation delegates to a ScheduleWorkspace. Results are
+/// bit-identical to the pre-kernel implementation (preserved as
+/// ReferenceCostEvaluator). The schedulers bypass the shim and drive the
+/// kernel directly; new hot-path code should too.
+///
+/// Not thread-safe, including the const methods: TryMove() and Cost() write
+/// to the workspace's mutable scratch buffers / lazy cost caches, and
+/// EvaluateTotal() reuses a pooled scratch workspace. Use one evaluator per
+/// thread.
 class CostEvaluator {
  public:
   /// `problem` must outlive the evaluator and must be Validate()d.
   explicit CostEvaluator(const SchedulingProblem& problem);
+  ~CostEvaluator();
+  CostEvaluator(CostEvaluator&&) noexcept;
+  CostEvaluator& operator=(CostEvaluator&&) noexcept;
 
   /// Replaces the current schedule, recomputing state from scratch. Invalid
   /// assignments (start outside an offer's window, fill outside [0, 1])
@@ -103,7 +122,11 @@ class CostEvaluator {
   /// Full cost of the current schedule.
   ScheduleCost Cost() const;
 
-  /// Total cost of `schedule` without disturbing the current state.
+  /// Total cost of `schedule` without disturbing the current state. Runs one
+  /// fused validate+accumulate+sweep pass in a pooled scratch workspace (the
+  /// pre-kernel version built a whole scratch evaluator, accumulating the
+  /// default schedule only to throw it away). Not thread-safe: concurrent
+  /// EvaluateTotal calls share the scratch workspace.
   Result<double> EvaluateTotal(const Schedule& schedule) const;
 
   /// Cost delta of moving offer `index` to `candidate` from its current
@@ -118,7 +141,7 @@ class CostEvaluator {
 
   /// Net load (baseline + scheduled flex) per horizon slice, before the
   /// market layer. Useful for imbalance reporting.
-  const std::vector<double>& net_kwh() const { return net_kwh_; }
+  const std::vector<double>& net_kwh() const;
 
   /// Converts the current schedule into per-offer scheduled flex-offers.
   std::vector<flexoffer::ScheduledFlexOffer> ToScheduledOffers() const;
@@ -128,18 +151,13 @@ class CostEvaluator {
                             double lambda);
 
  private:
-  /// Marginal cost contribution of one slice given its residual net load.
-  double SliceCost(size_t slice, double residual) const;
-
-  /// Adds (sign=+1) or removes (sign=-1) an assignment from net_ and
-  /// activation cost.
-  void Accumulate(size_t index, const OfferAssignment& a, double sign);
-
   const SchedulingProblem* problem_;
+  /// Mirror of the workspace assignments, kept for the schedule() accessor.
   Schedule schedule_;
-  /// Net load (baseline + flex) per horizon slice.
-  std::vector<double> net_kwh_;
-  double flex_activation_eur_ = 0.0;
+  std::unique_ptr<CompiledProblem> compiled_;
+  std::unique_ptr<ScheduleWorkspace> workspace_;
+  /// Pooled scratch for EvaluateTotal; allocated lazily on first use.
+  mutable std::unique_ptr<ScheduleWorkspace> scratch_;
 };
 
 }  // namespace mirabel::scheduling

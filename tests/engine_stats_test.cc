@@ -26,6 +26,7 @@ EngineStats Filled(int64_t base) {
   s.imbalance_before_kwh = static_cast<double>(base) + 11.5;
   s.imbalance_after_kwh = static_cast<double>(base) + 12.5;
   s.schedule_cost_eur = static_cast<double>(base) + 13.5;
+  s.budget_saved_s = static_cast<double>(base) + 14.5;
   return s;
 }
 
@@ -46,6 +47,7 @@ void ExpectSum(const EngineStats& merged, int64_t a, int64_t b) {
                    static_cast<double>(a + b) + 25.0);
   EXPECT_DOUBLE_EQ(merged.schedule_cost_eur,
                    static_cast<double>(a + b) + 27.0);
+  EXPECT_DOUBLE_EQ(merged.budget_saved_s, static_cast<double>(a + b) + 29.0);
 }
 
 TEST(EngineStatsTest, MergeCoversEveryField) {

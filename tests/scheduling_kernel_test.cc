@@ -1,0 +1,732 @@
+// Equivalence and allocation properties of the SoA scheduling kernel
+// (CompiledProblem / ScheduleWorkspace):
+//
+//  1. Across hundreds of randomized problems and moves, kernel TryMove
+//     deltas and EvaluateInto totals match a naive full recomputation
+//     within 1e-9 (relative), and match the preserved pre-kernel
+//     implementation (ReferenceCostEvaluator) bit for bit.
+//  2. All four schedulers, rewired onto the kernel, produce bit-identical
+//     SchedulingResults to the pre-kernel implementations (reimplemented
+//     here verbatim over ReferenceCostEvaluator) for fixed seeds under
+//     max_iterations budgets.
+//  3. The steady-state evaluate / TryMove / ApplyMove loop performs zero
+//     heap allocations, asserted with a counting global operator new.
+#include "scheduling/compiled_problem.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <numeric>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "scheduling/reference_evaluator.h"
+#include "scheduling/scenario.h"
+#include "scheduling/scheduler.h"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator (binary-wide): every operator new bumps the
+// counter, so a test section can assert "no allocations happened here".
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<int64_t> g_heap_allocations{0};
+
+void* CountedAlloc(std::size_t n) {
+  ++g_heap_allocations;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mirabel::scheduling {
+namespace {
+
+using flexoffer::TimeSlice;
+
+// ---------------------------------------------------------------------------
+// Naive oracle: cost of a schedule recomputed from first principles.
+// ---------------------------------------------------------------------------
+
+double NaiveTotalCost(const SchedulingProblem& p, const Schedule& schedule) {
+  std::vector<double> net = p.baseline_imbalance_kwh;
+  double activation = 0.0;
+  for (size_t i = 0; i < p.offers.size(); ++i) {
+    const auto& fo = p.offers[i];
+    const auto& a = schedule.assignments[i];
+    for (int64_t j = 0; j < fo.Duration(); ++j) {
+      double e = fo.profile[static_cast<size_t>(j)].min_kwh +
+                 a.fill * fo.profile[static_cast<size_t>(j)].Flexibility();
+      net[static_cast<size_t>(a.start + j - p.horizon_start)] += e;
+      activation += fo.unit_price_eur * std::fabs(e);
+    }
+  }
+  double total = activation;
+  for (size_t s = 0; s < net.size(); ++s) {
+    double r = net[s];
+    double penalty = p.imbalance_penalty_eur[s];
+    if (r > 0.0) {
+      double price = p.market.buy_price_eur[s];
+      double bought = price < penalty ? std::min(r, p.market.max_buy_kwh) : 0.0;
+      total += bought * price + (r - bought) * penalty;
+    } else if (r < 0.0) {
+      double price = p.market.sell_price_eur[s];
+      double surplus = -r;
+      double sold =
+          price >= 0.0 ? std::min(surplus, p.market.max_sell_kwh) : 0.0;
+      total += -sold * price + (surplus - sold) * penalty;
+    }
+  }
+  return total;
+}
+
+double RelTol(double reference) {
+  return 1e-9 * std::max(1.0, std::fabs(reference));
+}
+
+ScenarioConfig RandomScenarioConfig(Rng* rng, int index) {
+  ScenarioConfig cfg;
+  cfg.num_offers = 1 + static_cast<int>(rng->UniformInt(0, 24));
+  cfg.seed = 1000 + static_cast<uint64_t>(index);
+  cfg.horizon_length = static_cast<int>(rng->UniformInt(24, 96));
+  cfg.min_duration = 1 + static_cast<int>(rng->UniformInt(0, 2));
+  cfg.max_duration = cfg.min_duration + static_cast<int>(rng->UniformInt(0, 8));
+  cfg.max_time_flexibility = 1 + static_cast<int>(rng->UniformInt(0, 20));
+  cfg.production_fraction = rng->NextDouble() * 0.6;
+  cfg.no_energy_flexibility = rng->Bernoulli(0.15);
+  cfg.imbalance_amplitude_kwh = 5.0 + rng->NextDouble() * 60.0;
+  cfg.max_buy_kwh = rng->Bernoulli(0.2) ? 0.0 : 5.0 + rng->NextDouble() * 30.0;
+  cfg.max_sell_kwh = rng->Bernoulli(0.2) ? 0.0 : 5.0 + rng->NextDouble() * 30.0;
+  return cfg;
+}
+
+OfferAssignment RandomAssignment(const flexoffer::FlexOffer& fo, Rng* rng) {
+  return {fo.earliest_start + rng->UniformInt(0, fo.TimeFlexibility()),
+          rng->NextDouble()};
+}
+
+Schedule RandomScheduleFor(const SchedulingProblem& p, Rng* rng) {
+  Schedule s;
+  s.assignments.reserve(p.offers.size());
+  for (const auto& fo : p.offers) {
+    s.assignments.push_back(RandomAssignment(fo, rng));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: kernel == naive recomputation (1e-9) == reference (bitwise),
+// across >= 200 randomized problems and randomized move sequences.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulingKernelPropertyTest, MatchesNaiveAndReferenceAcrossRandomRuns) {
+  Rng rng(77);
+  int problems = 0;
+  for (int it = 0; it < 220; ++it) {
+    SchedulingProblem p = MakeScenario(RandomScenarioConfig(&rng, it));
+    ASSERT_TRUE(p.Validate().ok());
+    ++problems;
+
+    CompiledProblem cp(p);
+    ScheduleWorkspace ws(cp);
+    ReferenceCostEvaluator ref(p);
+
+    // Default schedules agree with each other and with the naive oracle.
+    Schedule current;
+    ws.ExportSchedule(&current);
+    ASSERT_EQ(current.assignments.size(), p.offers.size());
+    EXPECT_EQ(ws.Cost(cp).total(), ref.Cost().total());
+    EXPECT_NEAR(ws.Cost(cp).total(), NaiveTotalCost(p, current),
+                RelTol(ws.Cost(cp).total()));
+
+    for (int move = 0; move < 12 && !p.offers.empty(); ++move) {
+      size_t index = rng.Index(p.offers.size());
+      OfferAssignment cand = RandomAssignment(p.offers[index], &rng);
+
+      // TryMove: kernel delta == reference delta bitwise, == naive delta
+      // within 1e-9.
+      double kernel_delta = ws.TryMove(cp, index, cand.start, cand.fill);
+      auto ref_delta = ref.TryMove(index, cand);
+      ASSERT_TRUE(ref_delta.ok());
+      EXPECT_EQ(kernel_delta, *ref_delta);
+
+      Schedule moved = current;
+      moved.assignments[index] = cand;
+      double naive_delta =
+          NaiveTotalCost(p, moved) - NaiveTotalCost(p, current);
+      EXPECT_NEAR(kernel_delta, naive_delta, RelTol(NaiveTotalCost(p, moved)));
+
+      // Apply on both sides; full state stays bit-identical.
+      ws.ApplyMove(cp, index, cand.start, cand.fill);
+      ASSERT_TRUE(ref.ApplyMove(index, cand).ok());
+      current = moved;
+      ScheduleCost kc = ws.Cost(cp);
+      ScheduleCost rc = ref.Cost();
+      EXPECT_EQ(kc.imbalance_eur, rc.imbalance_eur);
+      EXPECT_EQ(kc.flex_activation_eur, rc.flex_activation_eur);
+      EXPECT_EQ(kc.market_eur, rc.market_eur);
+      for (size_t s = 0; s < ws.net_kwh().size(); ++s) {
+        ASSERT_EQ(ws.net_kwh()[s], ref.net_kwh()[s]) << "slice " << s;
+      }
+    }
+
+    // EvaluateInto == the pre-kernel EvaluateTotal bitwise, == naive within
+    // 1e-9, for a handful of random schedules.
+    ScheduleWorkspace pool(cp);
+    for (int e = 0; e < 4; ++e) {
+      Schedule s = RandomScheduleFor(p, &rng);
+      auto kernel_total = pool.EvaluateInto(cp, s);
+      auto ref_total = ref.EvaluateTotal(s);
+      ASSERT_TRUE(kernel_total.ok());
+      ASSERT_TRUE(ref_total.ok());
+      EXPECT_EQ(*kernel_total, *ref_total);
+      EXPECT_NEAR(*kernel_total, NaiveTotalCost(p, s), RelTol(*ref_total));
+    }
+
+    // The shim follows the kernel (spot check). Compare against a *fresh*
+    // reference evaluator: `ref` above reached `current` through incremental
+    // ApplyMoves, whose floating-point history a fresh SetSchedule does not
+    // share (in either implementation).
+    CostEvaluator shim(p);
+    ASSERT_TRUE(shim.SetSchedule(current).ok());
+    ReferenceCostEvaluator fresh_ref(p);
+    ASSERT_TRUE(fresh_ref.SetSchedule(current).ok());
+    EXPECT_EQ(shim.Cost().total(), fresh_ref.Cost().total());
+  }
+  EXPECT_GE(problems, 200);
+}
+
+TEST(SchedulingKernelPropertyTest, RejectsInfeasibleLikeTheReference) {
+  ScenarioConfig cfg;
+  cfg.num_offers = 5;
+  cfg.seed = 9;
+  SchedulingProblem p = MakeScenario(cfg);
+  CompiledProblem cp(p);
+  ScheduleWorkspace ws(cp);
+
+  Schedule bad;
+  EXPECT_EQ(ws.SetSchedule(cp, bad).code(), StatusCode::kInvalidArgument);
+  ws.ExportSchedule(&bad);
+  bad.assignments[0].fill = 1.5;
+  EXPECT_EQ(ws.SetSchedule(cp, bad).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ws.EvaluateInto(cp, bad).status().code(), StatusCode::kOutOfRange);
+  bad.assignments[0].fill = 0.5;
+  bad.assignments[0].start = p.offers[0].latest_start + 1;
+  EXPECT_EQ(ws.SetSchedule(cp, bad).code(), StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: the rewired schedulers are bit-identical to the pre-kernel
+// implementations for fixed seeds under max_iterations budgets. The old
+// Run() loops are reproduced verbatim below on top of ReferenceCostEvaluator.
+// ---------------------------------------------------------------------------
+
+namespace reference {
+
+std::vector<TimeSlice> StartCandidates(const flexoffer::FlexOffer& offer,
+                                       int max_candidates) {
+  int64_t window = offer.TimeFlexibility();
+  std::vector<TimeSlice> out;
+  if (window < max_candidates) {
+    out.reserve(static_cast<size_t>(window) + 1);
+    for (int64_t d = 0; d <= window; ++d) {
+      out.push_back(offer.earliest_start + d);
+    }
+    return out;
+  }
+  out.reserve(static_cast<size_t>(max_candidates));
+  for (int i = 0; i < max_candidates; ++i) {
+    int64_t d = window * i / (max_candidates - 1);
+    out.push_back(offer.earliest_start + d);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+SchedulingResult Greedy(const SchedulingProblem& problem,
+                        const SchedulerOptions& options,
+                        const GreedyScheduler::Config& config) {
+  Rng rng(options.seed);
+  ReferenceCostEvaluator evaluator(problem);
+  SchedulingResult result;
+  result.schedule = evaluator.schedule();
+  double best_cost = evaluator.Cost().total();
+  result.trace.push_back({0.0, best_cost});
+  if (problem.offers.empty()) {
+    result.cost = evaluator.Cost();
+    return result;
+  }
+  auto out_of_budget = [&]() {
+    return options.max_iterations > 0 &&
+           result.iterations >= options.max_iterations;
+  };
+  std::vector<size_t> order(problem.offers.size());
+  std::iota(order.begin(), order.end(), 0);
+  bool first_pass = true;
+  while (!out_of_budget()) {
+    rng.Shuffle(&order);
+    bool improved_any = false;
+    for (size_t index : order) {
+      if (out_of_budget()) break;
+      const flexoffer::FlexOffer& fo = problem.offers[index];
+      OfferAssignment best = evaluator.schedule().assignments[index];
+      double best_delta = 0.0;
+      for (TimeSlice start :
+           StartCandidates(fo, config.max_start_candidates)) {
+        for (double fill : config.fill_candidates) {
+          OfferAssignment candidate{start, fill};
+          Result<double> delta = evaluator.TryMove(index, candidate);
+          if (delta.ok() && *delta < best_delta - 1e-12) {
+            best_delta = *delta;
+            best = candidate;
+          }
+        }
+      }
+      if (best_delta < 0.0) {
+        EXPECT_TRUE(evaluator.ApplyMove(index, best).ok());
+        improved_any = true;
+      }
+      ++result.iterations;
+    }
+    double cost = evaluator.Cost().total();
+    if (cost < best_cost - 1e-12) {
+      best_cost = cost;
+      result.schedule = evaluator.schedule();
+      result.trace.push_back({0.0, best_cost});
+    }
+    if (!improved_any && !first_pass) {
+      Schedule random_schedule;
+      random_schedule.assignments.reserve(problem.offers.size());
+      for (const auto& fo : problem.offers) {
+        random_schedule.assignments.push_back(
+            {fo.earliest_start + rng.UniformInt(0, fo.TimeFlexibility()),
+             rng.NextDouble()});
+      }
+      EXPECT_TRUE(evaluator.SetSchedule(random_schedule).ok());
+    }
+    first_pass = false;
+  }
+  ReferenceCostEvaluator final_eval(problem);
+  EXPECT_TRUE(final_eval.SetSchedule(result.schedule).ok());
+  result.cost = final_eval.Cost();
+  return result;
+}
+
+struct Individual {
+  Schedule schedule;
+  double cost = 0.0;
+};
+
+SchedulingResult Evolutionary(const SchedulingProblem& problem,
+                              const SchedulerOptions& options,
+                              const EvolutionaryScheduler::Config& config) {
+  Rng rng(options.seed);
+  ReferenceCostEvaluator evaluator(problem);
+  if (problem.offers.empty()) {
+    SchedulingResult result;
+    result.schedule = evaluator.schedule();
+    result.cost = evaluator.Cost();
+    result.trace.push_back({0.0, result.cost.total()});
+    return result;
+  }
+  auto evaluate = [&](const Schedule& s) {
+    auto total = evaluator.EvaluateTotal(s);
+    EXPECT_TRUE(total.ok());
+    return *total;
+  };
+  std::vector<Individual> population;
+  population.reserve(static_cast<size_t>(config.population_size));
+  {
+    Individual baseline;
+    baseline.schedule = ReferenceCostEvaluator(problem).schedule();
+    baseline.cost = evaluate(baseline.schedule);
+    population.push_back(std::move(baseline));
+  }
+  while (population.size() < static_cast<size_t>(config.population_size)) {
+    Individual ind;
+    ind.schedule.assignments.reserve(problem.offers.size());
+    for (const auto& fo : problem.offers) {
+      ind.schedule.assignments.push_back(
+          {fo.earliest_start + rng.UniformInt(0, fo.TimeFlexibility()),
+           rng.NextDouble()});
+    }
+    ind.cost = evaluate(ind.schedule);
+    population.push_back(std::move(ind));
+  }
+  auto best_it = std::min_element(
+      population.begin(), population.end(),
+      [](const Individual& a, const Individual& b) { return a.cost < b.cost; });
+  SchedulingResult result;
+  result.schedule = best_it->schedule;
+  double best_cost = best_it->cost;
+  result.trace.push_back({0.0, best_cost});
+  auto out_of_budget = [&]() {
+    return options.max_iterations > 0 &&
+           result.iterations >= options.max_iterations;
+  };
+  auto tournament = [&]() -> const Individual& {
+    size_t winner = rng.Index(population.size());
+    for (int k = 1; k < config.tournament_size; ++k) {
+      size_t challenger = rng.Index(population.size());
+      if (population[challenger].cost < population[winner].cost) {
+        winner = challenger;
+      }
+    }
+    return population[winner];
+  };
+  const size_t genes = problem.offers.size();
+  while (!out_of_budget()) {
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    std::partial_sort(population.begin(),
+                      population.begin() + config.elites, population.end(),
+                      [](const Individual& a, const Individual& b) {
+                        return a.cost < b.cost;
+                      });
+    for (int e = 0; e < config.elites; ++e) {
+      next.push_back(population[static_cast<size_t>(e)]);
+    }
+    while (next.size() < population.size()) {
+      const Individual& parent_a = tournament();
+      const Individual& parent_b = tournament();
+      Individual child;
+      child.schedule.assignments.resize(genes);
+      bool crossover = rng.Bernoulli(config.crossover_rate);
+      for (size_t g = 0; g < genes; ++g) {
+        const Individual& source =
+            (crossover && rng.Bernoulli(0.5)) ? parent_b : parent_a;
+        child.schedule.assignments[g] = source.schedule.assignments[g];
+      }
+      for (size_t g = 0; g < genes; ++g) {
+        if (!rng.Bernoulli(config.mutation_rate)) continue;
+        const flexoffer::FlexOffer& fo = problem.offers[g];
+        OfferAssignment& a = child.schedule.assignments[g];
+        int64_t window = fo.TimeFlexibility();
+        if (window > 0) {
+          int64_t span = std::max<int64_t>(
+              1, static_cast<int64_t>(
+                     std::llround(config.start_mutation_span *
+                                  static_cast<double>(window))));
+          a.start += rng.UniformInt(-span, span);
+          a.start = std::clamp(a.start, fo.earliest_start, fo.latest_start);
+        }
+        a.fill = Clamp(a.fill + rng.Gaussian(0.0, config.fill_mutation_sigma),
+                       0.0, 1.0);
+      }
+      child.cost = evaluate(child.schedule);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    ++result.iterations;
+    for (const Individual& ind : population) {
+      if (ind.cost < best_cost - 1e-12) {
+        best_cost = ind.cost;
+        result.schedule = ind.schedule;
+        result.trace.push_back({0.0, best_cost});
+      }
+    }
+  }
+  EXPECT_TRUE(evaluator.SetSchedule(result.schedule).ok());
+  result.cost = evaluator.Cost();
+  return result;
+}
+
+SchedulingResult Exhaustive(const SchedulingProblem& problem) {
+  ReferenceCostEvaluator evaluator(problem);
+  const size_t n = problem.offers.size();
+  Schedule current;
+  current.assignments.reserve(n);
+  for (const auto& fo : problem.offers) {
+    current.assignments.push_back({fo.earliest_start, 1.0});
+  }
+  EXPECT_TRUE(evaluator.SetSchedule(current).ok());
+  SchedulingResult result;
+  result.schedule = current;
+  double best_cost = evaluator.Cost().total();
+  result.trace.push_back({0.0, best_cost});
+  result.iterations = 1;
+  std::vector<int64_t> offsets(n, 0);
+  while (true) {
+    size_t d = 0;
+    while (d < n) {
+      const auto& fo = problem.offers[d];
+      if (offsets[d] < fo.TimeFlexibility()) {
+        ++offsets[d];
+        EXPECT_TRUE(
+            evaluator
+                .ApplyMove(d, {fo.earliest_start + offsets[d],
+                               evaluator.schedule().assignments[d].fill})
+                .ok());
+        break;
+      }
+      offsets[d] = 0;
+      EXPECT_TRUE(evaluator
+                      .ApplyMove(d, {fo.earliest_start,
+                                     evaluator.schedule().assignments[d].fill})
+                      .ok());
+      ++d;
+    }
+    if (d == n) break;
+    ++result.iterations;
+    double cost = evaluator.Cost().total();
+    if (cost < best_cost - 1e-12) {
+      best_cost = cost;
+      result.schedule = evaluator.schedule();
+      result.trace.push_back({0.0, best_cost});
+    }
+  }
+  ReferenceCostEvaluator final_eval(problem);
+  EXPECT_TRUE(final_eval.SetSchedule(result.schedule).ok());
+  result.cost = final_eval.Cost();
+  return result;
+}
+
+SchedulingResult Hybrid(const SchedulingProblem& problem,
+                        const SchedulerOptions& options,
+                        const HybridScheduler::Config& config) {
+  SchedulerOptions greedy_options = options;
+  if (options.max_iterations > 0) {
+    greedy_options.max_iterations = std::max(
+        1, static_cast<int>(config.construction_share *
+                            static_cast<double>(options.max_iterations)));
+  }
+  SchedulingResult constructed =
+      Greedy(problem, greedy_options, GreedyScheduler::Config());
+  SchedulerOptions ea_options = options;
+  if (options.max_iterations > 0) {
+    ea_options.max_iterations =
+        std::max(1, options.max_iterations - constructed.iterations);
+  }
+  ea_options.seed = options.seed + 1;
+  SchedulingResult refined =
+      Evolutionary(problem, ea_options, config.evolution);
+  SchedulingResult result;
+  result.iterations = constructed.iterations + refined.iterations;
+  if (refined.cost.total() < constructed.cost.total()) {
+    result.schedule = refined.schedule;
+    result.cost = refined.cost;
+  } else {
+    result.schedule = constructed.schedule;
+    result.cost = constructed.cost;
+  }
+  result.trace = constructed.trace;
+  double floor_cost = constructed.cost.total();
+  for (const CostTracePoint& p : refined.trace) {
+    if (p.best_cost_eur < floor_cost) {
+      result.trace.push_back({0.0, p.best_cost_eur});
+      floor_cost = p.best_cost_eur;
+    }
+  }
+  return result;
+}
+
+}  // namespace reference
+
+void ExpectBitIdentical(const SchedulingResult& got,
+                        const SchedulingResult& want) {
+  ASSERT_EQ(got.schedule.assignments.size(), want.schedule.assignments.size());
+  for (size_t i = 0; i < got.schedule.assignments.size(); ++i) {
+    EXPECT_EQ(got.schedule.assignments[i].start,
+              want.schedule.assignments[i].start)
+        << "offer " << i;
+    EXPECT_EQ(got.schedule.assignments[i].fill,
+              want.schedule.assignments[i].fill)
+        << "offer " << i;
+  }
+  EXPECT_EQ(got.cost.imbalance_eur, want.cost.imbalance_eur);
+  EXPECT_EQ(got.cost.flex_activation_eur, want.cost.flex_activation_eur);
+  EXPECT_EQ(got.cost.market_eur, want.cost.market_eur);
+  EXPECT_EQ(got.iterations, want.iterations);
+  ASSERT_EQ(got.trace.size(), want.trace.size());
+  for (size_t i = 0; i < got.trace.size(); ++i) {
+    EXPECT_EQ(got.trace[i].best_cost_eur, want.trace[i].best_cost_eur)
+        << "trace point " << i;
+  }
+}
+
+SchedulerOptions IterBudget(int iters, uint64_t seed) {
+  SchedulerOptions opt;
+  opt.time_budget_s = 0.0;
+  opt.max_iterations = iters;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(SchedulerBitIdentityTest, GreedyMatchesPreKernelImplementation) {
+  for (int n : {3, 25, 60}) {
+    ScenarioConfig cfg;
+    cfg.num_offers = n;
+    cfg.seed = 40 + static_cast<uint64_t>(n);
+    SchedulingProblem problem = MakeScenario(cfg);
+    SchedulerOptions options = IterBudget(4 * n, 7);
+    GreedyScheduler greedy;
+    auto got = greedy.Run(problem, options);
+    ASSERT_TRUE(got.ok());
+    SchedulingResult want =
+        reference::Greedy(problem, options, GreedyScheduler::Config());
+    ExpectBitIdentical(*got, want);
+  }
+}
+
+TEST(SchedulerBitIdentityTest, EvolutionaryMatchesPreKernelImplementation) {
+  for (int n : {4, 30}) {
+    ScenarioConfig cfg;
+    cfg.num_offers = n;
+    cfg.seed = 50 + static_cast<uint64_t>(n);
+    cfg.production_fraction = 0.4;
+    SchedulingProblem problem = MakeScenario(cfg);
+    SchedulerOptions options = IterBudget(25, 13);
+    EvolutionaryScheduler ea;
+    auto got = ea.Run(problem, options);
+    ASSERT_TRUE(got.ok());
+    SchedulingResult want = reference::Evolutionary(
+        problem, options, EvolutionaryScheduler::Config());
+    ExpectBitIdentical(*got, want);
+  }
+}
+
+TEST(SchedulerBitIdentityTest, ExhaustiveMatchesPreKernelImplementation) {
+  ScenarioConfig cfg;
+  cfg.num_offers = 5;
+  cfg.max_time_flexibility = 4;
+  cfg.seed = 13;
+  SchedulingProblem problem = MakeScenario(cfg);
+  ExhaustiveScheduler exhaustive;
+  SchedulerOptions options;
+  options.time_budget_s = 60.0;
+  auto got = exhaustive.Run(problem, options);
+  ASSERT_TRUE(got.ok());
+  SchedulingResult want = reference::Exhaustive(problem);
+  ExpectBitIdentical(*got, want);
+}
+
+TEST(SchedulerBitIdentityTest, HybridMatchesPreKernelImplementation) {
+  ScenarioConfig cfg;
+  cfg.num_offers = 20;
+  cfg.seed = 91;
+  SchedulingProblem problem = MakeScenario(cfg);
+  SchedulerOptions options = IterBudget(60, 3);
+  HybridScheduler hybrid;
+  auto got = hybrid.Run(problem, options);
+  ASSERT_TRUE(got.ok());
+  SchedulingResult want =
+      reference::Hybrid(problem, options, HybridScheduler::Config());
+  ExpectBitIdentical(*got, want);
+}
+
+TEST(SchedulerBitIdentityTest, GreedySkipsInfeasibleFillCandidates) {
+  // The pre-kernel scan rejected out-of-[0,1] fills per TryMove call; the
+  // kernel scan filters them up front. Outcomes must match a config that
+  // never listed them.
+  ScenarioConfig cfg;
+  cfg.num_offers = 15;
+  cfg.seed = 33;
+  SchedulingProblem problem = MakeScenario(cfg);
+  SchedulerOptions options = IterBudget(45, 5);
+
+  GreedyScheduler::Config bad;
+  bad.fill_candidates = {-0.5, 0.0, 0.5, 1.0, 1.5};
+  GreedyScheduler::Config good;
+  good.fill_candidates = {0.0, 0.5, 1.0};
+  auto bad_run = GreedyScheduler(bad).Run(problem, options);
+  auto good_run = GreedyScheduler(good).Run(problem, options);
+  ASSERT_TRUE(bad_run.ok());
+  ASSERT_TRUE(good_run.ok());
+  ExpectBitIdentical(*bad_run, *good_run);
+}
+
+TEST(SchedulerBitIdentityTest, GreedyZeroStartCandidatesMatchesReference) {
+  // max_start_candidates <= 0 yields no candidates (offers are only ever
+  // repositioned by restarts), exactly like the pre-kernel generator.
+  ScenarioConfig cfg;
+  cfg.num_offers = 12;
+  cfg.seed = 55;
+  SchedulingProblem problem = MakeScenario(cfg);
+  SchedulerOptions options = IterBudget(36, 9);
+  GreedyScheduler::Config config;
+  config.max_start_candidates = 0;
+  auto got = GreedyScheduler(config).Run(problem, options);
+  ASSERT_TRUE(got.ok());
+  SchedulingResult want = reference::Greedy(problem, options, config);
+  ExpectBitIdentical(*got, want);
+}
+
+TEST(SchedulerBitIdentityTest, GreedyHandlesSingleStartCandidateCap) {
+  // max_start_candidates <= 1 used to divide by zero in the candidate
+  // spacing; it now means "earliest start only".
+  ScenarioConfig cfg;
+  cfg.num_offers = 10;
+  cfg.seed = 44;
+  SchedulingProblem problem = MakeScenario(cfg);
+  GreedyScheduler::Config config;
+  config.max_start_candidates = 1;
+  auto run = GreedyScheduler(config).Run(problem, IterBudget(20, 3));
+  ASSERT_TRUE(run.ok());
+  for (size_t i = 0; i < run->schedule.assignments.size(); ++i) {
+    EXPECT_EQ(run->schedule.assignments[i].start,
+              problem.offers[i].earliest_start);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property 3: the steady-state kernel loop is allocation-free.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulingKernelAllocationTest, SteadyStateLoopDoesNotAllocate) {
+  ScenarioConfig cfg;
+  cfg.num_offers = 40;
+  cfg.seed = 4;
+  SchedulingProblem problem = MakeScenario(cfg);
+  Rng rng(5);
+
+  CompiledProblem cp(problem);
+  ScheduleWorkspace ws(cp);
+  ScheduleWorkspace pool(cp);
+  Schedule child = RandomScheduleFor(problem, &rng);
+
+  // Pre-draw the move sequence so the measured section runs only kernel
+  // code (the Rng itself never allocates, but keep the section pure).
+  struct Move {
+    size_t index;
+    TimeSlice start;
+    double fill;
+  };
+  std::vector<Move> moves;
+  moves.reserve(512);
+  for (int i = 0; i < 512; ++i) {
+    size_t index = rng.Index(problem.offers.size());
+    OfferAssignment a = RandomAssignment(problem.offers[index], &rng);
+    moves.push_back({index, a.start, a.fill});
+  }
+
+  double sink = 0.0;
+  const int64_t before = g_heap_allocations.load();
+  // Setup above must have gone through the counting allocator, otherwise
+  // the zero-delta assertion below would be vacuous.
+  ASSERT_GT(before, 0);
+  for (const Move& m : moves) {
+    sink += ws.TryMove(cp, m.index, m.start, m.fill);
+    ws.ApplyMove(cp, m.index, m.start, m.fill);
+    auto total = pool.EvaluateInto(cp, child);
+    sink += total.ok() ? *total : 0.0;
+  }
+  sink += ws.Cost(cp).total();
+  const int64_t after = g_heap_allocations.load();
+  EXPECT_EQ(after, before) << "steady-state kernel loop allocated";
+  EXPECT_TRUE(std::isfinite(sink));
+}
+
+}  // namespace
+}  // namespace mirabel::scheduling
