@@ -1,21 +1,30 @@
-// Shard-scaling trajectory of the ShardedEdmsRuntime: the edms_engine bench
-// workload (batch intake + tick-driven gate closures) swept over shards in
-// {1, 2, 4, 8}, emitting BENCH_edms_runtime.json next to the single-engine
-// BENCH_edms_engine.json trajectory.
+// Runtime trajectories of the ShardedEdmsRuntime, emitting
+// BENCH_edms_runtime.json next to the single-engine BENCH_edms_engine.json:
 //
-// Methodology: every shard count runs the identical workload and engine
-// template with a fixed per-gate scheduling budget (iteration-capped for
-// determinism — the anytime greedy scheduler consumes whatever budget it is
-// given, exactly like the seed's wall-clock budgets). The runtime divides
-// that budget across its shards (divide_scheduler_budget), so the total
-// scheduling effort per gate is held constant and the comparison is
-// quality-normalized — the imbalance-reduction metric below stays flat
-// across the sweep while throughput rises. Shards run concurrently on their
-// worker threads, so the curve depends on the measured machine; the config
-// block records hardware_concurrency. Even single-core runs scale (~1.5x at
-// 4 shards): partitioned gates stop burning the full budget re-polishing
-// the tiny late-gate problems. Multi-core runs add near-linear overlap of
-// the per-shard scheduling phases on top.
+//  1. Shard scaling (results "shards/N"): the edms_engine bench workload
+//     (batch intake + tick-driven gate closures) swept over shards in
+//     {1, 2, 4, 8}, fork-join intake. Every shard count runs the identical
+//     workload and engine template with a fixed, iteration-capped per-gate
+//     scheduling budget that the runtime divides across shards, so the
+//     total scheduling effort per gate is held constant and the comparison
+//     is quality-normalized — the imbalance-reduction metric stays flat
+//     across the sweep while throughput rises.
+//
+//  2. Streaming intake (results "streaming/{forkjoin,pooled}"): the same
+//     tick-paced workload at 4 shards, submitted batch-by-batch. The
+//     fork-join baseline blocks on every SubmitOffers before advancing the
+//     gate; the pooled configuration streams the batches from a producer
+//     thread into the MPSC intake queues while the gates run, so intake
+//     overlaps scheduling.
+//
+//  3. Skewed load (results "skewed/{forkjoin,pooled}"): the tick-paced
+//     workload with every owner routed to shard 0 of 4. The pooled
+//     configuration keeps intake streaming against shard 0's long gates and
+//     lets idle workers steal the loaded strand (steals are reported).
+//
+// The streaming/skewed overlap wins require >= 2 hardware threads (the
+// config block records hardware_concurrency); on a single-core machine the
+// pooled and fork-join configurations converge. See docs/benchmarks.md.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -32,36 +41,41 @@ using namespace mirabel;  // NOLINT: bench brevity
 
 namespace {
 
+constexpr int kGatePeriod = 16;
+
 struct RunResult {
   int64_t offers = 0;
   size_t accepted = 0;
   double intake_s = 0.0;
   double loop_s = 0.0;
+  double total_s = 0.0;
   int64_t macros = 0;
   int64_t micro_schedules = 0;
   int64_t expired = 0;
   int64_t scheduling_runs = 0;
   int64_t submit_batches = 0;
+  uint64_t steals = 0;
   double imbalance_reduction_kwh = 0.0;
   double schedule_cost_eur = 0.0;
 };
 
-RunResult RunWorkload(size_t num_shards, int64_t count, int iterations,
-                      int days) {
+std::vector<flexoffer::FlexOffer> MakeWorkload(int64_t count, int days) {
   datagen::FlexOfferWorkloadConfig workload;
   workload.count = count;
   workload.seed = 1312;
   workload.horizon_days = days;
   workload.num_owners = std::max<int64_t>(count / 16, 64);
-  std::vector<flexoffer::FlexOffer> offers =
-      datagen::GenerateFlexOffers(workload);
+  return datagen::GenerateFlexOffers(workload);
+}
 
+edms::ShardedEdmsRuntime::Config RuntimeConfig(size_t num_shards,
+                                               int iterations, int days) {
   edms::ShardedEdmsRuntime::Config config;
   config.num_shards = num_shards;
   config.engine.actor = 100;
   config.engine.negotiate = true;
   config.engine.aggregation.params = aggregation::AggregationParams::P2();
-  config.engine.gate_period = 16;
+  config.engine.gate_period = kGatePeriod;
   config.engine.horizon = 2 * flexoffer::kSlicesPerDay;
   // Iteration-capped anytime scheduling: the runtime divides the per-gate
   // cap across shards, holding total effort constant over the whole sweep.
@@ -71,7 +85,39 @@ RunResult RunWorkload(size_t num_shards, int64_t count, int iterations,
   config.engine.baseline = std::make_shared<edms::VectorBaselineProvider>(
       std::vector<double>(
           static_cast<size_t>((days + 2) * flexoffer::kSlicesPerDay), 8.0));
-  edms::ShardedEdmsRuntime runtime(config);
+  return config;
+}
+
+void CountEvents(edms::ShardedEdmsRuntime& runtime, RunResult* r) {
+  for (const edms::Event& event : runtime.PollEvents()) {
+    if (std::get_if<edms::MacroPublished>(&event) != nullptr) ++r->macros;
+    if (std::get_if<edms::ScheduleAssigned>(&event) != nullptr) {
+      ++r->micro_schedules;
+    }
+    if (std::get_if<edms::OfferExpired>(&event) != nullptr) ++r->expired;
+  }
+}
+
+void FinishResult(edms::ShardedEdmsRuntime& runtime, RunResult* r) {
+  edms::EngineStats stats = runtime.stats();
+  r->scheduling_runs = stats.scheduling_runs;
+  r->submit_batches = stats.submit_batches;
+  // Comparable quality metric across shard counts: each shard's problem
+  // accounts the shared baseline once, so absolute imbalance totals scale
+  // with the shard count — the achieved *reduction* does not.
+  r->imbalance_reduction_kwh =
+      stats.imbalance_before_kwh - stats.imbalance_after_kwh;
+  r->schedule_cost_eur = stats.schedule_cost_eur;
+  r->accepted = static_cast<size_t>(stats.offers_accepted);
+  if (runtime.pool() != nullptr) r->steals = runtime.pool()->steals();
+}
+
+/// Shard-scaling leg: one up-front batch intake, then the tick loop —
+/// unchanged from the pre-pool bench so the trajectory stays comparable.
+RunResult RunBatchWorkload(size_t num_shards, int64_t count, int iterations,
+                           int days) {
+  std::vector<flexoffer::FlexOffer> offers = MakeWorkload(count, days);
+  edms::ShardedEdmsRuntime runtime(RuntimeConfig(num_shards, iterations, days));
 
   RunResult r;
   r.offers = count;
@@ -83,36 +129,126 @@ RunResult RunWorkload(size_t num_shards, int64_t count, int iterations,
     std::exit(1);
   }
   r.intake_s = intake_watch.ElapsedSeconds();
-  r.accepted = *accepted;
 
   Stopwatch loop_watch;
   const flexoffer::TimeSlice end =
       static_cast<flexoffer::TimeSlice>(days + 1) * flexoffer::kSlicesPerDay;
-  for (flexoffer::TimeSlice now = 0; now < end;
-       now += config.engine.gate_period) {
+  for (flexoffer::TimeSlice now = 0; now < end; now += kGatePeriod) {
     if (Status st = runtime.Advance(now); !st.ok()) {
       std::cerr << "gate failed: " << st << "\n";
       std::exit(1);
     }
-    for (const edms::Event& event : runtime.PollEvents()) {
-      if (std::get_if<edms::MacroPublished>(&event) != nullptr) ++r.macros;
-      if (std::get_if<edms::ScheduleAssigned>(&event) != nullptr) {
-        ++r.micro_schedules;
-      }
-      if (std::get_if<edms::OfferExpired>(&event) != nullptr) ++r.expired;
-    }
+    CountEvents(runtime, &r);
   }
   r.loop_s = loop_watch.ElapsedSeconds();
-  edms::EngineStats stats = runtime.stats();
-  r.scheduling_runs = stats.scheduling_runs;
-  r.submit_batches = stats.submit_batches;
-  // Comparable quality metric across shard counts: each shard's problem
-  // accounts the shared baseline once, so absolute imbalance totals scale
-  // with the shard count — the achieved *reduction* does not.
-  r.imbalance_reduction_kwh =
-      stats.imbalance_before_kwh - stats.imbalance_after_kwh;
-  r.schedule_cost_eur = stats.schedule_cost_eur;
+  r.total_s = r.intake_s + r.loop_s;
+  FinishResult(runtime, &r);
   return r;
+}
+
+/// Streaming/skew legs: the workload arrives as one batch per tick. The
+/// fork-join baseline submits batch k (blocking) right before gate k; the
+/// pooled configuration streams the same batches from a producer thread
+/// while the gate loop runs, overlapping intake with scheduling.
+RunResult RunTickWorkload(size_t num_shards, int64_t count, int iterations,
+                          int days, bool streaming, bool skewed) {
+  std::vector<flexoffer::FlexOffer> offers = MakeWorkload(count, days);
+  edms::ShardedEdmsRuntime::Config config =
+      RuntimeConfig(num_shards, iterations, days);
+  config.streaming_intake = streaming;
+  if (skewed) {
+    config.router = [](flexoffer::ActorId, size_t) -> size_t { return 0; };
+  }
+  edms::ShardedEdmsRuntime runtime(config);
+
+  RunResult r;
+  r.offers = count;
+  const flexoffer::TimeSlice end =
+      static_cast<flexoffer::TimeSlice>(days + 1) * flexoffer::kSlicesPerDay;
+  const size_t num_ticks = static_cast<size_t>(end / kGatePeriod);
+  const size_t batch = (offers.size() + num_ticks - 1) / num_ticks;
+
+  auto submit_batch = [&](size_t tick) {
+    size_t begin = tick * batch;
+    if (begin >= offers.size()) return;
+    size_t len = std::min(batch, offers.size() - begin);
+    auto span = std::span<const flexoffer::FlexOffer>(offers.data() + begin,
+                                                      len);
+    auto submitted = runtime.SubmitOffers(
+        span, static_cast<flexoffer::TimeSlice>(tick) * kGatePeriod);
+    if (!submitted.ok()) {
+      std::cerr << "intake failed: " << submitted.status() << "\n";
+      std::exit(1);
+    }
+  };
+
+  Stopwatch total_watch;
+  std::thread producer;
+  if (streaming) {
+    // Free-running producer: batches stream into the MPSC intake queues
+    // while the gate loop below advances concurrently.
+    producer = std::thread([&] {
+      for (size_t tick = 0; tick < num_ticks; ++tick) submit_batch(tick);
+    });
+  }
+  for (size_t tick = 0; tick < num_ticks; ++tick) {
+    if (!streaming) submit_batch(tick);
+    flexoffer::TimeSlice now =
+        static_cast<flexoffer::TimeSlice>(tick) * kGatePeriod;
+    if (Status st = runtime.Advance(now); !st.ok()) {
+      std::cerr << "gate failed: " << st << "\n";
+      std::exit(1);
+    }
+    CountEvents(runtime, &r);
+  }
+  if (producer.joinable()) producer.join();
+  if (Status st = runtime.FlushIntake(); !st.ok()) {
+    std::cerr << "intake flush failed: " << st << "\n";
+    std::exit(1);
+  }
+  // One wind-down gate absorbs batches that streamed in behind the loop's
+  // last gate (both modes run it, keeping the gate count identical).
+  if (Status st = runtime.Advance(end); !st.ok()) {
+    std::cerr << "gate failed: " << st << "\n";
+    std::exit(1);
+  }
+  CountEvents(runtime, &r);
+  r.total_s = total_watch.ElapsedSeconds();
+  r.loop_s = r.total_s;
+  FinishResult(runtime, &r);
+  return r;
+}
+
+void Report(bench::BenchReport& report, const std::string& name,
+            const RunResult& r, double baseline_throughput) {
+  double throughput =
+      static_cast<double>(r.offers) / std::max(1e-9, r.total_s);
+  double speedup =
+      baseline_throughput > 0.0 ? throughput / baseline_throughput : 0.0;
+  report.AddResult(name)
+      .Wall(r.total_s)
+      .Items(static_cast<double>(r.offers))
+      .Metric("intake_s", r.intake_s)
+      .Metric("control_loop_s", r.loop_s)
+      .Metric("speedup_vs_baseline", speedup)
+      .Metric("accepted", static_cast<double>(r.accepted))
+      .Metric("macro_offers", static_cast<double>(r.macros))
+      .Metric("micro_schedules", static_cast<double>(r.micro_schedules))
+      .Metric("expired", static_cast<double>(r.expired))
+      .Metric("scheduling_runs", static_cast<double>(r.scheduling_runs))
+      .Metric("submit_batches", static_cast<double>(r.submit_batches))
+      .Metric("pool_steals", static_cast<double>(r.steals))
+      .Metric("imbalance_reduction_kwh", r.imbalance_reduction_kwh)
+      .Metric("schedule_cost_eur", r.schedule_cost_eur);
+  std::printf(
+      "%-18s total %.2fs -> %.0f offers/s (%.2fx; %lld macros, "
+      "%lld micro schedules, %lld runs, %llu steals, "
+      "imbalance reduced %.0f kWh)\n",
+      name.c_str(), r.total_s, throughput, speedup,
+      static_cast<long long>(r.macros),
+      static_cast<long long>(r.micro_schedules),
+      static_cast<long long>(r.scheduling_runs),
+      static_cast<unsigned long long>(r.steals), r.imbalance_reduction_kwh);
 }
 
 }  // namespace
@@ -127,7 +263,7 @@ int main() {
   bench::BenchReport report("edms_runtime");
   report.AddConfig("offers", count);
   report.AddConfig("days", static_cast<int64_t>(days));
-  report.AddConfig("gate_period", static_cast<int64_t>(16));
+  report.AddConfig("gate_period", static_cast<int64_t>(kGatePeriod));
   report.AddConfig("scheduler", std::string("GreedySearch"));
   report.AddConfig("scheduler_iterations_per_gate",
                    static_cast<int64_t>(iterations));
@@ -135,38 +271,39 @@ int main() {
                    static_cast<int64_t>(std::thread::hardware_concurrency()));
   report.AddConfig("small_mode", small);
 
+  // Leg 1: shard scaling, fork-join intake.
   double base_throughput = 0.0;
   for (size_t shards : shard_counts) {
-    RunResult r = RunWorkload(shards, count, iterations, days);
-    double total_s = r.intake_s + r.loop_s;
-    double throughput = static_cast<double>(r.offers) / std::max(1e-9, total_s);
+    RunResult r = RunBatchWorkload(shards, count, iterations, days);
+    double throughput =
+        static_cast<double>(r.offers) / std::max(1e-9, r.total_s);
     if (shards == 1) base_throughput = throughput;
-    double speedup = base_throughput > 0.0 ? throughput / base_throughput : 0.0;
-    report.AddResult("shards/" + std::to_string(shards))
-        .Wall(total_s)
-        .Items(static_cast<double>(r.offers))
-        .Metric("shards", static_cast<double>(shards))
-        .Metric("intake_s", r.intake_s)
-        .Metric("control_loop_s", r.loop_s)
-        .Metric("speedup_vs_1shard", speedup)
-        .Metric("accepted", static_cast<double>(r.accepted))
-        .Metric("macro_offers", static_cast<double>(r.macros))
-        .Metric("micro_schedules", static_cast<double>(r.micro_schedules))
-        .Metric("expired", static_cast<double>(r.expired))
-        .Metric("scheduling_runs", static_cast<double>(r.scheduling_runs))
-        .Metric("submit_batches", static_cast<double>(r.submit_batches))
-        .Metric("imbalance_reduction_kwh", r.imbalance_reduction_kwh)
-        .Metric("schedule_cost_eur", r.schedule_cost_eur);
-    std::printf(
-        "%zu shard(s): intake %.2fs, loop %.2fs -> %.0f offers/s "
-        "(%.2fx vs 1 shard; %lld macros, %lld micro schedules, %lld runs, "
-        "imbalance reduced %.0f kWh, cost %.0f EUR)\n",
-        shards, r.intake_s, r.loop_s, throughput, speedup,
-        static_cast<long long>(r.macros),
-        static_cast<long long>(r.micro_schedules),
-        static_cast<long long>(r.scheduling_runs), r.imbalance_reduction_kwh,
-        r.schedule_cost_eur);
+    Report(report, "shards/" + std::to_string(shards), r, base_throughput);
   }
+
+  // Leg 2: streaming intake vs fork-join, 4 shards, tick-paced batches.
+  RunResult stream_base = RunTickWorkload(4, count, iterations, days,
+                                          /*streaming=*/false,
+                                          /*skewed=*/false);
+  double stream_base_tp = static_cast<double>(stream_base.offers) /
+                          std::max(1e-9, stream_base.total_s);
+  Report(report, "streaming/forkjoin", stream_base, stream_base_tp);
+  RunResult stream_pool = RunTickWorkload(4, count, iterations, days,
+                                          /*streaming=*/true,
+                                          /*skewed=*/false);
+  Report(report, "streaming/pooled", stream_pool, stream_base_tp);
+
+  // Leg 3: skewed load (all owners on shard 0 of 4).
+  RunResult skew_base = RunTickWorkload(4, count, iterations, days,
+                                        /*streaming=*/false,
+                                        /*skewed=*/true);
+  double skew_base_tp = static_cast<double>(skew_base.offers) /
+                        std::max(1e-9, skew_base.total_s);
+  Report(report, "skewed/forkjoin", skew_base, skew_base_tp);
+  RunResult skew_pool = RunTickWorkload(4, count, iterations, days,
+                                        /*streaming=*/true,
+                                        /*skewed=*/true);
+  Report(report, "skewed/pooled", skew_pool, skew_base_tp);
 
   std::string path = report.WriteFile();
   if (path.empty()) {

@@ -1,5 +1,6 @@
 #include "edms/baseline_provider.h"
 
+#include <mutex>
 #include <string>
 
 namespace mirabel::edms {
@@ -37,32 +38,51 @@ Result<std::vector<double>> ForecastBaselineProvider::Baseline(TimeSlice start,
         "baseline requested for slice " + std::to_string(start) +
         " before the forecast origin " + std::to_string(origin_));
   }
-  // Serializes concurrent gate closures of runtime shards; the forecasters
-  // are only ever driven from under this lock.
-  std::lock_guard<std::mutex> lock(mu_);
   size_t needed = static_cast<size_t>(start - origin_) +
                   static_cast<size_t>(length);
-  if (needed > cache_.size()) {
-    // Re-forecast from the origin with headroom so steadily advancing gates
-    // trigger only O(log) rebuilds.
-    int horizon = static_cast<int>(needed + needed / 2);
-    MIRABEL_ASSIGN_OR_RETURN(std::vector<double> demand,
-                             demand_->Forecast(horizon));
-    std::vector<double> supply;
-    if (supply_ != nullptr) {
-      MIRABEL_ASSIGN_OR_RETURN(supply, supply_->Forecast(horizon));
-    }
-    cache_.resize(static_cast<size_t>(horizon));
-    for (size_t s = 0; s < cache_.size(); ++s) {
-      double net = demand[s];
-      if (!supply.empty()) net -= supply[s];
-      cache_[s] = scale_ * net;
+  size_t offset = static_cast<size_t>(start - origin_);
+
+  // Hot path: concurrent shard gates read the warm cache under a shared
+  // lock and never serialize on each other.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (needed <= cache_.size()) {
+      return std::vector<double>(
+          cache_.begin() + static_cast<ptrdiff_t>(offset),
+          cache_.begin() + static_cast<ptrdiff_t>(offset + length));
     }
   }
-  size_t offset = static_cast<size_t>(start - origin_);
+
+  // Miss: extend under the exclusive lock (the forecasters are only ever
+  // driven from under it), re-checking because a racing gate may have
+  // already extended past `needed`.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (needed > cache_.size()) {
+    MIRABEL_RETURN_IF_ERROR(ExtendCache(needed));
+  }
   return std::vector<double>(cache_.begin() + static_cast<ptrdiff_t>(offset),
                              cache_.begin() +
                                  static_cast<ptrdiff_t>(offset + length));
+}
+
+Status ForecastBaselineProvider::ExtendCache(size_t needed) {
+  // Re-forecast from the origin with headroom so steadily advancing gates
+  // trigger only O(log) rebuilds.
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  int horizon = static_cast<int>(needed + needed / 2);
+  MIRABEL_ASSIGN_OR_RETURN(std::vector<double> demand,
+                           demand_->Forecast(horizon));
+  std::vector<double> supply;
+  if (supply_ != nullptr) {
+    MIRABEL_ASSIGN_OR_RETURN(supply, supply_->Forecast(horizon));
+  }
+  cache_.resize(static_cast<size_t>(horizon));
+  for (size_t s = 0; s < cache_.size(); ++s) {
+    double net = demand[s];
+    if (!supply.empty()) net -= supply[s];
+    cache_[s] = scale_ * net;
+  }
+  return Status::OK();
 }
 
 }  // namespace mirabel::edms

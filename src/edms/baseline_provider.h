@@ -1,8 +1,10 @@
 #ifndef MIRABEL_EDMS_BASELINE_PROVIDER_H_
 #define MIRABEL_EDMS_BASELINE_PROVIDER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -66,6 +68,13 @@ class VectorBaselineProvider : public BaselineProvider {
 /// The net curve is forecast lazily and cached: a request past the cached
 /// span re-forecasts from the origin once, so per-gate cost stays O(horizon)
 /// instead of growing with the distance from the origin.
+///
+/// Threading: read-mostly. In steady state every shard gate reads from the
+/// warm cache under a shared lock, so concurrent gate closures of a
+/// ShardedEdmsRuntime (or several runtimes on one pool) do not serialize on
+/// this provider; only a cache miss takes the exclusive lock to extend the
+/// curve. rebuilds() counts those misses (regression-tested: concurrent
+/// readers over a warm span must not trigger re-forecasts).
 class ForecastBaselineProvider : public BaselineProvider {
  public:
   /// `demand` (required) and `supply` (may be nullptr) must be trained and
@@ -81,15 +90,24 @@ class ForecastBaselineProvider : public BaselineProvider {
   Result<std::vector<double>> Baseline(flexoffer::TimeSlice start,
                                        int length) override;
 
+  /// Number of cache (re)builds so far — i.e. how often a request missed
+  /// the cached span and ran the forecasters under the exclusive lock.
+  int64_t rebuilds() const { return rebuilds_.load(std::memory_order_relaxed); }
+
  private:
+  /// Exclusive-lock path: extends cache_ to cover `needed` slices.
+  Status ExtendCache(size_t needed);
+
   forecasting::Forecaster* demand_;
   forecasting::Forecaster* supply_;
   flexoffer::TimeSlice origin_;
   double scale_;
-  /// Guards cache_ against concurrent gate closures of runtime shards.
-  std::mutex mu_;
+  /// Guards cache_. Warm reads (the shard-gate hot path) take it shared;
+  /// only cache extensions take it exclusive.
+  std::shared_mutex mu_;
   /// Net (scaled) forecast for slices [origin_, origin_ + cache_.size()).
   std::vector<double> cache_;
+  std::atomic<int64_t> rebuilds_{0};
 };
 
 }  // namespace mirabel::edms

@@ -289,6 +289,12 @@ Status EdmsEngine::ScheduleClaimed(
   if (scheduler == nullptr) {
     return Status::Internal("scheduler factory returned nullptr");
   }
+  // One compile serves the whole gate: the scheduler run (all its restarts
+  // and, for Hybrid, both phases), the imbalance accounting and the
+  // macro-schedule export below. Validate() here preserves the check the
+  // schedulers' Run() entry points used to apply.
+  MIRABEL_RETURN_IF_ERROR(problem.Validate());
+  scheduling::CompiledProblem compiled(problem);
   scheduling::SchedulerOptions options;
   options.time_budget_s = config_.scheduler_budget_s;
   if (config_.scale_budget_with_problem_size) {
@@ -300,7 +306,7 @@ Status EdmsEngine::ScheduleClaimed(
   options.max_iterations = config_.scheduler_max_iterations;
   options.seed = config_.seed + static_cast<uint64_t>(now);
   MIRABEL_ASSIGN_OR_RETURN(scheduling::SchedulingResult run,
-                           scheduler->Run(problem, options));
+                           scheduler->RunCompiled(compiled, options));
   ++stats_.scheduling_runs;
   stats_.schedule_cost_eur += run.cost.total();
   for (const auto& agg : macros) {
@@ -311,9 +317,8 @@ Status EdmsEngine::ScheduleClaimed(
   // Imbalance accounting: "before" is the unmanaged placement — every offer
   // at its fallback position (earliest start, full energy), which is exactly
   // the scheduling kernel's default schedule — versus the optimised
-  // schedule. One compiled problem and one workspace serve both sweeps and
-  // the macro-schedule export (the pre-kernel path built two evaluators).
-  scheduling::CompiledProblem compiled(problem);
+  // schedule. The gate's shared compiled problem and one workspace serve
+  // both sweeps and the macro-schedule export.
   scheduling::ScheduleWorkspace workspace(compiled);
   for (size_t s = 0; s < h; ++s) {
     stats_.imbalance_before_kwh += std::fabs(workspace.net_kwh()[s]);

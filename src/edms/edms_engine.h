@@ -75,6 +75,16 @@ EngineStats operator+(EngineStats lhs, const EngineStats& rhs);
 /// CompleteMacroSchedule() ("the process is essentially repeated at a higher
 /// level", paper §2). All lifecycle bookkeeping runs through an explicit
 /// OfferLifecycle state machine; all side effects surface as events.
+///
+/// Thread safety: the engine is single-threaded by design — every mutating
+/// call (SubmitOffers, Advance, CompleteMacroSchedule, RecordExecution,
+/// RecordMeasurement) must come from one thread at a time, with exactly one
+/// exception: PollEvents() may run concurrently from one other thread (the
+/// engine is the producer of its SPSC EventQueue, the poller the consumer).
+/// ShardedEdmsRuntime relies on precisely this split: it serializes each
+/// shard engine's mutations on a WorkerPool::Strand and drains events from
+/// the control thread. The const accessors (stats(), lifecycle(), store(),
+/// pipeline()) are safe only while no mutating call is in flight.
 class EdmsEngine {
  public:
   struct Config {

@@ -1,0 +1,107 @@
+#ifndef MIRABEL_EDMS_INTAKE_QUEUE_H_
+#define MIRABEL_EDMS_INTAKE_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "flexoffer/flex_offer.h"
+#include "flexoffer/time_slice.h"
+
+namespace mirabel::edms {
+
+/// One routed intake batch: the offers bound for one shard, stamped with the
+/// submission slice the caller passed to SubmitOffers().
+struct IntakeBatch {
+  std::vector<flexoffer::FlexOffer> offers;
+  flexoffer::TimeSlice now = 0;
+};
+
+/// Unbounded lock-free multi-producer / single-consumer intake queue — the
+/// offer-side counterpart of the SPSC EventQueue.
+///
+/// This is what makes streaming intake possible: any number of submitter
+/// threads push routed batches into a shard's queue without blocking, while
+/// the shard's strand task (the single consumer, running on a WorkerPool
+/// worker) drains them into the engine — even while that same shard's gate
+/// is advancing. Intake is never gated on a scheduling pass.
+///
+/// The structure is a Vyukov-style intrusive linked queue: producers link
+/// nodes with one atomic exchange on the tail (wait-free for each producer);
+/// the consumer walks the next pointers from the head stub. A producer that
+/// has exchanged the tail but not yet published its `next` pointer makes
+/// later nodes momentarily unreachable; the runtime schedules a drain task
+/// after every push, so such batches are picked up by the next drain.
+///
+/// Contract: any thread may call Push(); at most one thread calls
+/// Pop()/Drain() at any moment.
+class IntakeQueue {
+ public:
+  IntakeQueue() {
+    Node* stub = new Node();
+    head_ = stub;
+    tail_.store(stub, std::memory_order_relaxed);
+  }
+
+  ~IntakeQueue() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  IntakeQueue(const IntakeQueue&) = delete;
+  IntakeQueue& operator=(const IntakeQueue&) = delete;
+
+  /// Producer side: appends one batch. Never blocks; safe from any number
+  /// of threads concurrently.
+  void Push(IntakeBatch batch) {
+    Node* node = new Node(std::move(batch));
+    Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    // Publishes the node (and its payload) to the consumer.
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Consumer side: moves the oldest published batch into `out`. Returns
+  /// false when no batch is reachable (empty, or a producer is mid-link).
+  bool Pop(IntakeBatch* out) {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    *out = std::move(next->batch);
+    delete head_;
+    head_ = next;  // the popped node becomes the new stub
+    return true;
+  }
+
+  /// Consumer side: pops every reachable batch into `out` (appending) and
+  /// returns how many were drained.
+  size_t Drain(std::vector<IntakeBatch>* out) {
+    size_t drained = 0;
+    IntakeBatch batch;
+    while (Pop(&batch)) {
+      out->push_back(std::move(batch));
+      ++drained;
+    }
+    return drained;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(IntakeBatch b) : batch(std::move(b)) {}
+    IntakeBatch batch;
+    std::atomic<Node*> next{nullptr};
+  };
+
+  /// Producer end; producers exchange this to link themselves.
+  std::atomic<Node*> tail_;
+  /// Consumer-owned stub; its payload is already consumed (or empty).
+  Node* head_;
+};
+
+}  // namespace mirabel::edms
+
+#endif  // MIRABEL_EDMS_INTAKE_QUEUE_H_

@@ -1,11 +1,10 @@
 #include "edms/sharded_runtime.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <deque>
-#include <mutex>
-#include <thread>
+#include <future>
 #include <utility>
+
+#include "edms/intake_queue.h"
 
 namespace mirabel::edms {
 
@@ -15,18 +14,22 @@ using flexoffer::FlexOfferId;
 using flexoffer::ScheduledFlexOffer;
 using flexoffer::TimeSlice;
 
-/// One engine partition: the engine plus its worker thread and task queue.
-/// Every mutating engine call runs on the worker, so each engine stays
-/// single-threaded; the task-queue mutex and the futures returned by Post()
-/// provide the happens-before edges that make the caller's reads between
-/// fork-join calls race-free.
+/// One engine partition. Every mutating engine call runs as a task on the
+/// shard's strand, so each engine stays effectively single-threaded; the
+/// strand's internal lock and the futures returned by Post() provide the
+/// happens-before edges that make the caller's reads between joined calls
+/// race-free. `intake` is the streaming-mode MPSC channel into the strand;
+/// `intake_error` is strand-confined (written only by strand tasks, read
+/// and cleared by the joined Advance()/FlushIntake() tasks).
 struct ShardedEdmsRuntime::Shard {
   std::unique_ptr<EdmsEngine> engine;
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::packaged_task<void()>> tasks;
-  bool stop = false;
-  std::thread worker;
+  IntakeQueue intake;
+  Status intake_error = Status::OK();
+  /// Declared last on purpose: the strand's destructor joins the shard's
+  /// pending tasks (fire-and-forget streaming drains included), and those
+  /// tasks touch every member above — so the strand must be destroyed
+  /// first, the engine and queues after.
+  std::unique_ptr<WorkerPool::Strand> strand;
 };
 
 namespace {
@@ -56,7 +59,7 @@ EdmsEngine::Config ShardEngineConfig(const ShardedEdmsRuntime::Config& config,
 }
 
 /// Waits for every posted task before returning or rethrowing: a task that
-/// threw (e.g. bad_alloc on the worker) must not unwind the caller's stack
+/// threw (e.g. bad_alloc on a worker) must not unwind the caller's stack
 /// while sibling tasks still hold references into it.
 void DrainFutures(std::vector<std::future<void>>& futures) {
   std::exception_ptr first_error;
@@ -86,70 +89,107 @@ ShardedEdmsRuntime::ShardedEdmsRuntime(const Config& config)
     : config_(config) {
   if (config_.num_shards == 0) config_.num_shards = 1;
   if (!config_.router) config_.router = OwnerModuloRouter();
+  // The plain single-shard deployment runs every call inline on the caller
+  // thread (a zero-overhead engine wrapper); strands only exist when there
+  // is a partition to fan out over, a pool to share, or streaming intake
+  // that must overlap the caller.
+  const bool needs_pool = config_.num_shards > 1 || config_.pool != nullptr ||
+                          config_.streaming_intake;
+  if (needs_pool) {
+    pool_ = config_.pool;
+    if (pool_ == nullptr) {
+      WorkerPool::Options options;
+      options.num_threads = config_.num_shards;
+      pool_ = std::make_shared<WorkerPool>(options);
+    }
+  }
   shards_.reserve(config_.num_shards);
   for (size_t i = 0; i < config_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->engine = std::make_unique<EdmsEngine>(
         ShardEngineConfig(config_, i, config_.num_shards));
-    // The single-shard deployment runs every call inline on the caller
-    // thread (a zero-overhead engine wrapper); workers only exist when
-    // there is a partition to fan out over.
-    if (config_.num_shards > 1) {
-      shard->worker =
-          std::thread(&ShardedEdmsRuntime::WorkerLoop, shard.get());
-    }
+    if (pool_ != nullptr) shard->strand = pool_->CreateStrand();
     shards_.push_back(std::move(shard));
   }
 }
 
-ShardedEdmsRuntime::~ShardedEdmsRuntime() {
-  for (auto& shard : shards_) {
-    {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      shard->stop = true;
-    }
-    shard->cv.notify_one();
+// Shard destruction joins each strand's pending tasks (streaming drains
+// included) before pool_ releases the — possibly private — pool.
+ShardedEdmsRuntime::~ShardedEdmsRuntime() = default;
+
+void ShardedEdmsRuntime::RunOnShard(size_t i, std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    fn();
+    return;
   }
-  for (auto& shard : shards_) {
-    if (shard->worker.joinable()) shard->worker.join();
+  shards_[i]->strand->Post(std::move(fn)).get();
+}
+
+void ShardedEdmsRuntime::DrainShardIntake(Shard& shard) {
+  IntakeBatch batch;
+  while (shard.intake.Pop(&batch)) {
+    Result<size_t> r = shard.engine->SubmitOffers(
+        std::span<const FlexOffer>(batch.offers), batch.now);
+    if (r.ok()) continue;
+    if (r.status().code() == StatusCode::kAlreadyExists) {
+      // The engine rejected the whole batch before any state change. A
+      // streaming producer cannot pre-check ids race-free, so duplicates
+      // are dropped here: resubmit per offer and keep the fresh ones (the
+      // same tolerance the bus adapter applies to re-sent offers).
+      for (const FlexOffer& offer : batch.offers) {
+        Status st = shard.engine->SubmitOffer(offer, batch.now);
+        if (!st.ok() && st.code() != StatusCode::kAlreadyExists &&
+            shard.intake_error.ok()) {
+          shard.intake_error = st;
+        }
+      }
+    } else if (shard.intake_error.ok()) {
+      shard.intake_error = r.status();
+    }
   }
 }
 
-void ShardedEdmsRuntime::WorkerLoop(Shard* shard) {
-  for (;;) {
-    std::packaged_task<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(shard->mu);
-      shard->cv.wait(lock,
-                     [shard] { return shard->stop || !shard->tasks.empty(); });
-      if (shard->tasks.empty()) return;  // stop requested, queue drained
-      task = std::move(shard->tasks.front());
-      shard->tasks.pop_front();
+void ShardedEdmsRuntime::ScheduleIntakeDrain(size_t i) {
+  Shard* shard = shards_[i].get();
+  // Fire-and-forget: outcomes flow through the event stream and deferred
+  // errors through intake_error, so the future is dropped deliberately —
+  // which is also why the task must not leak exceptions into it.
+  (void)shard->strand->Post([this, shard] {
+    try {
+      DrainShardIntake(*shard);
+    } catch (const std::exception& e) {
+      if (shard->intake_error.ok()) {
+        shard->intake_error =
+            Status::Internal(std::string("intake drain threw: ") + e.what());
+      }
+    } catch (...) {
+      if (shard->intake_error.ok()) {
+        shard->intake_error = Status::Internal("intake drain threw");
+      }
     }
-    task();
-  }
-}
-
-std::future<void> ShardedEdmsRuntime::Post(size_t i,
-                                           std::function<void()> fn) {
-  Shard& shard = *shards_[i];
-  std::packaged_task<void()> task(std::move(fn));
-  std::future<void> future = task.get_future();
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.tasks.push_back(std::move(task));
-  }
-  shard.cv.notify_one();
-  return future;
+  });
 }
 
 Result<size_t> ShardedEdmsRuntime::SubmitOffers(
     std::span<const FlexOffer> offers, TimeSlice now) {
   const size_t n = shards_.size();
-  if (n == 1) return shards_[0]->engine->SubmitOffers(offers, now);
+  if (pool_ == nullptr) return shards_[0]->engine->SubmitOffers(offers, now);
+
   std::vector<std::vector<FlexOffer>> buckets(n);
   for (const FlexOffer& offer : offers) {
     buckets[ShardOf(offer.owner)].push_back(offer);
+  }
+
+  if (config_.streaming_intake) {
+    // Stream: enqueue and return. The drain tasks run concurrently with
+    // whatever the strands are doing (e.g. a gate on another shard), and
+    // this path is safe from any number of producer threads.
+    for (size_t i = 0; i < n; ++i) {
+      if (buckets[i].empty()) continue;
+      shards_[i]->intake.Push({std::move(buckets[i]), now});
+      ScheduleIntakeDrain(i);
+    }
+    return offers.size();
   }
 
   std::vector<Status> statuses(n, Status::OK());
@@ -158,8 +198,8 @@ Result<size_t> ShardedEdmsRuntime::SubmitOffers(
   futures.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (buckets[i].empty()) continue;
-    futures.push_back(Post(i, [this, i, &buckets, &statuses, &accepted,
-                               now] {
+    futures.push_back(shards_[i]->strand->Post([this, i, &buckets, &statuses,
+                                                &accepted, now] {
       Result<size_t> r = shards_[i]->engine->SubmitOffers(
           std::span<const FlexOffer>(buckets[i]), now);
       if (r.ok()) {
@@ -181,13 +221,34 @@ Status ShardedEdmsRuntime::SubmitOffer(const FlexOffer& offer, TimeSlice now) {
 
 Status ShardedEdmsRuntime::Advance(TimeSlice now) {
   const size_t n = shards_.size();
-  if (n == 1) return shards_[0]->engine->Advance(now);
+  if (pool_ == nullptr) return shards_[0]->engine->Advance(now);
   std::vector<Status> statuses(n, Status::OK());
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    futures.push_back(Post(i, [this, i, &statuses, now] {
-      statuses[i] = shards_[i]->engine->Advance(now);
+    futures.push_back(shards_[i]->strand->Post([this, i, &statuses, now] {
+      Shard& shard = *shards_[i];
+      // A due gate sees every batch enqueued before this task ran; deferred
+      // streaming-intake errors outrank gate errors (they happened first).
+      DrainShardIntake(shard);
+      Status st = std::exchange(shard.intake_error, Status::OK());
+      statuses[i] = st.ok() ? shard.engine->Advance(now) : std::move(st);
+    }));
+  }
+  return JoinAll(futures, statuses);
+}
+
+Status ShardedEdmsRuntime::FlushIntake() {
+  if (pool_ == nullptr || !config_.streaming_intake) return Status::OK();
+  const size_t n = shards_.size();
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(shards_[i]->strand->Post([this, i, &statuses] {
+      Shard& shard = *shards_[i];
+      DrainShardIntake(shard);
+      statuses[i] = std::exchange(shard.intake_error, Status::OK());
     }));
   }
   return JoinAll(futures, statuses);
@@ -195,16 +256,28 @@ Status ShardedEdmsRuntime::Advance(TimeSlice now) {
 
 Status ShardedEdmsRuntime::CompleteMacroSchedule(
     const ScheduledFlexOffer& schedule, TimeSlice now) {
+  // Fork-join mode probes inline — the strands are quiescent between joined
+  // calls — and pays one strand round trip for the owning shard only. Under
+  // streaming intake a drain may run at any moment, so the probe itself
+  // must execute on the strand, serialized with gates and drains.
   for (size_t i = 0; i < shards_.size(); ++i) {
-    if (!shards_[i]->engine->HasPendingMacro(schedule.offer_id)) continue;
-    if (shards_.size() == 1) {
-      return shards_[0]->engine->CompleteMacroSchedule(schedule, now);
+    if (!config_.streaming_intake) {
+      if (!shards_[i]->engine->HasPendingMacro(schedule.offer_id)) continue;
+      Status st = Status::OK();
+      RunOnShard(i, [this, i, &schedule, &st, now] {
+        st = shards_[i]->engine->CompleteMacroSchedule(schedule, now);
+      });
+      return st;
     }
     Status st = Status::OK();
-    Post(i, [this, i, &schedule, &st, now] {
-      st = shards_[i]->engine->CompleteMacroSchedule(schedule, now);
-    }).get();
-    return st;
+    bool found = false;
+    RunOnShard(i, [this, i, &schedule, &st, &found, now] {
+      EdmsEngine& engine = *shards_[i]->engine;
+      if (!engine.HasPendingMacro(schedule.offer_id)) return;
+      found = true;
+      st = engine.CompleteMacroSchedule(schedule, now);
+    });
+    if (found) return st;
   }
   return Status::NotFound("no shard has pending macro offer " +
                           std::to_string(schedule.offer_id));
@@ -212,16 +285,26 @@ Status ShardedEdmsRuntime::CompleteMacroSchedule(
 
 Status ShardedEdmsRuntime::RecordExecution(FlexOfferId id, TimeSlice now,
                                            double energy_kwh) {
+  // Same probe split as CompleteMacroSchedule(): inline when fork-join,
+  // on-strand when streaming.
   for (size_t i = 0; i < shards_.size(); ++i) {
-    if (!shards_[i]->engine->lifecycle().StateOf(id).ok()) continue;
-    if (shards_.size() == 1) {
-      return shards_[0]->engine->RecordExecution(id, now, energy_kwh);
+    if (!config_.streaming_intake) {
+      if (!shards_[i]->engine->lifecycle().StateOf(id).ok()) continue;
+      Status st = Status::OK();
+      RunOnShard(i, [this, i, id, now, energy_kwh, &st] {
+        st = shards_[i]->engine->RecordExecution(id, now, energy_kwh);
+      });
+      return st;
     }
     Status st = Status::OK();
-    Post(i, [this, i, id, now, energy_kwh, &st] {
-      st = shards_[i]->engine->RecordExecution(id, now, energy_kwh);
-    }).get();
-    return st;
+    bool found = false;
+    RunOnShard(i, [this, i, id, now, energy_kwh, &st, &found] {
+      EdmsEngine& engine = *shards_[i]->engine;
+      if (!engine.lifecycle().StateOf(id).ok()) return;
+      found = true;
+      st = engine.RecordExecution(id, now, energy_kwh);
+    });
+    if (found) return st;
   }
   return Status::NotFound("no shard knows offer " + std::to_string(id));
 }
@@ -229,19 +312,15 @@ Status ShardedEdmsRuntime::RecordExecution(FlexOfferId id, TimeSlice now,
 void ShardedEdmsRuntime::RecordMeasurement(ActorId actor, TimeSlice slice,
                                            double energy_kwh) {
   size_t i = ShardOf(actor);
-  if (shards_.size() == 1) {
-    shards_[0]->engine->RecordMeasurement(actor, slice, energy_kwh);
-    return;
-  }
-  Post(i, [this, i, actor, slice, energy_kwh] {
+  RunOnShard(i, [this, i, actor, slice, energy_kwh] {
     shards_[i]->engine->RecordMeasurement(actor, slice, energy_kwh);
-  }).get();
+  });
 }
 
 void ShardedEdmsRuntime::RecordMeterReadings(
     std::span<const MeterReading> readings) {
   const size_t n = shards_.size();
-  if (n == 1) {
+  if (pool_ == nullptr) {
     EdmsEngine& engine = *shards_[0]->engine;
     for (const MeterReading& r : readings) {
       engine.RecordMeasurement(r.actor, r.slice, r.energy_kwh);
@@ -259,7 +338,7 @@ void ShardedEdmsRuntime::RecordMeterReadings(
   futures.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (buckets[i].empty()) continue;
-    futures.push_back(Post(i, [this, i, &buckets] {
+    futures.push_back(shards_[i]->strand->Post([this, i, &buckets] {
       EdmsEngine& engine = *shards_[i]->engine;
       for (const MeterReading& r : buckets[i]) {
         engine.RecordMeasurement(r.actor, r.slice, r.energy_kwh);

@@ -2,38 +2,54 @@
 #define MIRABEL_EDMS_SHARDED_RUNTIME_H_
 
 #include <functional>
-#include <future>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "edms/edms_engine.h"
 #include "edms/shard_router.h"
+#include "edms/worker_pool.h"
 
 namespace mirabel::edms {
 
-/// A partitioned EDMS runtime: N EdmsEngine shards behind one event stream.
+/// A partitioned EDMS runtime: N EdmsEngine shards behind one event stream,
+/// scheduled on a (shareable) work-stealing WorkerPool.
 ///
 /// The MIRABEL hierarchy absorbs flex-offers from thousands of prosumers per
 /// BRP node (paper §2). One single-threaded engine serializes that whole
 /// load; the runtime instead partitions prosumers across `num_shards`
 /// independent engines (a pluggable ShardRouter maps owner -> shard, owner %
-/// N by default) and runs every shard's intake and gate closures on the
-/// shard's own worker thread. Each shard streams its events through a
-/// lock-free SPSC EventQueue; PollEvents() merges the per-shard streams into
-/// one deterministically ordered output (ascending emission slice, ties by
-/// shard index, per-shard emission order preserved).
+/// N by default) and runs every shard's intake and gate closures as tasks on
+/// a per-shard WorkerPool::Strand. Strands keep each engine effectively
+/// single-threaded (FIFO, one task at a time) while the pool floats them
+/// between workers: an idle worker steals the strand of an overloaded shard
+/// instead of idling behind its own, and several runtimes (multi-BRP
+/// deployments) share one pool via Config::pool. Each shard streams its
+/// events through a lock-free SPSC EventQueue; PollEvents() merges the
+/// per-shard streams into one deterministically ordered output (ascending
+/// emission slice, ties by shard index, per-shard emission order preserved).
 ///
-/// Call semantics are fork-join: SubmitOffers()/Advance() fan the work out
-/// to the shard workers, wait for all of them, and return the combined
-/// result, so the caller observes exactly the single-engine API. Between
-/// calls the workers are quiescent, which is what makes the accessors
-/// (stats(), shard()) safe to use without locks.
+/// Intake comes in two modes:
+///  - Fork-join (default): SubmitOffers()/Advance() fan the work out to the
+///    shard strands, wait for all of them, and return the combined result —
+///    the caller observes exactly the single-engine API, and between calls
+///    the strands are quiescent, which makes the accessors (stats(),
+///    shard(), HasSeenOffer()) safe without locks.
+///  - Streaming (Config::streaming_intake): SubmitOffers() pushes routed
+///    batches into per-shard lock-free MPSC IntakeQueues and returns
+///    immediately with the enqueued count; shard strand tasks drain the
+///    queues into the engines, so intake proceeds concurrently with running
+///    gates ("intake is never gated on a scheduling pass", paper §3) and
+///    from any number of submitter threads. Acceptance/rejection surfaces
+///    through the event stream instead of the return value; duplicate ids
+///    are dropped at drain time. Advance() still joins (it is the control
+///    loop's barrier); the accessors require quiescence — every submitter
+///    stopped, then one FlushIntake()/Advance() — before they are safe.
 ///
-/// Threading contract: the runtime itself is driven by one caller thread at
-/// a time (like the engine it replaces); the parallelism lives inside the
-/// calls. Config::engine.baseline is shared by all shards and must be
-/// thread-safe (see BaselineProvider).
+/// Threading contract (see also docs/architecture.md): Advance(),
+/// CompleteMacroSchedule(), RecordExecution(), RecordMeterReadings(),
+/// PollEvents() are single-caller (the control thread). SubmitOffers() is
+/// additionally safe from concurrent producer threads in streaming mode.
 ///
 /// Offer ids must be unique per owner across the runtime (true for every
 /// id scheme in the repo: owners mint their own namespaced ids). Duplicate
@@ -42,9 +58,10 @@ namespace mirabel::edms {
 class ShardedEdmsRuntime {
  public:
   struct Config {
-    /// Number of engine shards; 0 is treated as 1. With 1 shard the runtime
-    /// degenerates to a zero-overhead wrapper: no worker threads, every
-    /// call runs inline on the caller thread against the one engine.
+    /// Number of engine shards; 0 is treated as 1. With 1 shard (and no
+    /// shared pool, no streaming) the runtime degenerates to a
+    /// zero-overhead wrapper: no workers, every call runs inline on the
+    /// caller thread against the one engine.
     size_t num_shards = 1;
     /// Owner -> shard placement; null resolves to OwnerModuloRouter().
     ShardRouter router;
@@ -59,6 +76,14 @@ class ShardedEdmsRuntime {
     /// N shards each solve a 1/N-sized problem with 1/N of the budget.
     /// Disable to give every shard the full template budget.
     bool divide_scheduler_budget = true;
+    /// Worker pool to schedule the shard strands on. Null: the runtime
+    /// creates a private pool with `num_shards` workers (the
+    /// thread-per-shard footprint of the pre-pool runtime). Pass one pool
+    /// handle to several runtimes to run a whole multi-BRP deployment on a
+    /// fixed worker budget.
+    std::shared_ptr<WorkerPool> pool;
+    /// Enables streaming intake (see the class comment).
+    bool streaming_intake = false;
   };
 
   explicit ShardedEdmsRuntime(const Config& config);
@@ -67,10 +92,15 @@ class ShardedEdmsRuntime {
   ShardedEdmsRuntime(const ShardedEdmsRuntime&) = delete;
   ShardedEdmsRuntime& operator=(const ShardedEdmsRuntime&) = delete;
 
-  /// Routes the batch to its shards and negotiates/admits each sub-batch on
-  /// the shard's worker, in parallel. Returns the total number accepted, or
-  /// the first shard error. Per-shard batches keep the engine's atomic
-  /// duplicate handling: a duplicate id rejects its own shard's sub-batch.
+  /// Fork-join mode: routes the batch to its shards, negotiates/admits each
+  /// sub-batch on the shard's strand in parallel, and returns the total
+  /// number accepted (or the first shard error; a duplicate id rejects its
+  /// own shard's sub-batch).
+  ///
+  /// Streaming mode: enqueues the routed batches and returns the number
+  /// *enqueued*; outcomes arrive as OfferAccepted/OfferRejected events and
+  /// intake errors surface from the next Advance()/FlushIntake(). Safe to
+  /// call from multiple threads concurrently, including while gates run.
   Result<size_t> SubmitOffers(std::span<const flexoffer::FlexOffer> offers,
                               flexoffer::TimeSlice now);
 
@@ -78,9 +108,17 @@ class ShardedEdmsRuntime {
   Status SubmitOffer(const flexoffer::FlexOffer& offer,
                      flexoffer::TimeSlice now);
 
-  /// Advances every shard's control loop to `now` in parallel; shards whose
-  /// gate is due aggregate + schedule (or publish) their own partition.
+  /// Advances every shard's control loop to `now` in parallel and joins;
+  /// shards whose gate is due drain their pending intake first, then
+  /// aggregate + schedule (or publish) their own partition. Returns the
+  /// first deferred streaming-intake error, if any, before gate errors.
   Status Advance(flexoffer::TimeSlice now);
+
+  /// Drains every shard's pending streaming intake and joins, WITHOUT
+  /// advancing gates; returns the first deferred intake error. A no-op in
+  /// fork-join mode. After it returns (with no concurrent submitters) the
+  /// accessors are safe and PollEvents() sees every enqueued outcome.
+  Status FlushIntake();
 
   /// Delivers the schedule of a forwarded macro offer to the shard that
   /// published it. NotFound when no shard has such a macro pending.
@@ -107,7 +145,7 @@ class ShardedEdmsRuntime {
 
   /// Batch metering: routes each reading to its actor's shard (the shard
   /// that owns the actor's offers) and records all of them in one fork-join
-  /// instead of a worker round trip per reading. Execution failures (e.g.
+  /// instead of a strand round trip per reading. Execution failures (e.g.
   /// re-metered offers) are dropped, matching the bus adapter's tolerance
   /// of duplicate messages.
   void RecordMeterReadings(std::span<const MeterReading> readings);
@@ -115,32 +153,47 @@ class ShardedEdmsRuntime {
   /// Drains every shard's event stream and returns one merged, ordered
   /// batch: ascending EventTime(), ties broken by shard index with each
   /// shard's emission order preserved. For a fixed workload the merged
-  /// stream is deterministic regardless of worker interleaving.
+  /// stream is deterministic regardless of worker interleaving. Safe to
+  /// call while strand tasks run (it is the SPSC consumer side), but only
+  /// from one thread.
   std::vector<Event> PollEvents();
 
-  /// Shard stats summed with EngineStats::Merge().
+  /// Shard stats summed with EngineStats::Merge(). Requires quiescence in
+  /// streaming mode (see the class comment).
   EngineStats stats() const;
 
   size_t num_shards() const { return shards_.size(); }
-  /// The engine of shard `i` (read-only; workers are quiescent between
-  /// runtime calls).
+  /// The engine of shard `i` (read-only; requires quiescent strands).
   const EdmsEngine& shard(size_t i) const;
   /// The shard offers of `owner` route to.
   size_t ShardOf(flexoffer::ActorId owner) const;
   /// True when the shard `offer` routes to has already admitted its id
   /// (used by bus adapters to drop re-sent offers before batching).
+  /// Requires quiescent strands.
   bool HasSeenOffer(const flexoffer::FlexOffer& offer) const;
+
+  /// The pool the shard strands run on (the configured handle, or the
+  /// runtime's private pool); null in the inline single-shard deployment.
+  /// Share it with further runtimes via Config::pool.
+  const std::shared_ptr<WorkerPool>& pool() const { return pool_; }
 
   const Config& config() const { return config_; }
 
  private:
   struct Shard;
 
-  /// Enqueues `fn` on shard `i`'s worker; the future joins it.
-  std::future<void> Post(size_t i, std::function<void()> fn);
-  static void WorkerLoop(Shard* shard);
+  /// Runs `fn` serialized with shard `i`'s tasks: inline when the runtime
+  /// has no pool, else posted on the strand and joined.
+  void RunOnShard(size_t i, std::function<void()> fn);
+  /// Strand context only: drains shard `i`'s intake queue into its engine.
+  void DrainShardIntake(Shard& shard);
+  /// Posts a fire-and-forget intake drain for shard `i`.
+  void ScheduleIntakeDrain(size_t i);
 
   Config config_;
+  /// Declared before shards_ so the strands (inside shards_) are destroyed
+  /// while the pool is still alive.
+  std::shared_ptr<WorkerPool> pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

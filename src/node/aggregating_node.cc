@@ -18,6 +18,7 @@ edms::ShardedEdmsRuntime::Config RuntimeConfig(
   edms::ShardedEdmsRuntime::Config rc;
   rc.num_shards = config.num_shards;
   rc.router = config.router;
+  rc.pool = config.pool;
   rc.engine = config.engine;
   rc.engine.actor = config.id;
   rc.engine.schedule_locally = config.parent == 0;

@@ -36,6 +36,12 @@ class AggregatingNode {
     size_t num_shards = 1;
     /// Optional custom owner -> shard placement.
     edms::ShardRouter router;
+    /// Optional shared worker pool for the node's runtime: a multi-BRP
+    /// deployment passes every node one handle, so the whole hierarchy
+    /// schedules its shard work (with stealing) on one fixed set of worker
+    /// threads instead of one thread per shard per node. Null: the runtime
+    /// sizes a private pool (num_shards workers).
+    std::shared_ptr<edms::WorkerPool> pool;
     /// Template engine config for every shard. `engine.actor` and
     /// `engine.schedule_locally` are derived from `id`/`parent` by the
     /// constructor.

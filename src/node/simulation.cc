@@ -44,11 +44,23 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
   const int sim_slices = (config.days + 2) * kSlicesPerDay;
   const int days_needed = config.days + 2;
 
+  // Every aggregating node (all BRPs and the TSO) shares this one worker
+  // pool: the hierarchy ticks its nodes from one control thread, so
+  // shards_per_node workers serve the whole deployment — stealing floats
+  // them to whichever node's shards are busy — instead of each node
+  // spinning up its own thread-per-shard set.
+  if (config.shards_per_node > 1) {
+    edms::WorkerPool::Options pool_options;
+    pool_options.num_threads = config.shards_per_node;
+    pool_ = std::make_shared<edms::WorkerPool>(pool_options);
+  }
+
   if (config_.use_tso) {
     AggregatingNode::Config tso_cfg;
     tso_cfg.id = kTsoId;
     tso_cfg.parent = 0;
     tso_cfg.num_shards = config.shards_per_node;
+    tso_cfg.pool = pool_;
     tso_cfg.engine.negotiate = false;
     tso_cfg.engine.aggregation.params = aggregation::AggregationParams::P3();
     tso_cfg.engine.gate_period = config.gate_period;
@@ -80,6 +92,7 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
     brp_cfg.id = 100 + static_cast<NodeId>(b);
     brp_cfg.parent = config_.use_tso ? kTsoId : 0;
     brp_cfg.num_shards = config.shards_per_node;
+    brp_cfg.pool = pool_;
     brp_cfg.engine.negotiate = true;
     brp_cfg.engine.aggregation.params = aggregation::AggregationParams::P3();
     brp_cfg.engine.gate_period = config.gate_period;

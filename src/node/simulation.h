@@ -93,6 +93,10 @@ class EdmsSimulation {
  private:
   SimulationConfig config_;
   MessageBus bus_;
+  /// One pool for every aggregating node's shards (multi-BRP sharing);
+  /// declared before the nodes so it outlives their runtimes. Null when
+  /// shards_per_node == 1 (inline engines need no workers).
+  std::shared_ptr<edms::WorkerPool> pool_;
   std::vector<std::unique_ptr<ProsumerNode>> prosumers_;
   std::vector<std::unique_ptr<AggregatingNode>> brps_;
   std::unique_ptr<AggregatingNode> tso_;

@@ -48,6 +48,18 @@ class Scheduler {
   /// Solves `problem` within the budget. The problem must Validate().
   virtual Result<SchedulingResult> Run(const SchedulingProblem& problem,
                                        const SchedulerOptions& options) = 0;
+
+  /// Solves an already-compiled problem. Callers that hold several
+  /// schedulers, restarts or follow-up passes over one gate's problem (e.g.
+  /// EdmsEngine, HybridScheduler) compile once and share the SoA form
+  /// instead of paying one compile per Run(). `compiled.source` must be
+  /// non-null, already Validate()d, and outlive the call. The default
+  /// delegates to Run() (recompiling); the in-tree schedulers all override
+  /// it with a compile-free path.
+  virtual Result<SchedulingResult> RunCompiled(
+      const CompiledProblem& compiled, const SchedulerOptions& options) {
+    return Run(*compiled.source, options);
+  }
 };
 
 /// Randomized greedy search (paper §6): "constructs the schedule gradually —
@@ -72,10 +84,11 @@ class GreedyScheduler : public Scheduler {
                                const SchedulerOptions& options) override;
 
   /// Runs on an already-compiled problem (Run() compiles and delegates;
-  /// HybridScheduler compiles once and shares it across both phases).
-  /// `compiled.source` must outlive the call.
-  Result<SchedulingResult> RunCompiled(const CompiledProblem& compiled,
-                                       const SchedulerOptions& options);
+  /// HybridScheduler and EdmsEngine compile once and share it across
+  /// phases/passes). `compiled.source` must outlive the call.
+  Result<SchedulingResult> RunCompiled(
+      const CompiledProblem& compiled,
+      const SchedulerOptions& options) override;
 
  private:
   Config config_;
@@ -105,8 +118,9 @@ class EvolutionaryScheduler : public Scheduler {
                                const SchedulerOptions& options) override;
 
   /// Runs on an already-compiled problem; see GreedyScheduler::RunCompiled.
-  Result<SchedulingResult> RunCompiled(const CompiledProblem& compiled,
-                                       const SchedulerOptions& options);
+  Result<SchedulingResult> RunCompiled(
+      const CompiledProblem& compiled,
+      const SchedulerOptions& options) override;
 
  private:
   Config config_;
@@ -124,8 +138,16 @@ class ExhaustiveScheduler : public Scheduler {
   Result<SchedulingResult> Run(const SchedulingProblem& problem,
                                const SchedulerOptions& options) override;
 
-  /// Number of start-time combinations of `problem`.
+  /// Runs on an already-compiled problem (still subject to the combination
+  /// limit); see GreedyScheduler::RunCompiled.
+  Result<SchedulingResult> RunCompiled(
+      const CompiledProblem& compiled,
+      const SchedulerOptions& options) override;
+
+  /// Number of start-time combinations of `problem`. The two overloads
+  /// agree: the compiled form carries the same per-offer windows.
   static uint64_t CountCombinations(const SchedulingProblem& problem);
+  static uint64_t CountCombinations(const CompiledProblem& cp);
 
  private:
   uint64_t max_combinations_;
@@ -147,6 +169,12 @@ class HybridScheduler : public Scheduler {
   std::string Name() const override { return "Hybrid"; }
   Result<SchedulingResult> Run(const SchedulingProblem& problem,
                                const SchedulerOptions& options) override;
+
+  /// Runs on an already-compiled problem, shared by both phases; see
+  /// GreedyScheduler::RunCompiled.
+  Result<SchedulingResult> RunCompiled(
+      const CompiledProblem& compiled,
+      const SchedulerOptions& options) override;
 
  private:
   Config config_;

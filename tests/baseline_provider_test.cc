@@ -1,0 +1,134 @@
+// Tests of the BaselineProvider implementations, in particular the
+// ForecastBaselineProvider's read-mostly concurrency contract: once the
+// cache covers a span, concurrent shard gates read it under a shared lock
+// without re-running the forecasters (rebuilds() is the regression signal;
+// the CI TSan job vets the locking itself).
+#include "edms/baseline_provider.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "datagen/energy_series_generator.h"
+#include "forecasting/forecaster.h"
+
+namespace mirabel::edms {
+namespace {
+
+forecasting::Forecaster TrainedForecaster(uint64_t seed = 7) {
+  forecasting::ForecasterConfig cfg;
+  cfg.seasonal_periods = {48, 336};
+  cfg.initial_estimation = {0.2, 0, 3};
+  datagen::DemandSeriesConfig series_cfg;
+  series_cfg.days = 21;
+  series_cfg.seed = seed;
+  forecasting::Forecaster forecaster(cfg);
+  EXPECT_TRUE(
+      forecaster
+          .Train(forecasting::TimeSeries(
+              datagen::GenerateDemandSeries(series_cfg), 48))
+          .ok());
+  return forecaster;
+}
+
+TEST(BaselineProviderTest, ZeroProviderReturnsZeros) {
+  ZeroBaselineProvider provider;
+  auto baseline = provider.Baseline(100, 4);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(*baseline, std::vector<double>(4, 0.0));
+  EXPECT_FALSE(provider.Baseline(0, -1).ok());
+}
+
+TEST(BaselineProviderTest, VectorProviderIndexesFromOrigin) {
+  VectorBaselineProvider provider({1.0, 2.0, 3.0}, /*origin=*/10);
+  auto baseline = provider.Baseline(11, 4);
+  ASSERT_TRUE(baseline.ok());
+  // Slices 11..14 map to curve indices 1, 2 and out-of-range zeros.
+  EXPECT_EQ(*baseline, (std::vector<double>{2.0, 3.0, 0.0, 0.0}));
+}
+
+TEST(BaselineProviderTest, ForecastProviderServesNetScaledForecast) {
+  forecasting::Forecaster demand = TrainedForecaster();
+  ForecastBaselineProvider provider(&demand, nullptr, /*origin=*/1000,
+                                    /*scale=*/2.0);
+  auto expect = demand.Forecast(8);
+  ASSERT_TRUE(expect.ok());
+  auto baseline = provider.Baseline(1000, 8);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->size(), 8u);
+  for (size_t s = 0; s < 8; ++s) {
+    EXPECT_DOUBLE_EQ((*baseline)[s], 2.0 * (*expect)[s]);
+  }
+  // Requests before the origin are refused: the past is measured.
+  EXPECT_EQ(provider.Baseline(999, 4).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BaselineProviderTest, ConcurrentWarmReadsDoNotRebuild) {
+  forecasting::Forecaster demand = TrainedForecaster();
+  ForecastBaselineProvider provider(&demand, nullptr, /*origin=*/0);
+
+  // Warm the cache past every span the readers will request.
+  auto warm = provider.Baseline(0, 96);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(provider.rebuilds(), 1);
+
+  // Hammer the warm span from many "shard gates" at once. Every read must
+  // serve from the cache (no further rebuilds) and return exactly the warm
+  // values — the regression the shared-lock fast path must keep fixed.
+  constexpr int kThreads = 8;
+  constexpr int kReadsPerThread = 200;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&provider, &warm, &failures, t] {
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        int start = (t * 7 + i) % 64;
+        auto got = provider.Baseline(start, 32);
+        if (!got.ok()) {
+          ++failures[static_cast<size_t>(t)];
+          continue;
+        }
+        for (int s = 0; s < 32; ++s) {
+          if ((*got)[static_cast<size_t>(s)] !=
+              (*warm)[static_cast<size_t>(start + s)]) {
+            ++failures[static_cast<size_t>(t)];
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[static_cast<size_t>(t)], 0);
+  }
+  EXPECT_EQ(provider.rebuilds(), 1);
+}
+
+TEST(BaselineProviderTest, ConcurrentMissesRebuildAtMostOncePerExtension) {
+  forecasting::Forecaster demand = TrainedForecaster();
+  ForecastBaselineProvider provider(&demand, nullptr, /*origin=*/0);
+  ASSERT_TRUE(provider.Baseline(0, 16).ok());
+
+  // All threads miss the same extension target at once; the double-checked
+  // exclusive path must coalesce them into few rebuilds (a thread that
+  // arrives after the winner extends sees the cache and does nothing).
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back(
+        [&provider] { EXPECT_TRUE(provider.Baseline(100, 96).ok()); });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_GE(provider.rebuilds(), 2);
+  EXPECT_LE(provider.rebuilds(), 9);
+  // The span is warm now: further reads leave the counter alone.
+  int64_t settled = provider.rebuilds();
+  EXPECT_TRUE(provider.Baseline(50, 96).ok());
+  EXPECT_EQ(provider.rebuilds(), settled);
+}
+
+}  // namespace
+}  // namespace mirabel::edms

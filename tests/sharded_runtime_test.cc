@@ -16,10 +16,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "test_util.h"
@@ -281,6 +284,215 @@ TEST(ShardedRuntimeTest, DuplicateIdsRejectOnlyTheirShard) {
   auto again = runtime.SubmitOffers(
       std::span<const FlexOffer>(offers.data(), 1), 0);
   EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+/// 48 offers from 16 owners whose windows all fit every gate of the test's
+/// control loop (earliest 48, latest 70, assignment deadline 40): whichever
+/// gate first sees an offer can claim it, so the accepted/assigned id SETS
+/// are insensitive to when intake lands between gates — the invariant the
+/// streaming-equivalence test leans on.
+std::vector<FlexOffer> StreamingWorkload() {
+  std::vector<FlexOffer> offers;
+  for (uint64_t owner = 701; owner <= 716; ++owner) {
+    for (uint64_t k = 0; k < 3; ++k) {
+      offers.push_back(testutil::OwnedOffer(
+          owner * 100 + k, owner, /*assign_before=*/40, /*earliest=*/48,
+          /*latest=*/70, /*dur=*/4, /*emin=*/1.0,
+          /*emax=*/2.0 + 0.125 * static_cast<double>(k)));
+    }
+  }
+  return offers;
+}
+
+struct IdSets {
+  std::set<FlexOfferId> accepted;
+  std::set<FlexOfferId> assigned;
+  EngineStats stats;
+};
+
+void Collect(ShardedEdmsRuntime& runtime, IdSets* out) {
+  for (const Event& event : runtime.PollEvents()) {
+    if (const auto* e = std::get_if<OfferAccepted>(&event)) {
+      out->accepted.insert(e->offer);
+    } else if (const auto* e = std::get_if<ScheduleAssigned>(&event)) {
+      out->assigned.insert(e->schedule.offer_id);
+    }
+  }
+}
+
+/// Drives StreamingWorkload() through gates 0, 8, ..., 40. Tick-aligned:
+/// everything submitted (fork-join) before the first gate. Streaming: a
+/// producer thread submits 4-offer batches concurrently with gates 0..24,
+/// then the intake is flushed before the later gates.
+IdSets RunStreamingWorkload(bool streaming, ShardRouter router = nullptr,
+                            std::shared_ptr<WorkerPool> pool = nullptr) {
+  ShardedEdmsRuntime::Config rc = RuntimeConfig(4);
+  rc.streaming_intake = streaming;
+  rc.router = std::move(router);
+  rc.pool = std::move(pool);
+  ShardedEdmsRuntime runtime(rc);
+  std::vector<FlexOffer> offers = StreamingWorkload();
+
+  IdSets out;
+  std::thread producer;
+  if (streaming) {
+    producer = std::thread([&runtime, &offers] {
+      for (size_t i = 0; i < offers.size(); i += 4) {
+        auto batch = std::span<const FlexOffer>(
+            offers.data() + i, std::min<size_t>(4, offers.size() - i));
+        EXPECT_TRUE(runtime.SubmitOffers(batch, 0).ok());
+        std::this_thread::yield();
+      }
+    });
+  } else {
+    auto submitted =
+        runtime.SubmitOffers(std::span<const FlexOffer>(offers), 0);
+    EXPECT_TRUE(submitted.ok()) << submitted.status();
+  }
+
+  // Gates overlapping the streamed intake.
+  for (TimeSlice now = 0; now <= 24; now += 8) {
+    EXPECT_TRUE(runtime.Advance(now).ok());
+    Collect(runtime, &out);
+  }
+  if (producer.joinable()) producer.join();
+  // Producers stopped: flush the queues so the remaining gates (still
+  // before the assignment deadline of 40) see every offer.
+  EXPECT_TRUE(runtime.FlushIntake().ok());
+  for (TimeSlice now = 32; now <= 40; now += 8) {
+    EXPECT_TRUE(runtime.Advance(now).ok());
+    Collect(runtime, &out);
+  }
+  out.stats = runtime.stats();
+  return out;
+}
+
+TEST(ShardedRuntimeTest, StreamingIntakeMatchesTickAlignedOutcomes) {
+  IdSets aligned = RunStreamingWorkload(/*streaming=*/false);
+  IdSets streamed = RunStreamingWorkload(/*streaming=*/true);
+
+  ASSERT_EQ(aligned.accepted.size(), 48u);
+  ASSERT_EQ(aligned.assigned.size(), 48u);
+  EXPECT_EQ(streamed.accepted, aligned.accepted);
+  EXPECT_EQ(streamed.assigned, aligned.assigned);
+  // Per-offer counters are submission-timing-invariant too.
+  EXPECT_EQ(streamed.stats.offers_received, aligned.stats.offers_received);
+  EXPECT_EQ(streamed.stats.offers_accepted, aligned.stats.offers_accepted);
+  EXPECT_EQ(streamed.stats.offers_rejected, aligned.stats.offers_rejected);
+  EXPECT_EQ(streamed.stats.micro_schedules_sent,
+            aligned.stats.micro_schedules_sent);
+  EXPECT_DOUBLE_EQ(streamed.stats.payments_eur, aligned.stats.payments_eur);
+}
+
+TEST(ShardedRuntimeTest, SkewedRouterStreamingStaysCorrectAndBounded) {
+  // Adversarial placement: every owner routes to shard 0 of 4, on a shared
+  // 2-worker pool, with intake streaming against shard 0's gates. Work
+  // stealing keeps the (single) loaded strand moving on whichever worker is
+  // free; the run must complete promptly with the full outcome set.
+  WorkerPool::Options pool_options;
+  pool_options.num_threads = 2;
+  auto pool = std::make_shared<WorkerPool>(pool_options);
+  auto pin_to_zero = [](flexoffer::ActorId, size_t) -> size_t { return 0; };
+  auto start = std::chrono::steady_clock::now();
+  IdSets skewed =
+      RunStreamingWorkload(/*streaming=*/true, pin_to_zero, pool);
+  double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(skewed.accepted.size(), 48u);
+  EXPECT_EQ(skewed.assigned.size(), 48u);
+  // Generous wall bound: the CTest timeout is the hard stop; this catches
+  // an idle-wait pathology (minutes) without being load-sensitive.
+  EXPECT_LT(elapsed_s, 60.0);
+}
+
+TEST(ShardedRuntimeTest, StreamingDuplicatesAreDroppedAtDrain) {
+  ShardedEdmsRuntime::Config rc = RuntimeConfig(2);
+  rc.streaming_intake = true;
+  ShardedEdmsRuntime runtime(rc);
+  std::vector<FlexOffer> offers = Workload();
+
+  ASSERT_TRUE(
+      runtime.SubmitOffers(std::span<const FlexOffer>(offers), 0).ok());
+  ASSERT_TRUE(runtime.FlushIntake().ok());
+
+  // Resubmit the whole workload plus one fresh offer: the duplicates are
+  // dropped at drain time (no sticky error) and only the fresh offer is
+  // accepted on top.
+  std::vector<FlexOffer> again = offers;
+  again.push_back(testutil::OwnedOffer(99901, 509, /*assign_before=*/24,
+                                       /*earliest=*/30, /*latest=*/50));
+  ASSERT_TRUE(
+      runtime.SubmitOffers(std::span<const FlexOffer>(again), 0).ok());
+  ASSERT_TRUE(runtime.FlushIntake().ok());
+
+  std::set<FlexOfferId> accepted;
+  for (const Event& event : runtime.PollEvents()) {
+    if (const auto* e = std::get_if<OfferAccepted>(&event)) {
+      EXPECT_TRUE(accepted.insert(e->offer).second)
+          << "offer " << e->offer << " accepted twice";
+    }
+  }
+  EXPECT_EQ(accepted.size(), 25u);
+  EXPECT_EQ(runtime.stats().offers_accepted, 25);
+}
+
+TEST(ShardedRuntimeTest, DestructionJoinsPendingStreamingDrains) {
+  // Regression: destroying a streaming runtime right after SubmitOffers()
+  // must join each strand's fire-and-forget drain tasks BEFORE the shard's
+  // intake queue and engine are destroyed (the ASan job catches the
+  // use-after-free if the Shard member order regresses).
+  std::vector<FlexOffer> offers = Workload();
+  for (int round = 0; round < 20; ++round) {
+    ShardedEdmsRuntime::Config rc = RuntimeConfig(4);
+    rc.streaming_intake = true;
+    ShardedEdmsRuntime runtime(rc);
+    ASSERT_TRUE(
+        runtime.SubmitOffers(std::span<const FlexOffer>(offers), 0).ok());
+    // Destroyed here with the drains possibly still queued.
+  }
+}
+
+TEST(ShardedRuntimeTest, TwoRuntimesShareOneWorkerPool) {
+  // Multi-BRP deployment: two 4-shard runtimes on one 2-worker pool. Both
+  // must produce their full outcomes (strands of different runtimes
+  // interleave on the shared workers), and the pool handle is the same.
+  WorkerPool::Options pool_options;
+  pool_options.num_threads = 2;
+  auto pool = std::make_shared<WorkerPool>(pool_options);
+
+  ShardedEdmsRuntime::Config rc = RuntimeConfig(4);
+  rc.pool = pool;
+  ShardedEdmsRuntime brp_a(rc);
+  rc.engine.actor = 101;
+  ShardedEdmsRuntime brp_b(rc);
+  ASSERT_EQ(brp_a.pool().get(), pool.get());
+  ASSERT_EQ(brp_b.pool().get(), pool.get());
+
+  std::vector<FlexOffer> offers = Workload();
+  RunOutcome a_out;
+  RunOutcome b_out;
+  auto drive = [&offers](ShardedEdmsRuntime& runtime, RunOutcome* out) {
+    ASSERT_TRUE(
+        runtime.SubmitOffers(std::span<const FlexOffer>(offers), 0).ok());
+    ASSERT_TRUE(runtime.Advance(0).ok());
+    for (const Event& event : runtime.PollEvents()) {
+      if (const auto* e = std::get_if<OfferAccepted>(&event)) {
+        out->accepted.insert(e->offer);
+      } else if (const auto* e = std::get_if<ScheduleAssigned>(&event)) {
+        out->assigned.insert(e->schedule.offer_id);
+      }
+    }
+  };
+  // Interleave the two runtimes' fan-outs on the shared workers.
+  std::thread driver_b([&] { drive(brp_b, &b_out); });
+  drive(brp_a, &a_out);
+  driver_b.join();
+
+  EXPECT_EQ(a_out.accepted.size(), 24u);
+  EXPECT_EQ(a_out.assigned.size(), 24u);
+  EXPECT_EQ(b_out.accepted, a_out.accepted);
+  EXPECT_EQ(b_out.assigned, a_out.assigned);
 }
 
 }  // namespace

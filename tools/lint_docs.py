@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Markdown lint for README.md and docs/: link targets and code fences.
+
+Checks, with no third-party dependencies:
+
+ 1. Every relative markdown link (and image) target resolves to an existing
+    file or directory, including `path#anchor` forms (the anchor must match
+    a heading of the target file, GitHub-style slugs).
+ 2. Every fenced code block is language-tagged (```cpp, ```sh, ```mermaid,
+    ...), fences are balanced, and `cpp` fences keep braces/parens balanced
+    — the cheap proxy for "the snippet still looks compilable" that catches
+    truncated or mis-pasted snippets. When clang-format is on PATH, cpp
+    fences must additionally pass `clang-format --dry-run -Werror` with the
+    repo's .clang-format (CI installs it; locally the check degrades to the
+    balance test).
+
+Exit status 0 = clean; 1 = findings (printed one per line).
+"""
+
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^```(.*)$")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(slugify(m.group(1)))
+    return anchors
+
+
+def check_links(path: Path, errors: list) -> None:
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), 1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # absolute URL
+                continue
+            if target.startswith("#"):
+                if slugify(target[1:]) not in anchors_of(path):
+                    errors.append(
+                        f"{path}:{lineno}: broken anchor {target!r}"
+                    )
+                continue
+            ref, _, anchor = target.partition("#")
+            resolved = (path.parent / ref).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link {target!r}")
+                continue
+            if anchor and resolved.is_file():
+                if slugify(anchor) not in anchors_of(resolved):
+                    errors.append(
+                        f"{path}:{lineno}: broken anchor {target!r}"
+                    )
+
+
+def check_cpp_fence(path: Path, lineno: int, code: str, errors: list) -> None:
+    for open_ch, close_ch in ("{}", "()", "[]"):
+        if code.count(open_ch) != code.count(close_ch):
+            errors.append(
+                f"{path}:{lineno}: cpp fence has unbalanced "
+                f"'{open_ch}{close_ch}'"
+            )
+    clang_format = shutil.which("clang-format")
+    if clang_format is None:
+        return
+    # Snippets elide bodies with comments like /* ... */, which format
+    # fine; run the formatter for mechanical style drift.
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".cc", dir=REPO, delete=False
+    ) as tmp:
+        tmp.write(code)
+        tmp_path = Path(tmp.name)
+    try:
+        result = subprocess.run(
+            [clang_format, "--dry-run", "-Werror", str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        if result.returncode != 0:
+            errors.append(
+                f"{path}:{lineno}: cpp fence not clang-format clean"
+            )
+    finally:
+        tmp_path.unlink()
+
+
+def check_fences(path: Path, errors: list) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_fence = False
+    fence_lang = ""
+    fence_start = 0
+    code_lines = []
+    for lineno, line in enumerate(lines, 1):
+        m = FENCE_RE.match(line)
+        if not m:
+            if in_fence:
+                code_lines.append(line)
+            continue
+        if not in_fence:
+            in_fence = True
+            fence_lang = m.group(1).strip()
+            fence_start = lineno
+            code_lines = []
+            if not fence_lang:
+                errors.append(
+                    f"{path}:{lineno}: code fence without a language tag"
+                )
+        else:
+            in_fence = False
+            if fence_lang == "cpp":
+                check_cpp_fence(
+                    path, fence_start, "\n".join(code_lines), errors
+                )
+    if in_fence:
+        errors.append(f"{path}:{fence_start}: unclosed code fence")
+
+
+def main() -> int:
+    files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    errors = []
+    for path in files:
+        check_links(path, errors)
+        check_fences(path, errors)
+    for error in errors:
+        print(error)
+    print(
+        f"lint_docs: {len(files)} files, "
+        f"{len(errors)} finding(s)", file=sys.stderr
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
