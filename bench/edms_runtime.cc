@@ -22,14 +22,29 @@
 //     configuration keeps intake streaming against shard 0's long gates and
 //     lets idle workers steal the loaded strand (steals are reported).
 //
+//  4. Offer→decision latency (results "latency/{sustained,bursty}"): the
+//     tick workload at 4 shards with streaming intake, producer-paced.
+//     Every offer is stamped (steady_clock) right before SubmitOffers();
+//     the consumer stamps again when the offer's OfferAccepted /
+//     ScheduleAssigned event surfaces from PollEvents() and reports the
+//     nearest-rank p50/p95/p99 of both legs. "sustained" paces batches
+//     evenly; "bursty" submits square-wave bursts followed by idle gaps —
+//     the tail percentiles show what a burst does to decision latency.
+//     Intake queue depth is sampled mid-stream via Snapshot() (the seqlock
+//     path, exercised here on purpose) and reported as the peak.
+//
 // The streaming/skewed overlap wins require >= 2 hardware threads (the
 // config block records hardware_concurrency); on a single-core machine the
 // pooled and fork-join configurations converge. See docs/benchmarks.md.
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_main.h"
@@ -219,6 +234,170 @@ RunResult RunTickWorkload(size_t num_shards, int64_t count, int iterations,
   return r;
 }
 
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample vector.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+struct LatencyResult {
+  RunResult run;
+  /// Submit→OfferAccepted-event latency per offer, milliseconds.
+  std::vector<double> accept_ms;
+  /// Submit→ScheduleAssigned-event latency per offer, milliseconds.
+  std::vector<double> assign_ms;
+  /// Peak intake queue depth (sum over shards) seen by mid-stream
+  /// Snapshot() samples.
+  int64_t peak_intake_depth = 0;
+};
+
+/// Latency leg: 4 shards, streaming intake, producer-paced batches. The
+/// producer stamps each offer right before SubmitOffers(); the consumer
+/// stamps when the acceptance / schedule event surfaces from PollEvents().
+/// The stamp is a plain write: it happens-before the consumer's read via
+/// intake-queue push/pop and the engine's SPSC event queue.
+LatencyResult RunLatencyWorkload(int64_t count, int iterations, int days,
+                                 bool bursty) {
+  std::vector<flexoffer::FlexOffer> offers = MakeWorkload(count, days);
+  edms::ShardedEdmsRuntime::Config config =
+      RuntimeConfig(4, iterations, days);
+  config.streaming_intake = true;
+  edms::ShardedEdmsRuntime runtime(config);
+
+  std::unordered_map<flexoffer::FlexOfferId, size_t> index_of;
+  index_of.reserve(offers.size());
+  for (size_t i = 0; i < offers.size(); ++i) index_of[offers[i].id] = i;
+  std::vector<int64_t> submit_ns(offers.size(), 0);
+
+  LatencyResult lr;
+  lr.run.offers = count;
+  const flexoffer::TimeSlice end =
+      static_cast<flexoffer::TimeSlice>(days + 1) * flexoffer::kSlicesPerDay;
+  const size_t num_ticks = static_cast<size_t>(end / kGatePeriod);
+  const size_t batch = (offers.size() + num_ticks - 1) / num_ticks;
+  // Square wave for the bursty profile: kBurst batches back to back, then
+  // an idle gap of the time the spread-out batches would have taken.
+  constexpr size_t kBurst = 6;
+  constexpr auto kPace = std::chrono::microseconds(700);
+
+  std::thread producer([&] {
+    for (size_t tick = 0; tick < num_ticks; ++tick) {
+      size_t begin = tick * batch;
+      if (begin >= offers.size()) break;
+      size_t len = std::min(batch, offers.size() - begin);
+      int64_t stamp = NowNanos();
+      for (size_t i = begin; i < begin + len; ++i) submit_ns[i] = stamp;
+      auto span =
+          std::span<const flexoffer::FlexOffer>(offers.data() + begin, len);
+      auto submitted = runtime.SubmitOffers(
+          span, static_cast<flexoffer::TimeSlice>(tick) * kGatePeriod);
+      if (!submitted.ok()) {
+        std::cerr << "intake failed: " << submitted.status() << "\n";
+        std::exit(1);
+      }
+      if (bursty) {
+        if (tick % kBurst == kBurst - 1) {
+          std::this_thread::sleep_for(kBurst * kPace);
+        }
+      } else {
+        std::this_thread::sleep_for(kPace);
+      }
+    }
+  });
+
+  auto drain_events = [&] {
+    for (const edms::Event& event : runtime.PollEvents()) {
+      const int64_t now_ns = NowNanos();
+      if (const auto* acc = std::get_if<edms::OfferAccepted>(&event)) {
+        auto it = index_of.find(acc->offer);
+        if (it != index_of.end()) {
+          lr.accept_ms.push_back(
+              static_cast<double>(now_ns - submit_ns[it->second]) * 1e-6);
+        }
+      } else if (const auto* assigned =
+                     std::get_if<edms::ScheduleAssigned>(&event)) {
+        auto it = index_of.find(assigned->schedule.offer_id);
+        if (it != index_of.end()) {
+          lr.assign_ms.push_back(
+              static_cast<double>(now_ns - submit_ns[it->second]) * 1e-6);
+          ++lr.run.micro_schedules;
+        }
+      } else if (std::get_if<edms::MacroPublished>(&event) != nullptr) {
+        ++lr.run.macros;
+      } else if (std::get_if<edms::OfferExpired>(&event) != nullptr) {
+        ++lr.run.expired;
+      }
+    }
+  };
+
+  Stopwatch total_watch;
+  for (size_t tick = 0; tick < num_ticks; ++tick) {
+    flexoffer::TimeSlice now =
+        static_cast<flexoffer::TimeSlice>(tick) * kGatePeriod;
+    if (Status st = runtime.Advance(now); !st.ok()) {
+      std::cerr << "gate failed: " << st << "\n";
+      std::exit(1);
+    }
+    // Mid-stream snapshot while the producer is live: the lock-free path.
+    edms::RuntimeSnapshot snap = runtime.Snapshot();
+    lr.peak_intake_depth =
+        std::max(lr.peak_intake_depth, snap.intake_depth_batches);
+    drain_events();
+  }
+  producer.join();
+  if (Status st = runtime.FlushIntake(); !st.ok()) {
+    std::cerr << "intake flush failed: " << st << "\n";
+    std::exit(1);
+  }
+  if (Status st = runtime.Advance(end); !st.ok()) {
+    std::cerr << "gate failed: " << st << "\n";
+    std::exit(1);
+  }
+  drain_events();
+  lr.run.total_s = total_watch.ElapsedSeconds();
+  lr.run.loop_s = lr.run.total_s;
+  FinishResult(runtime, &lr.run);
+  std::sort(lr.accept_ms.begin(), lr.accept_ms.end());
+  std::sort(lr.assign_ms.begin(), lr.assign_ms.end());
+  return lr;
+}
+
+void ReportLatency(bench::BenchReport& report, const std::string& name,
+                   const LatencyResult& lr) {
+  report.AddResult(name)
+      .Wall(lr.run.total_s)
+      .Items(static_cast<double>(lr.run.offers))
+      .Metric("accept_samples", static_cast<double>(lr.accept_ms.size()))
+      .Metric("accept_p50_ms", Percentile(lr.accept_ms, 0.50))
+      .Metric("accept_p95_ms", Percentile(lr.accept_ms, 0.95))
+      .Metric("accept_p99_ms", Percentile(lr.accept_ms, 0.99))
+      .Metric("assign_samples", static_cast<double>(lr.assign_ms.size()))
+      .Metric("assign_p50_ms", Percentile(lr.assign_ms, 0.50))
+      .Metric("assign_p95_ms", Percentile(lr.assign_ms, 0.95))
+      .Metric("assign_p99_ms", Percentile(lr.assign_ms, 0.99))
+      .Metric("peak_intake_depth_batches",
+              static_cast<double>(lr.peak_intake_depth))
+      .Metric("accepted", static_cast<double>(lr.run.accepted))
+      .Metric("micro_schedules", static_cast<double>(lr.run.micro_schedules));
+  std::printf(
+      "%-18s total %.2fs  accept p50/p95/p99 %.2f/%.2f/%.2f ms  "
+      "assign p50/p95/p99 %.2f/%.2f/%.2f ms  peak depth %lld\n",
+      name.c_str(), lr.run.total_s, Percentile(lr.accept_ms, 0.50),
+      Percentile(lr.accept_ms, 0.95), Percentile(lr.accept_ms, 0.99),
+      Percentile(lr.assign_ms, 0.50), Percentile(lr.assign_ms, 0.95),
+      Percentile(lr.assign_ms, 0.99),
+      static_cast<long long>(lr.peak_intake_depth));
+}
+
 void Report(bench::BenchReport& report, const std::string& name,
             const RunResult& r, double baseline_throughput) {
   double throughput =
@@ -304,6 +483,12 @@ int main() {
                                         /*streaming=*/true,
                                         /*skewed=*/true);
   Report(report, "skewed/pooled", skew_pool, skew_base_tp);
+
+  // Leg 4: offer→decision latency under sustained and bursty streaming load.
+  ReportLatency(report, "latency/sustained",
+                RunLatencyWorkload(count, iterations, days, /*bursty=*/false));
+  ReportLatency(report, "latency/bursty",
+                RunLatencyWorkload(count, iterations, days, /*bursty=*/true));
 
   std::string path = report.WriteFile();
   if (path.empty()) {

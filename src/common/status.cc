@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

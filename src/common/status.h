@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal = 6,
   kUnimplemented = 7,
   kTimeout = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -20,13 +20,15 @@ EngineStats& EngineStats::Merge(const EngineStats& other) {
   // Destructuring both sides pins the member count at compile time: adding a
   // field to EngineStats without extending these bindings fails to build.
   // The size guard additionally catches same-count layout changes.
-  static_assert(sizeof(EngineStats) == 14 * sizeof(int64_t),
+  static_assert(sizeof(EngineStats) == 18 * sizeof(int64_t),
                 "EngineStats layout changed: update Merge()");
   auto& [received, batches, accepted, rejected, runs, macros, micros, expired,
-         executed, payments, imb_before, imb_after, cost, budget_saved] = *this;
+         executed, payments, imb_before, imb_after, cost, budget_saved,
+         intake_errs, metering_fails, shed, dropped] = *this;
   const auto& [o_received, o_batches, o_accepted, o_rejected, o_runs, o_macros,
                o_micros, o_expired, o_executed, o_payments, o_imb_before,
-               o_imb_after, o_cost, o_budget_saved] = other;
+               o_imb_after, o_cost, o_budget_saved, o_intake_errs,
+               o_metering_fails, o_shed, o_dropped] = other;
   received += o_received;
   batches += o_batches;
   accepted += o_accepted;
@@ -41,6 +43,10 @@ EngineStats& EngineStats::Merge(const EngineStats& other) {
   imb_after += o_imb_after;
   cost += o_cost;
   budget_saved += o_budget_saved;
+  intake_errs += o_intake_errs;
+  metering_fails += o_metering_fails;
+  shed += o_shed;
+  dropped += o_dropped;
   return *this;
 }
 

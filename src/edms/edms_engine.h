@@ -48,6 +48,20 @@ struct EngineStats {
   /// over scheduling runs of (configured per-gate budget - scaled budget).
   /// See Config::scale_budget_with_problem_size.
   double budget_saved_s = 0.0;
+  /// Deferred streaming-intake errors (ShardedEdmsRuntime drains): every
+  /// non-duplicate failure is counted here even though Advance()/
+  /// FlushIntake() return only the first one.
+  int64_t intake_errors = 0;
+  /// RecordMeterReadings() execution failures that were tolerated (e.g.
+  /// re-metered offers on duplicate-heavy bus traffic).
+  int64_t metering_failures = 0;
+  /// Offers shed by a bounded streaming intake under OverloadPolicy::kShed;
+  /// they never reached an engine (so they are NOT in offers_received /
+  /// offers_rejected) and surface as OfferRejected{kOverloaded} events.
+  int64_t offers_shed = 0;
+  /// Offers still sitting in shard intake queues when the runtime was
+  /// destroyed (reported through Config::final_stats only).
+  int64_t offers_dropped_at_shutdown = 0;
 
   /// Adds `other` field by field. The implementation destructures the whole
   /// struct, so adding a field without extending Merge() fails to compile.

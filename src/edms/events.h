@@ -21,11 +21,19 @@ struct OfferAccepted {
   double agreed_price_eur = 0.0;
 };
 
-/// Negotiation (or intake validation) turned the offer down.
+/// Why an offer was turned down. kNegotiation is the engine's decision
+/// (validation or pricing); kOverloaded is the sharded runtime shedding
+/// intake under a bounded queue (ShardedEdmsRuntime::Config::
+/// max_pending_batches_per_shard) — the offer never reached an engine.
+enum class RejectReason { kNegotiation = 0, kOverloaded = 1 };
+
+/// Negotiation (or intake validation / overload shedding) turned the offer
+/// down.
 struct OfferRejected {
   flexoffer::FlexOfferId offer = 0;
   flexoffer::ActorId owner = 0;
   flexoffer::TimeSlice at = 0;
+  RejectReason reason = RejectReason::kNegotiation;
 };
 
 /// A gate closure produced a macro (aggregated) offer. In local-scheduling

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,10 @@ namespace mirabel::edms {
 struct IntakeBatch {
   std::vector<flexoffer::FlexOffer> offers;
   flexoffer::TimeSlice now = 0;
+  /// Monotonic (steady_clock) nanosecond stamp taken at enqueue time; the
+  /// drain measures enqueue→drain queue wait from it (a latency gauge in
+  /// the runtime's mid-stream snapshots). 0 = unstamped.
+  int64_t enqueue_ns = 0;
 };
 
 /// Unbounded lock-free multi-producer / single-consumer intake queue — the
@@ -59,6 +64,9 @@ class IntakeQueue {
   /// Producer side: appends one batch. Never blocks; safe from any number
   /// of threads concurrently.
   void Push(IntakeBatch batch) {
+    // Counted before the node is linked so a concurrent bound check can
+    // only over-estimate the depth, never under-estimate it.
+    depth_.fetch_add(1, std::memory_order_relaxed);
     Node* node = new Node(std::move(batch));
     Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
     // Publishes the node (and its payload) to the consumer.
@@ -73,7 +81,16 @@ class IntakeQueue {
     *out = std::move(next->batch);
     delete head_;
     head_ = next;  // the popped node becomes the new stub
+    depth_.fetch_sub(1, std::memory_order_relaxed);
     return true;
+  }
+
+  /// Approximate number of batches currently queued (pushed, not yet
+  /// popped). Readable from any thread; momentarily over-counts while a
+  /// producer is between the counter bump and the link, which is the safe
+  /// direction for the runtime's bounded-intake check and depth gauge.
+  int64_t ApproxDepth() const {
+    return depth_.load(std::memory_order_relaxed);
   }
 
   /// Consumer side: pops every reachable batch into `out` (appending) and
@@ -100,6 +117,8 @@ class IntakeQueue {
   std::atomic<Node*> tail_;
   /// Consumer-owned stub; its payload is already consumed (or empty).
   Node* head_;
+  /// Approximate pushed-minus-popped batch count (see ApproxDepth()).
+  std::atomic<int64_t> depth_{0};
 };
 
 }  // namespace mirabel::edms

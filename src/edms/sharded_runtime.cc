@@ -1,9 +1,12 @@
 #include "edms/sharded_runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/stopwatch.h"
 #include "edms/intake_queue.h"
 
 namespace mirabel::edms {
@@ -18,13 +21,35 @@ using flexoffer::TimeSlice;
 /// shard's strand, so each engine stays effectively single-threaded; the
 /// strand's internal lock and the futures returned by Post() provide the
 /// happens-before edges that make the caller's reads between joined calls
-/// race-free. `intake` is the streaming-mode MPSC channel into the strand;
-/// `intake_error` is strand-confined (written only by strand tasks, read
-/// and cleared by the joined Advance()/FlushIntake() tasks).
+/// race-free. `intake` is the streaming-mode MPSC channel into the strand.
+///
+/// Everything between `intake_error` and `last_drain_slice` is
+/// strand-confined (written only by strand tasks — or the caller thread in
+/// the inline no-pool deployment — and read by joined tasks); cross-thread
+/// visibility happens only through `slot`, the seqlock cell the strand
+/// republishes after every task (FinishShardTask), which is what makes
+/// Snapshot() safe from any thread mid-stream.
 struct ShardedEdmsRuntime::Shard {
   std::unique_ptr<EdmsEngine> engine;
   IntakeQueue intake;
+  /// First deferred streaming-intake error, returned once by the next
+  /// joined Advance()/FlushIntake(); every error is additionally counted in
+  /// overlay.intake_errors.
   Status intake_error = Status::OK();
+  /// Runtime-side counters that belong in the shard's merged stats but not
+  /// in the engine (intake_errors, metering_failures).
+  EngineStats overlay;
+  /// Deferred intake errors already written to the log (capped).
+  int logged_intake_errors = 0;
+  /// Strand task gauges (see ShardSnapshot for field meanings).
+  int64_t drained_batches = 0;
+  int64_t tasks_run = 0;
+  double task_s_total = 0.0;
+  double last_task_s = 0.0;
+  double last_queue_wait_s = 0.0;
+  int64_t last_drain_slice = -1;
+  /// The published mid-stream snapshot (single writer: the strand).
+  SnapshotSlot slot;
   /// Declared last on purpose: the strand's destructor joins the shard's
   /// pending tasks (fire-and-forget streaming drains included), and those
   /// tasks touch every member above — so the strand must be destroyed
@@ -33,6 +58,19 @@ struct ShardedEdmsRuntime::Shard {
 };
 
 namespace {
+
+/// How many deferred streaming-intake errors each shard writes to the log
+/// before falling back to counting only (overlay.intake_errors keeps the
+/// full tally).
+constexpr int kMaxLoggedIntakeErrors = 5;
+
+/// Monotonic nanosecond stamp for intake batches (steady_clock, the same
+/// clock Stopwatch uses).
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Per-shard engine configuration derived from the runtime template.
 EdmsEngine::Config ShardEngineConfig(const ShardedEdmsRuntime::Config& config,
@@ -113,21 +151,59 @@ ShardedEdmsRuntime::ShardedEdmsRuntime(const Config& config)
   }
 }
 
-// Shard destruction joins each strand's pending tasks (streaming drains
-// included) before pool_ releases the — possibly private — pool.
-ShardedEdmsRuntime::~ShardedEdmsRuntime() = default;
+ShardedEdmsRuntime::~ShardedEdmsRuntime() {
+  // Join each strand's pending tasks (streaming drains included) first:
+  // whatever was posted before destruction began still runs against a live
+  // shard. Then count what nobody drained — batches can survive the join
+  // when a drain task died on an exception or the caller raced the
+  // contract — so offers never vanish without a trace.
+  int64_t dropped_offers = 0;
+  for (auto& shard : shards_) {
+    shard->strand.reset();
+    IntakeBatch batch;
+    while (shard->intake.Pop(&batch)) {
+      dropped_offers += static_cast<int64_t>(batch.offers.size());
+    }
+  }
+  if (dropped_offers > 0) {
+    MIRABEL_LOG(kWarning) << "ShardedEdmsRuntime shut down with "
+                          << dropped_offers
+                          << " offers undrained in shard intake queues";
+  }
+  if (config_.final_stats != nullptr) {
+    // The strands are joined, so the quiescent merge is exact.
+    EngineStats merged = stats();
+    merged.offers_dropped_at_shutdown = dropped_offers;
+    *config_.final_stats = merged;
+  }
+}
 
 void ShardedEdmsRuntime::RunOnShard(size_t i, std::function<void()> fn) {
+  Shard* shard = shards_[i].get();
   if (pool_ == nullptr) {
+    Stopwatch watch;
     fn();
+    FinishShardTask(*shard, watch.ElapsedSeconds());
     return;
   }
-  shards_[i]->strand->Post(std::move(fn)).get();
+  shard->strand
+      ->Post([this, shard, fn = std::move(fn)] {
+        Stopwatch watch;
+        fn();
+        FinishShardTask(*shard, watch.ElapsedSeconds());
+      })
+      .get();
 }
 
 void ShardedEdmsRuntime::DrainShardIntake(Shard& shard) {
   IntakeBatch batch;
   while (shard.intake.Pop(&batch)) {
+    ++shard.drained_batches;
+    shard.last_drain_slice = batch.now;
+    if (batch.enqueue_ns != 0) {
+      shard.last_queue_wait_s =
+          static_cast<double>(MonotonicNanos() - batch.enqueue_ns) * 1e-9;
+    }
     Result<size_t> r = shard.engine->SubmitOffers(
         std::span<const FlexOffer>(batch.offers), batch.now);
     if (r.ok()) continue;
@@ -138,15 +214,42 @@ void ShardedEdmsRuntime::DrainShardIntake(Shard& shard) {
       // same tolerance the bus adapter applies to re-sent offers).
       for (const FlexOffer& offer : batch.offers) {
         Status st = shard.engine->SubmitOffer(offer, batch.now);
-        if (!st.ok() && st.code() != StatusCode::kAlreadyExists &&
-            shard.intake_error.ok()) {
-          shard.intake_error = st;
+        if (!st.ok() && st.code() != StatusCode::kAlreadyExists) {
+          NoteIntakeError(shard, st);
         }
       }
-    } else if (shard.intake_error.ok()) {
-      shard.intake_error = r.status();
+    } else {
+      NoteIntakeError(shard, r.status());
     }
   }
+}
+
+void ShardedEdmsRuntime::NoteIntakeError(Shard& shard, const Status& status) {
+  ++shard.overlay.intake_errors;
+  if (shard.intake_error.ok()) shard.intake_error = status;
+  if (shard.logged_intake_errors < kMaxLoggedIntakeErrors) {
+    ++shard.logged_intake_errors;
+    MIRABEL_LOG(kWarning) << "deferred streaming-intake error ("
+                          << shard.overlay.intake_errors
+                          << " so far on this shard): " << status;
+  }
+}
+
+void ShardedEdmsRuntime::FinishShardTask(Shard& shard, double elapsed_s) {
+  ++shard.tasks_run;
+  shard.task_s_total += elapsed_s;
+  shard.last_task_s = elapsed_s;
+  ShardSnapshot snap;
+  snap.stats = shard.engine->stats();
+  snap.stats.Merge(shard.overlay);
+  snap.intake_depth_batches = shard.intake.ApproxDepth();
+  snap.intake_drained_batches = shard.drained_batches;
+  snap.strand_tasks_run = shard.tasks_run;
+  snap.strand_task_s_total = shard.task_s_total;
+  snap.last_task_s = shard.last_task_s;
+  snap.last_queue_wait_s = shard.last_queue_wait_s;
+  snap.last_drain_slice = shard.last_drain_slice;
+  shard.slot.Publish(snap);
 }
 
 void ShardedEdmsRuntime::ScheduleIntakeDrain(size_t i) {
@@ -155,25 +258,41 @@ void ShardedEdmsRuntime::ScheduleIntakeDrain(size_t i) {
   // errors through intake_error, so the future is dropped deliberately —
   // which is also why the task must not leak exceptions into it.
   (void)shard->strand->Post([this, shard] {
+    Stopwatch watch;
     try {
       DrainShardIntake(*shard);
     } catch (const std::exception& e) {
-      if (shard->intake_error.ok()) {
-        shard->intake_error =
-            Status::Internal(std::string("intake drain threw: ") + e.what());
-      }
+      NoteIntakeError(
+          *shard,
+          Status::Internal(std::string("intake drain threw: ") + e.what()));
     } catch (...) {
-      if (shard->intake_error.ok()) {
-        shard->intake_error = Status::Internal("intake drain threw");
-      }
+      NoteIntakeError(*shard, Status::Internal("intake drain threw"));
     }
+    FinishShardTask(*shard, watch.ElapsedSeconds());
   });
+}
+
+void ShardedEdmsRuntime::ShedBucket(std::vector<FlexOffer> bucket,
+                                    TimeSlice now) {
+  shed_offers_.fetch_add(static_cast<int64_t>(bucket.size()),
+                         std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shed_events_mu_);
+  shed_events_.reserve(shed_events_.size() + bucket.size());
+  for (const FlexOffer& offer : bucket) {
+    shed_events_.push_back(
+        OfferRejected{offer.id, offer.owner, now, RejectReason::kOverloaded});
+  }
 }
 
 Result<size_t> ShardedEdmsRuntime::SubmitOffers(
     std::span<const FlexOffer> offers, TimeSlice now) {
   const size_t n = shards_.size();
-  if (pool_ == nullptr) return shards_[0]->engine->SubmitOffers(offers, now);
+  if (pool_ == nullptr) {
+    Stopwatch watch;
+    Result<size_t> r = shards_[0]->engine->SubmitOffers(offers, now);
+    FinishShardTask(*shards_[0], watch.ElapsedSeconds());
+    return r;
+  }
 
   std::vector<std::vector<FlexOffer>> buckets(n);
   for (const FlexOffer& offer : offers) {
@@ -184,12 +303,36 @@ Result<size_t> ShardedEdmsRuntime::SubmitOffers(
     // Stream: enqueue and return. The drain tasks run concurrently with
     // whatever the strands are doing (e.g. a gate on another shard), and
     // this path is safe from any number of producer threads.
+    const auto max_pending =
+        static_cast<int64_t>(config_.max_pending_batches_per_shard);
+    if (max_pending > 0 &&
+        config_.overload_policy == Config::OverloadPolicy::kReject) {
+      // All-or-nothing: probe every target queue before enqueuing anything,
+      // so a rejected call leaves no partial intake behind.
+      for (size_t i = 0; i < n; ++i) {
+        if (buckets[i].empty()) continue;
+        if (shards_[i]->intake.ApproxDepth() >= max_pending) {
+          return Status::ResourceExhausted(
+              "shard " + std::to_string(i) + " intake queue is full (" +
+              std::to_string(max_pending) + " pending batches)");
+        }
+      }
+    }
+    const int64_t enqueue_ns = MonotonicNanos();
+    size_t enqueued = 0;
     for (size_t i = 0; i < n; ++i) {
       if (buckets[i].empty()) continue;
-      shards_[i]->intake.Push({std::move(buckets[i]), now});
+      if (max_pending > 0 &&
+          config_.overload_policy == Config::OverloadPolicy::kShed &&
+          shards_[i]->intake.ApproxDepth() >= max_pending) {
+        ShedBucket(std::move(buckets[i]), now);
+        continue;
+      }
+      enqueued += buckets[i].size();
+      shards_[i]->intake.Push({std::move(buckets[i]), now, enqueue_ns});
       ScheduleIntakeDrain(i);
     }
-    return offers.size();
+    return enqueued;
   }
 
   std::vector<Status> statuses(n, Status::OK());
@@ -200,6 +343,7 @@ Result<size_t> ShardedEdmsRuntime::SubmitOffers(
     if (buckets[i].empty()) continue;
     futures.push_back(shards_[i]->strand->Post([this, i, &buckets, &statuses,
                                                 &accepted, now] {
+      Stopwatch watch;
       Result<size_t> r = shards_[i]->engine->SubmitOffers(
           std::span<const FlexOffer>(buckets[i]), now);
       if (r.ok()) {
@@ -207,6 +351,7 @@ Result<size_t> ShardedEdmsRuntime::SubmitOffers(
       } else {
         statuses[i] = r.status();
       }
+      FinishShardTask(*shards_[i], watch.ElapsedSeconds());
     }));
   }
   MIRABEL_RETURN_IF_ERROR(JoinAll(futures, statuses));
@@ -221,18 +366,25 @@ Status ShardedEdmsRuntime::SubmitOffer(const FlexOffer& offer, TimeSlice now) {
 
 Status ShardedEdmsRuntime::Advance(TimeSlice now) {
   const size_t n = shards_.size();
-  if (pool_ == nullptr) return shards_[0]->engine->Advance(now);
+  if (pool_ == nullptr) {
+    Stopwatch watch;
+    Status st = shards_[0]->engine->Advance(now);
+    FinishShardTask(*shards_[0], watch.ElapsedSeconds());
+    return st;
+  }
   std::vector<Status> statuses(n, Status::OK());
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     futures.push_back(shards_[i]->strand->Post([this, i, &statuses, now] {
+      Stopwatch watch;
       Shard& shard = *shards_[i];
       // A due gate sees every batch enqueued before this task ran; deferred
       // streaming-intake errors outrank gate errors (they happened first).
       DrainShardIntake(shard);
       Status st = std::exchange(shard.intake_error, Status::OK());
       statuses[i] = st.ok() ? shard.engine->Advance(now) : std::move(st);
+      FinishShardTask(shard, watch.ElapsedSeconds());
     }));
   }
   return JoinAll(futures, statuses);
@@ -246,9 +398,11 @@ Status ShardedEdmsRuntime::FlushIntake() {
   futures.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     futures.push_back(shards_[i]->strand->Post([this, i, &statuses] {
+      Stopwatch watch;
       Shard& shard = *shards_[i];
       DrainShardIntake(shard);
       statuses[i] = std::exchange(shard.intake_error, Status::OK());
+      FinishShardTask(shard, watch.ElapsedSeconds());
     }));
   }
   return JoinAll(futures, statuses);
@@ -321,13 +475,17 @@ void ShardedEdmsRuntime::RecordMeterReadings(
     std::span<const MeterReading> readings) {
   const size_t n = shards_.size();
   if (pool_ == nullptr) {
-    EdmsEngine& engine = *shards_[0]->engine;
+    Stopwatch watch;
+    Shard& shard = *shards_[0];
+    EdmsEngine& engine = *shard.engine;
     for (const MeterReading& r : readings) {
       engine.RecordMeasurement(r.actor, r.slice, r.energy_kwh);
-      if (r.offer_id != 0) {
-        (void)engine.RecordExecution(r.offer_id, r.slice, r.energy_kwh);
+      if (r.offer_id != 0 &&
+          !engine.RecordExecution(r.offer_id, r.slice, r.energy_kwh).ok()) {
+        ++shard.overlay.metering_failures;
       }
     }
+    FinishShardTask(shard, watch.ElapsedSeconds());
     return;
   }
   std::vector<std::vector<MeterReading>> buckets(n);
@@ -339,13 +497,20 @@ void ShardedEdmsRuntime::RecordMeterReadings(
   for (size_t i = 0; i < n; ++i) {
     if (buckets[i].empty()) continue;
     futures.push_back(shards_[i]->strand->Post([this, i, &buckets] {
-      EdmsEngine& engine = *shards_[i]->engine;
+      Stopwatch watch;
+      Shard& shard = *shards_[i];
+      EdmsEngine& engine = *shard.engine;
       for (const MeterReading& r : buckets[i]) {
         engine.RecordMeasurement(r.actor, r.slice, r.energy_kwh);
-        if (r.offer_id != 0) {
-          (void)engine.RecordExecution(r.offer_id, r.slice, r.energy_kwh);
+        // Execution failures (e.g. re-metered offers) are tolerated —
+        // duplicate-heavy bus traffic is normal — but counted, so they are
+        // visible instead of invisible.
+        if (r.offer_id != 0 &&
+            !engine.RecordExecution(r.offer_id, r.slice, r.energy_kwh).ok()) {
+          ++shard.overlay.metering_failures;
         }
       }
+      FinishShardTask(shard, watch.ElapsedSeconds());
     }));
   }
   DrainFutures(futures);
@@ -355,14 +520,26 @@ std::vector<Event> ShardedEdmsRuntime::PollEvents() {
   // Concatenate the per-shard drains in shard order, then stable-sort by
   // emission slice: within one slice, events keep shard order and each
   // shard's emission order — a deterministic merge for deterministic
-  // shard streams, whatever the worker interleaving was.
+  // shard streams, whatever the worker interleaving was. Shed events
+  // (OfferRejected{kOverloaded}, produced on the submitter threads) are
+  // appended after the shard streams and merged by the same sort.
   std::vector<Event> out;
   for (auto& shard : shards_) {
     std::vector<Event> drained = shard->engine->PollEvents();
     out.insert(out.end(), std::make_move_iterator(drained.begin()),
                std::make_move_iterator(drained.end()));
   }
-  if (shards_.size() > 1) {
+  bool had_shed = false;
+  {
+    std::lock_guard<std::mutex> lock(shed_events_mu_);
+    if (!shed_events_.empty()) {
+      had_shed = true;
+      out.insert(out.end(), std::make_move_iterator(shed_events_.begin()),
+                 std::make_move_iterator(shed_events_.end()));
+      shed_events_.clear();
+    }
+  }
+  if (shards_.size() > 1 || had_shed) {
     std::stable_sort(out.begin(), out.end(),
                      [](const Event& a, const Event& b) {
                        return EventTime(a) < EventTime(b);
@@ -373,8 +550,33 @@ std::vector<Event> ShardedEdmsRuntime::PollEvents() {
 
 EngineStats ShardedEdmsRuntime::stats() const {
   EngineStats merged;
-  for (const auto& shard : shards_) merged.Merge(shard->engine->stats());
+  for (const auto& shard : shards_) {
+    merged.Merge(shard->engine->stats());
+    merged.Merge(shard->overlay);
+  }
+  merged.offers_shed += shed_offers_.load(std::memory_order_relaxed);
   return merged;
+}
+
+RuntimeSnapshot ShardedEdmsRuntime::Snapshot() const {
+  RuntimeSnapshot out;
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardSnapshot snap = shard->slot.Read();
+    // The queue depth moves with every producer push, not only with strand
+    // tasks: read it live so backlog is visible even while the strand is
+    // stuck inside one long gate.
+    snap.intake_depth_batches = shard->intake.ApproxDepth();
+    out.stats.Merge(snap.stats);
+    out.intake_depth_batches += snap.intake_depth_batches;
+    out.intake_drained_batches += snap.intake_drained_batches;
+    out.strand_tasks_run += snap.strand_tasks_run;
+    out.strand_task_s_total += snap.strand_task_s_total;
+    out.max_last_task_s = std::max(out.max_last_task_s, snap.last_task_s);
+    out.shards.push_back(snap);
+  }
+  out.stats.offers_shed += shed_offers_.load(std::memory_order_relaxed);
+  return out;
 }
 
 const EdmsEngine& ShardedEdmsRuntime::shard(size_t i) const {

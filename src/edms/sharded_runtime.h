@@ -1,12 +1,15 @@
 #ifndef MIRABEL_EDMS_SHARDED_RUNTIME_H_
 #define MIRABEL_EDMS_SHARDED_RUNTIME_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "edms/edms_engine.h"
+#include "edms/runtime_snapshot.h"
 #include "edms/shard_router.h"
 #include "edms/worker_pool.h"
 
@@ -45,6 +48,19 @@ namespace mirabel::edms {
 ///    are dropped at drain time. Advance() still joins (it is the control
 ///    loop's barrier); the accessors require quiescence — every submitter
 ///    stopped, then one FlushIntake()/Advance() — before they are safe.
+///    Intake is bounded when Config::max_pending_batches_per_shard is set:
+///    on overflow, SubmitOffers() either sheds the overflowing sub-batches
+///    with OfferRejected{kOverloaded} events (OverloadPolicy::kShed, the
+///    default — reject-with-event beats silent OOM at millions of
+///    producers) or fails the whole call with ResourceExhausted
+///    (OverloadPolicy::kReject).
+///
+/// Mid-stream observability: Snapshot() returns coherent merged stats and
+/// per-shard gauges (intake queue depth, strand task latency, last drain
+/// slice) from ANY thread at ANY time — each shard strand republishes its
+/// state through a seqlock slot after every task, so snapshots never require
+/// quiescence. stats()/shard()/HasSeenOffer() remain the exact, quiescent
+/// fast path (see the threading table in docs/architecture.md).
 ///
 /// Threading contract (see also docs/architecture.md): Advance(),
 /// CompleteMacroSchedule(), RecordExecution(), RecordMeterReadings(),
@@ -84,6 +100,32 @@ class ShardedEdmsRuntime {
     std::shared_ptr<WorkerPool> pool;
     /// Enables streaming intake (see the class comment).
     bool streaming_intake = false;
+    /// Streaming mode only: caps each shard's intake queue at this many
+    /// pending batches (0 = unbounded, today's behavior). The bound is
+    /// enforced approximately — producers racing SubmitOffers() can
+    /// transiently overshoot by about the producer count — which is the
+    /// right trade for a lock-free hot path; the guarantee is "bounded",
+    /// not "exact".
+    size_t max_pending_batches_per_shard = 0;
+    /// What SubmitOffers() does with a sub-batch whose shard queue is full.
+    enum class OverloadPolicy {
+      /// Drop the overflowing sub-batch and emit one
+      /// OfferRejected{kOverloaded} event per shed offer (counted in
+      /// EngineStats::offers_shed). The call still succeeds for the other
+      /// shards' sub-batches.
+      kShed = 0,
+      /// Fail the whole call synchronously with ResourceExhausted before
+      /// enqueuing anything (fork-join-style error for callers that prefer
+      /// to retry with backoff).
+      kReject = 1,
+    };
+    OverloadPolicy overload_policy = OverloadPolicy::kShed;
+    /// Optional shutdown sink: when set, ~ShardedEdmsRuntime writes the
+    /// final merged stats here after joining the strands, with
+    /// offers_dropped_at_shutdown counting any offers still sitting
+    /// undrained in shard intake queues — so offers can't vanish without a
+    /// trace when a streaming runtime is torn down mid-stream.
+    std::shared_ptr<EngineStats> final_stats;
   };
 
   explicit ShardedEdmsRuntime(const Config& config);
@@ -146,8 +188,9 @@ class ShardedEdmsRuntime {
   /// Batch metering: routes each reading to its actor's shard (the shard
   /// that owns the actor's offers) and records all of them in one fork-join
   /// instead of a strand round trip per reading. Execution failures (e.g.
-  /// re-metered offers) are dropped, matching the bus adapter's tolerance
-  /// of duplicate messages.
+  /// re-metered offers) are tolerated — matching the bus adapter's
+  /// tolerance of duplicate messages — but counted in
+  /// EngineStats::metering_failures so they stay visible.
   void RecordMeterReadings(std::span<const MeterReading> readings);
 
   /// Drains every shard's event stream and returns one merged, ordered
@@ -158,9 +201,19 @@ class ShardedEdmsRuntime {
   /// from one thread.
   std::vector<Event> PollEvents();
 
-  /// Shard stats summed with EngineStats::Merge(). Requires quiescence in
-  /// streaming mode (see the class comment).
+  /// Shard stats summed with EngineStats::Merge(). Exact, but requires
+  /// quiescence in streaming mode (see the class comment); for mid-stream
+  /// reads use Snapshot().
   EngineStats stats() const;
+
+  /// Lock-free mid-stream observability: merged stats plus per-shard gauges
+  /// (intake queue depth, strand task latency, last drain slice), coherent
+  /// per shard, callable from ANY thread at ANY time — concurrent
+  /// producers, running gates, no quiescence needed. Each shard's slice is
+  /// what its strand last published (after its most recent task), so the
+  /// merged numbers can trail the engines by the tasks currently in flight;
+  /// queue depths are read live.
+  RuntimeSnapshot Snapshot() const;
 
   size_t num_shards() const { return shards_.size(); }
   /// The engine of shard `i` (read-only; requires quiescent strands).
@@ -189,12 +242,31 @@ class ShardedEdmsRuntime {
   void DrainShardIntake(Shard& shard);
   /// Posts a fire-and-forget intake drain for shard `i`.
   void ScheduleIntakeDrain(size_t i);
+  /// Strand context only: records one deferred intake error (counter +
+  /// first-error-wins Status + capped logging).
+  void NoteIntakeError(Shard& shard, const Status& status);
+  /// Strand context only: folds `elapsed_s` into the shard's task gauges
+  /// and republishes its snapshot slot.
+  void FinishShardTask(Shard& shard, double elapsed_s);
+  /// Sheds one routed sub-batch: counts it and queues the per-offer
+  /// OfferRejected{kOverloaded} events for the next PollEvents(). Safe from
+  /// any producer thread.
+  void ShedBucket(std::vector<flexoffer::FlexOffer> bucket,
+                  flexoffer::TimeSlice now);
 
   Config config_;
   /// Declared before shards_ so the strands (inside shards_) are destroyed
   /// while the pool is still alive.
   std::shared_ptr<WorkerPool> pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Offers shed under OverloadPolicy::kShed (runtime-level: shed offers
+  /// never reach a shard engine). Added into stats()/Snapshot() merges.
+  std::atomic<int64_t> shed_offers_{0};
+  /// Pending OfferRejected{kOverloaded} events from producer-side sheds,
+  /// merged into the next PollEvents() drain. Mutex-guarded: this is the
+  /// overload slow path, not the hot path.
+  std::mutex shed_events_mu_;
+  std::vector<Event> shed_events_;
 };
 
 }  // namespace mirabel::edms

@@ -27,6 +27,10 @@ EngineStats Filled(int64_t base) {
   s.imbalance_after_kwh = static_cast<double>(base) + 12.5;
   s.schedule_cost_eur = static_cast<double>(base) + 13.5;
   s.budget_saved_s = static_cast<double>(base) + 14.5;
+  s.intake_errors = base + 15;
+  s.metering_failures = base + 16;
+  s.offers_shed = base + 17;
+  s.offers_dropped_at_shutdown = base + 18;
   return s;
 }
 
@@ -48,6 +52,10 @@ void ExpectSum(const EngineStats& merged, int64_t a, int64_t b) {
   EXPECT_DOUBLE_EQ(merged.schedule_cost_eur,
                    static_cast<double>(a + b) + 27.0);
   EXPECT_DOUBLE_EQ(merged.budget_saved_s, static_cast<double>(a + b) + 29.0);
+  EXPECT_EQ(merged.intake_errors, a + b + 30);
+  EXPECT_EQ(merged.metering_failures, a + b + 32);
+  EXPECT_EQ(merged.offers_shed, a + b + 34);
+  EXPECT_EQ(merged.offers_dropped_at_shutdown, a + b + 36);
 }
 
 TEST(EngineStatsTest, MergeCoversEveryField) {

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -450,6 +451,183 @@ TEST(ShardedRuntimeTest, DestructionJoinsPendingStreamingDrains) {
     ASSERT_TRUE(
         runtime.SubmitOffers(std::span<const FlexOffer>(offers), 0).ok());
     // Destroyed here with the drains possibly still queued.
+  }
+}
+
+/// Holds the single worker of a 1-thread pool hostage so no drain task can
+/// run until Release(): streaming pushes then accumulate in the intake
+/// queues deterministically, which is how the bounded-intake tests overflow
+/// a queue on purpose.
+class BlockedWorker {
+ public:
+  explicit BlockedWorker(const std::shared_ptr<WorkerPool>& pool)
+      : strand_(pool->CreateStrand()) {
+    auto gate = std::make_shared<std::future<void>>(gate_.get_future());
+    running_ = strand_->Post([gate] { gate->wait(); });
+  }
+
+  ~BlockedWorker() { Release(); }
+
+  void Release() {
+    if (released_) return;
+    released_ = true;
+    gate_.set_value();
+    running_.get();
+  }
+
+ private:
+  std::promise<void> gate_;
+  std::unique_ptr<WorkerPool::Strand> strand_;
+  std::future<void> running_;
+  bool released_ = false;
+};
+
+/// Seven bounded-intake submissions against a 2-shard runtime (owner % 2):
+/// six single-offer calls for owner 501 (shard 1), then one mixed call with
+/// an owner-501 and an owner-502 offer. With the worker blocked and a
+/// 2-batch bound, calls 3.. overflow shard 1 while shard 0 stays open.
+std::vector<std::vector<FlexOffer>> BoundedIntakeCalls() {
+  std::vector<std::vector<FlexOffer>> calls;
+  for (uint64_t k = 0; k < 6; ++k) {
+    calls.push_back({testutil::OwnedOffer(50100 + k, 501,
+                                          /*assign_before=*/24,
+                                          /*earliest=*/30, /*latest=*/50)});
+  }
+  calls.push_back({testutil::OwnedOffer(50106, 501, 24, 30, 50),
+                   testutil::OwnedOffer(50200, 502, 24, 30, 50)});
+  return calls;
+}
+
+struct BoundedOutcome {
+  std::set<FlexOfferId> accepted;
+  std::set<FlexOfferId> shed;
+  EngineStats stats;
+  int64_t depth_while_blocked = 0;
+};
+
+BoundedOutcome RunBoundedIntake(
+    size_t max_pending, ShardedEdmsRuntime::Config::OverloadPolicy policy) {
+  WorkerPool::Options pool_options;
+  pool_options.num_threads = 1;
+  auto pool = std::make_shared<WorkerPool>(pool_options);
+
+  ShardedEdmsRuntime::Config rc = RuntimeConfig(2);
+  rc.streaming_intake = true;
+  rc.pool = pool;
+  rc.max_pending_batches_per_shard = max_pending;
+  rc.overload_policy = policy;
+  ShardedEdmsRuntime runtime(rc);
+
+  BoundedOutcome out;
+  {
+    BlockedWorker blocked(pool);
+    for (const std::vector<FlexOffer>& call : BoundedIntakeCalls()) {
+      auto submitted =
+          runtime.SubmitOffers(std::span<const FlexOffer>(call), 0);
+      if (!submitted.ok()) {
+        EXPECT_EQ(submitted.status().code(), StatusCode::kResourceExhausted);
+      }
+      // Mid-stream, from the submitter thread, with the queues backed up:
+      // the snapshot path must stay available and see the live depth.
+      out.depth_while_blocked = std::max(
+          out.depth_while_blocked, runtime.Snapshot().intake_depth_batches);
+    }
+  }  // releases the worker; drains proceed
+  EXPECT_TRUE(runtime.FlushIntake().ok());
+  EXPECT_TRUE(runtime.Advance(0).ok());
+
+  for (const Event& event : runtime.PollEvents()) {
+    if (const auto* e = std::get_if<OfferAccepted>(&event)) {
+      out.accepted.insert(e->offer);
+    } else if (const auto* e = std::get_if<OfferRejected>(&event)) {
+      if (e->reason == RejectReason::kOverloaded) out.shed.insert(e->offer);
+    }
+  }
+  out.stats = runtime.stats();
+  return out;
+}
+
+TEST(ShardedRuntimeTest, BoundedIntakeShedsWithOverloadedEvents) {
+  BoundedOutcome bounded = RunBoundedIntake(
+      2, ShardedEdmsRuntime::Config::OverloadPolicy::kShed);
+  // The unbounded twin of the same submissions accepts everything.
+  BoundedOutcome unbounded = RunBoundedIntake(
+      0, ShardedEdmsRuntime::Config::OverloadPolicy::kShed);
+  ASSERT_EQ(unbounded.accepted.size(), 8u);
+  EXPECT_TRUE(unbounded.shed.empty());
+
+  // Calls 1-2 fill shard 1's queue; calls 3-7 shed their shard-1 offers.
+  // Shard 0 never overflows, so 50200 (owner 502) still lands.
+  EXPECT_EQ(bounded.accepted,
+            (std::set<FlexOfferId>{50100, 50101, 50200}));
+  EXPECT_EQ(bounded.shed,
+            (std::set<FlexOfferId>{50102, 50103, 50104, 50105, 50106}));
+  EXPECT_EQ(bounded.stats.offers_shed, 5);
+  // Shed offers never reached an engine: they are not in offers_received /
+  // offers_rejected.
+  EXPECT_EQ(bounded.stats.offers_received, 3);
+  EXPECT_EQ(bounded.stats.offers_rejected, 0);
+
+  // No offer was lost or duplicated: accepted and shed partition exactly
+  // the id set the unbounded run accepted.
+  std::set<FlexOfferId> covered = bounded.accepted;
+  covered.insert(bounded.shed.begin(), bounded.shed.end());
+  EXPECT_EQ(covered, unbounded.accepted);
+  for (FlexOfferId id : bounded.shed) {
+    EXPECT_EQ(bounded.accepted.count(id), 0u) << id;
+  }
+
+  // The queues stayed bounded while the worker was blocked: at most
+  // max_pending batches on shard 1 plus one open batch on shard 0.
+  EXPECT_LE(bounded.depth_while_blocked, 3);
+  EXPECT_GE(unbounded.depth_while_blocked, 7);
+}
+
+TEST(ShardedRuntimeTest, BoundedIntakeRejectPolicyFailsWholeCall) {
+  BoundedOutcome rejected = RunBoundedIntake(
+      2, ShardedEdmsRuntime::Config::OverloadPolicy::kReject);
+  // Rejected calls enqueue nothing anywhere: the mixed call's shard-0 offer
+  // is rejected along with its full shard-1 sub-batch, and no
+  // OfferRejected{kOverloaded} events are emitted.
+  EXPECT_EQ(rejected.accepted, (std::set<FlexOfferId>{50100, 50101}));
+  EXPECT_TRUE(rejected.shed.empty());
+  EXPECT_EQ(rejected.stats.offers_shed, 0);
+  EXPECT_EQ(rejected.stats.offers_received, 2);
+  EXPECT_LE(rejected.depth_while_blocked, 2);
+}
+
+TEST(ShardedRuntimeTest, FinalStatsSinkSurvivesShutdown) {
+  auto sink = std::make_shared<EngineStats>();
+  std::vector<FlexOffer> offers = Workload();
+  {
+    ShardedEdmsRuntime::Config rc = RuntimeConfig(4);
+    rc.streaming_intake = true;
+    rc.final_stats = sink;
+    ShardedEdmsRuntime runtime(rc);
+    ASSERT_TRUE(
+        runtime.SubmitOffers(std::span<const FlexOffer>(offers), 0).ok());
+    // Destroyed with drains possibly still queued: the destructor joins
+    // them, so nothing is dropped and the sink gets the complete tallies.
+  }
+  EXPECT_EQ(sink->offers_received, 24);
+  EXPECT_EQ(sink->offers_accepted, 24);
+  EXPECT_EQ(sink->offers_dropped_at_shutdown, 0);
+}
+
+TEST(ShardedRuntimeTest, MeterReadingExecutionFailuresAreCounted) {
+  // Pooled (2 shards) and inline (1 shard, no pool) paths both count
+  // RecordExecution failures on the metering hot path instead of dropping
+  // them silently.
+  for (size_t num_shards : {size_t{1}, size_t{2}}) {
+    ShardedEdmsRuntime runtime(RuntimeConfig(num_shards));
+    std::vector<ShardedEdmsRuntime::MeterReading> readings(2);
+    readings[0] = {/*actor=*/501, /*slice=*/1, /*energy_kwh=*/1.5,
+                   /*offer_id=*/999999};  // unknown offer: fails
+    readings[1] = {/*actor=*/502, /*slice=*/1, /*energy_kwh=*/1.0,
+                   /*offer_id=*/0};  // plain measurement: no lifecycle
+    runtime.RecordMeterReadings(readings);
+    EXPECT_EQ(runtime.stats().metering_failures, 1)
+        << num_shards << " shard(s)";
   }
 }
 

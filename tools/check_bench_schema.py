@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Schema check for bench JSON reports.
+
+CI's bench-smoke job runs the benches and uploads BENCH_*.json artifacts;
+this script asserts that the reports a downstream dashboard depends on
+actually contain the fields it reads — a bench refactor that silently
+drops a metric should fail the job, not produce holes in the trend charts.
+
+Usage:
+    check_bench_schema.py <path-to-BENCH_edms_runtime.json>
+
+Exits non-zero listing every missing result or field.
+"""
+
+import json
+import sys
+
+# result-name -> fields that must be present (numeric).
+REQUIRED = {
+    "latency/sustained": [
+        "accept_p50_ms",
+        "accept_p95_ms",
+        "accept_p99_ms",
+        "assign_p50_ms",
+        "assign_p95_ms",
+        "assign_p99_ms",
+        "accept_samples",
+        "assign_samples",
+        "peak_intake_depth_batches",
+    ],
+    "latency/bursty": [
+        "accept_p50_ms",
+        "accept_p95_ms",
+        "accept_p99_ms",
+        "assign_p50_ms",
+        "assign_p95_ms",
+        "assign_p99_ms",
+        "accept_samples",
+        "assign_samples",
+        "peak_intake_depth_batches",
+    ],
+    "streaming/pooled": ["wall_s", "accepted", "micro_schedules"],
+    "shards/1": ["wall_s", "imbalance_reduction_kwh"],
+}
+
+
+def check(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    results = {r.get("name"): r for r in report.get("results", [])}
+    errors = []
+    for name, fields in REQUIRED.items():
+        result = results.get(name)
+        if result is None:
+            errors.append(f"missing result: {name}")
+            continue
+        for field in fields:
+            value = result.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{name}: field {field} missing or non-numeric")
+    # Sanity: a latency leg with zero samples means the measurement silently
+    # broke even if the fields exist.
+    for name in ("latency/sustained", "latency/bursty"):
+        result = results.get(name)
+        if result and result.get("accept_samples", 0) <= 0:
+            errors.append(f"{name}: accept_samples is zero")
+    if errors:
+        for e in errors:
+            print(f"check_bench_schema: {e}", file=sys.stderr)
+        return 1
+    print(f"check_bench_schema: {path} OK "
+          f"({len(REQUIRED)} results, all required fields present)")
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return check(sys.argv[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main())
