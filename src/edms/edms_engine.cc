@@ -20,15 +20,17 @@ EngineStats& EngineStats::Merge(const EngineStats& other) {
   // Destructuring both sides pins the member count at compile time: adding a
   // field to EngineStats without extending these bindings fails to build.
   // The size guard additionally catches same-count layout changes.
-  static_assert(sizeof(EngineStats) == 18 * sizeof(int64_t),
+  static_assert(sizeof(EngineStats) == 23 * sizeof(int64_t),
                 "EngineStats layout changed: update Merge()");
   auto& [received, batches, accepted, rejected, runs, macros, micros, expired,
          executed, payments, imb_before, imb_after, cost, budget_saved,
-         intake_errs, metering_fails, shed, dropped] = *this;
+         intake_errs, metering_fails, shed, dropped, wins_greedy, wins_ea,
+         wins_hybrid, wins_bnb, proven] = *this;
   const auto& [o_received, o_batches, o_accepted, o_rejected, o_runs, o_macros,
                o_micros, o_expired, o_executed, o_payments, o_imb_before,
                o_imb_after, o_cost, o_budget_saved, o_intake_errs,
-               o_metering_fails, o_shed, o_dropped] = other;
+               o_metering_fails, o_shed, o_dropped, o_wins_greedy, o_wins_ea,
+               o_wins_hybrid, o_wins_bnb, o_proven] = other;
   received += o_received;
   batches += o_batches;
   accepted += o_accepted;
@@ -47,6 +49,11 @@ EngineStats& EngineStats::Merge(const EngineStats& other) {
   metering_fails += o_metering_fails;
   shed += o_shed;
   dropped += o_dropped;
+  wins_greedy += o_wins_greedy;
+  wins_ea += o_wins_ea;
+  wins_hybrid += o_wins_hybrid;
+  wins_bnb += o_wins_bnb;
+  proven += o_proven;
   return *this;
 }
 
@@ -315,6 +322,14 @@ Status EdmsEngine::ScheduleClaimed(
                            scheduler->RunCompiled(compiled, options));
   ++stats_.scheduling_runs;
   stats_.schedule_cost_eur += run.cost.total();
+  if (run.optimal_proven) ++stats_.bnb_optimal_proven;
+  for (const scheduling::PortfolioMemberStats& member : run.portfolio) {
+    if (!member.won) continue;
+    if (member.name == "GreedySearch") ++stats_.portfolio_wins_greedy;
+    if (member.name == "EvolutionaryAlgorithm") ++stats_.portfolio_wins_ea;
+    if (member.name == "Hybrid") ++stats_.portfolio_wins_hybrid;
+    if (member.name == "BranchAndBound") ++stats_.portfolio_wins_bnb;
+  }
   for (const auto& agg : macros) {
     events_.Push(MacroPublished{agg.macro, now, agg.members.size(),
                                      /*forwarded=*/false});

@@ -62,6 +62,17 @@ struct EngineStats {
   /// Offers still sitting in shard intake queues when the runtime was
   /// destroyed (reported through Config::final_stats only).
   int64_t offers_dropped_at_shutdown = 0;
+  /// Portfolio-race wins per member family, counted over scheduling runs
+  /// whose result carried per-member stats (i.e. the configured scheduler
+  /// was a PortfolioScheduler). Members with other names count nowhere.
+  int64_t portfolio_wins_greedy = 0;
+  int64_t portfolio_wins_ea = 0;
+  int64_t portfolio_wins_hybrid = 0;
+  int64_t portfolio_wins_bnb = 0;
+  /// Scheduling runs whose result was proved optimal over the start-slot
+  /// search space (BranchAndBound directly, or a portfolio whose winner
+  /// proved it; a completed Exhaustive sweep counts too).
+  int64_t bnb_optimal_proven = 0;
 
   /// Adds `other` field by field. The implementation destructures the whole
   /// struct, so adding a field without extending Merge() fails to compile.

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "scheduling/bnb_scheduler.h"
+#include "scheduling/portfolio_scheduler.h"
+
 namespace mirabel::edms {
 
 SchedulerRegistry& SchedulerRegistry::Default() {
@@ -18,6 +21,12 @@ SchedulerRegistry& SchedulerRegistry::Default() {
     });
     (void)r->Register("Hybrid", [] {
       return std::make_unique<scheduling::HybridScheduler>();
+    });
+    (void)r->Register("BranchAndBound", [] {
+      return std::make_unique<scheduling::BranchAndBoundScheduler>();
+    });
+    (void)r->Register("Portfolio", [] {
+      return std::make_unique<scheduling::PortfolioScheduler>();
     });
     return r;
   }();

@@ -25,8 +25,10 @@ using SchedulerFactory =
 /// string at every gate closure. Custom schedulers plug in via Register().
 class SchedulerRegistry {
  public:
-  /// The process-wide registry, preloaded with the paper's algorithms:
-  /// "GreedySearch", "EvolutionaryAlgorithm", "Exhaustive", "Hybrid".
+  /// The process-wide registry, preloaded with the paper's algorithms plus
+  /// the optimal-scheduling subsystem: "GreedySearch",
+  /// "EvolutionaryAlgorithm", "Exhaustive", "Hybrid", "BranchAndBound",
+  /// "Portfolio".
   static SchedulerRegistry& Default();
 
   /// Registers `factory` under `name`; AlreadyExists on duplicates.

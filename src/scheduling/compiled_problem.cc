@@ -168,8 +168,8 @@ void ScheduleWorkspace::Accumulate(const CompiledProblem& cp, size_t i,
   }
 }
 
-double ScheduleWorkspace::SliceCostAt(const CompiledProblem& cp, size_t s,
-                                      double residual) const {
+double SliceResidualCost(const CompiledProblem& cp, size_t s,
+                         double residual) {
   const double penalty = cp.penalty_eur[s];
   if (residual > 0.0) {
     const double price = cp.buy_price_eur[s];
@@ -187,6 +187,11 @@ double ScheduleWorkspace::SliceCostAt(const CompiledProblem& cp, size_t s,
     return -sold * price + (surplus - sold) * penalty;
   }
   return 0.0;
+}
+
+double ScheduleWorkspace::SliceCostAt(const CompiledProblem& cp, size_t s,
+                                      double residual) const {
+  return SliceResidualCost(cp, s, residual);
 }
 
 void ScheduleWorkspace::RefreshSliceCost(const CompiledProblem& cp,

@@ -69,6 +69,17 @@ struct CompiledProblem {
   }
 };
 
+/// Combined imbalance + market cost of slice `s` if its net residual were
+/// `residual`: the closed-form per-slice market response (buy while the buy
+/// price undercuts the penalty, sell surplus while the sell price is
+/// positive, caps applied). This is the exact expression the workspace's
+/// slice-cost cache evaluates — exposed as a free function so bound
+/// computations (the branch-and-bound scheduler) can price hypothetical
+/// residuals without a workspace. As a function of `residual` it is convex
+/// piecewise-linear with breakpoints at -max_sell_kwh, 0 and max_buy_kwh
+/// (for the usual price ordering sell <= buy <= penalty).
+double SliceResidualCost(const CompiledProblem& cp, size_t s, double residual);
+
 /// The mutable half of the kernel: one candidate schedule plus every derived
 /// quantity the cost model needs, with all buffers allocated up front so the
 /// steady-state evaluate / TryMove / ApplyMove loop performs zero heap

@@ -28,6 +28,20 @@ struct CostTracePoint {
   double best_cost_eur = 0.0;
 };
 
+/// Outcome of one portfolio member's run, reported by PortfolioScheduler
+/// (portfolio_scheduler.h) through SchedulingResult::portfolio.
+struct PortfolioMemberStats {
+  std::string name;
+  /// False when the member's run failed (its cost fields are meaningless).
+  bool ok = false;
+  double cost_eur = 0.0;
+  int iterations = 0;
+  int64_t nodes_visited = 0;
+  bool optimal_proven = false;
+  /// Exactly one member of a successful portfolio run wins.
+  bool won = false;
+};
+
 /// Outcome of a scheduling run.
 struct SchedulingResult {
   Schedule schedule;
@@ -35,6 +49,19 @@ struct SchedulingResult {
   int iterations = 0;
   /// Best-so-far cost improvements over time.
   std::vector<CostTracePoint> trace;
+  /// True when the run proved the returned schedule optimal over the
+  /// enumerable search space (start-slot combinations at fill = 1, the space
+  /// the §6 optimality study explores): exhaustive enumeration that
+  /// completed, or a branch-and-bound search that ran to exhaustion of its
+  /// open nodes. Anytime heuristics never set it.
+  bool optimal_proven = false;
+  /// Branch-and-bound: search-tree nodes expanded (partial assignments
+  /// descended into after the prune test, complete leaves included). Zero
+  /// for schedulers without a search tree.
+  int64_t nodes_visited = 0;
+  /// Per-member outcomes when this result came from a portfolio race
+  /// (empty otherwise).
+  std::vector<PortfolioMemberStats> portfolio;
 };
 
 /// Interface of the MIRABEL scheduling algorithms (paper §6: "we used two
@@ -130,7 +157,10 @@ class EvolutionaryScheduler : public Scheduler {
 /// optimality study of §6 (feasible "only if a few flex-offers need to be
 /// scheduled [and] there are no flex-offer energy constraints"). Offers with
 /// energy flexibility are scheduled at fill = 1. Refuses instances with more
-/// than `max_combinations` candidate schedules.
+/// than `max_combinations` candidate schedules. The enumeration honors the
+/// time budget via BudgetGate: on exhaustion it returns the best schedule
+/// found so far with `optimal_proven` false; a completed enumeration sets
+/// `optimal_proven` true.
 class ExhaustiveScheduler : public Scheduler {
  public:
   explicit ExhaustiveScheduler(uint64_t max_combinations = 100000000ULL);

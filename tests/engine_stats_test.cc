@@ -31,6 +31,11 @@ EngineStats Filled(int64_t base) {
   s.metering_failures = base + 16;
   s.offers_shed = base + 17;
   s.offers_dropped_at_shutdown = base + 18;
+  s.portfolio_wins_greedy = base + 19;
+  s.portfolio_wins_ea = base + 20;
+  s.portfolio_wins_hybrid = base + 21;
+  s.portfolio_wins_bnb = base + 22;
+  s.bnb_optimal_proven = base + 23;
   return s;
 }
 
@@ -56,6 +61,11 @@ void ExpectSum(const EngineStats& merged, int64_t a, int64_t b) {
   EXPECT_EQ(merged.metering_failures, a + b + 32);
   EXPECT_EQ(merged.offers_shed, a + b + 34);
   EXPECT_EQ(merged.offers_dropped_at_shutdown, a + b + 36);
+  EXPECT_EQ(merged.portfolio_wins_greedy, a + b + 38);
+  EXPECT_EQ(merged.portfolio_wins_ea, a + b + 40);
+  EXPECT_EQ(merged.portfolio_wins_hybrid, a + b + 42);
+  EXPECT_EQ(merged.portfolio_wins_bnb, a + b + 44);
+  EXPECT_EQ(merged.bnb_optimal_proven, a + b + 46);
 }
 
 TEST(EngineStatsTest, MergeCoversEveryField) {

@@ -107,7 +107,8 @@ TEST_P(SchedulerSuite, HandlesEmptyOfferSet) {
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, SchedulerSuite,
                          ::testing::Values("GreedySearch",
-                                           "EvolutionaryAlgorithm", "Hybrid"),
+                                           "EvolutionaryAlgorithm", "Hybrid",
+                                           "BranchAndBound", "Portfolio"),
                          [](const auto& info) { return info.param; });
 
 TEST(HybridSchedulerTest, AtLeastAsGoodAsItsGreedyPhase) {
@@ -140,8 +141,8 @@ TEST(SchedulerFactoryTest, UnknownNameIsNotFound) {
 TEST(SchedulerFactoryTest, DefaultRegistryListsThePaperAlgorithms) {
   auto names = edms::SchedulerRegistry::Default().Names();
   EXPECT_EQ(names, (std::vector<std::string>{
-                       "EvolutionaryAlgorithm", "Exhaustive", "GreedySearch",
-                       "Hybrid"}));
+                       "BranchAndBound", "EvolutionaryAlgorithm", "Exhaustive",
+                       "GreedySearch", "Hybrid", "Portfolio"}));
   for (const std::string& name : names) {
     auto created = edms::SchedulerRegistry::Default().Create(name);
     ASSERT_TRUE(created.ok()) << name;

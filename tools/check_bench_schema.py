@@ -7,49 +7,64 @@ actually contain the fields it reads — a bench refactor that silently
 drops a metric should fail the job, not produce holes in the trend charts.
 
 Usage:
-    check_bench_schema.py <path-to-BENCH_edms_runtime.json>
+    check_bench_schema.py <BENCH_*.json> [<BENCH_*.json> ...]
 
-Exits non-zero listing every missing result or field.
+The schema is selected by the file's basename. Exits non-zero listing
+every missing result or field across all given reports.
 """
 
 import json
+import os
 import sys
 
-# result-name -> fields that must be present (numeric).
-REQUIRED = {
-    "latency/sustained": [
-        "accept_p50_ms",
-        "accept_p95_ms",
-        "accept_p99_ms",
-        "assign_p50_ms",
-        "assign_p95_ms",
-        "assign_p99_ms",
-        "accept_samples",
-        "assign_samples",
-        "peak_intake_depth_batches",
-    ],
-    "latency/bursty": [
-        "accept_p50_ms",
-        "accept_p95_ms",
-        "accept_p99_ms",
-        "assign_p50_ms",
-        "assign_p95_ms",
-        "assign_p99_ms",
-        "accept_samples",
-        "assign_samples",
-        "peak_intake_depth_batches",
-    ],
-    "streaming/pooled": ["wall_s", "accepted", "micro_schedules"],
-    "shards/1": ["wall_s", "imbalance_reduction_kwh"],
+# basename -> result-name -> fields that must be present (numeric).
+_LATENCY_FIELDS = [
+    "accept_p50_ms",
+    "accept_p95_ms",
+    "accept_p99_ms",
+    "assign_p50_ms",
+    "assign_p95_ms",
+    "assign_p99_ms",
+    "accept_samples",
+    "assign_samples",
+    "peak_intake_depth_batches",
+]
+
+_GAP_FIELDS = ["cost_eur", "gap_vs_optimal_eur", "gap_vs_optimal_pct"]
+
+REQUIRED_BY_FILE = {
+    "BENCH_edms_runtime.json": {
+        "latency/sustained": _LATENCY_FIELDS,
+        "latency/bursty": _LATENCY_FIELDS,
+        "streaming/pooled": ["wall_s", "accepted", "micro_schedules"],
+        "shards/1": ["wall_s", "imbalance_reduction_kwh"],
+    },
+    "BENCH_optimality_study.json": {
+        "Exhaustive(optimal)": _GAP_FIELDS + ["optimal_proven"],
+        "GreedySearch": _GAP_FIELDS,
+        "EvolutionaryAlgorithm": _GAP_FIELDS,
+        "Hybrid": _GAP_FIELDS,
+        "BranchAndBound": _GAP_FIELDS
+        + ["nodes_visited", "optimal_proven", "nodes_vs_combinations_pct"],
+        "Portfolio": _GAP_FIELDS + ["portfolio_regret_eur", "optimal_proven"],
+    },
 }
 
 
 def check(path: str) -> int:
+    required = REQUIRED_BY_FILE.get(os.path.basename(path))
+    if required is None:
+        print(
+            f"check_bench_schema: no schema registered for {path} "
+            f"(known: {', '.join(sorted(REQUIRED_BY_FILE))})",
+            file=sys.stderr,
+        )
+        return 1
     with open(path, "r", encoding="utf-8") as f:
         report = json.load(f)
     results = {r.get("name"): r for r in report.get("results", [])}
     errors = []
-    for name, fields in REQUIRED.items():
+    for name, fields in required.items():
         result = results.get(name)
         if result is None:
             errors.append(f"missing result: {name}")
@@ -61,23 +76,31 @@ def check(path: str) -> int:
     # Sanity: a latency leg with zero samples means the measurement silently
     # broke even if the fields exist.
     for name in ("latency/sustained", "latency/bursty"):
+        if name not in required:
+            continue
         result = results.get(name)
         if result and result.get("accept_samples", 0) <= 0:
             errors.append(f"{name}: accept_samples is zero")
+    # Sanity: the optimality study is anchored by a completed enumeration; a
+    # gap computed against an unproven "optimum" is not an optimality gap.
+    anchor = results.get("Exhaustive(optimal)")
+    if "Exhaustive(optimal)" in required and anchor is not None:
+        if anchor.get("optimal_proven", 0) != 1:
+            errors.append("Exhaustive(optimal): enumeration did not complete")
     if errors:
         for e in errors:
-            print(f"check_bench_schema: {e}", file=sys.stderr)
+            print(f"check_bench_schema: {path}: {e}", file=sys.stderr)
         return 1
     print(f"check_bench_schema: {path} OK "
-          f"({len(REQUIRED)} results, all required fields present)")
+          f"({len(required)} results, all required fields present)")
     return 0
 
 
 def main() -> int:
-    if len(sys.argv) != 2:
+    if len(sys.argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
-    return check(sys.argv[1])
+    return max(check(path) for path in sys.argv[1:])
 
 
 if __name__ == "__main__":
