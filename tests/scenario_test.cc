@@ -1,0 +1,187 @@
+// Dedicated suite for the synthetic scenario generator (scenario.{h,cc}),
+// the workload source of the scheduler oracle tests and the kernel benches:
+//
+//  1. Determinism: the same config produces a bit-identical problem on every
+//     call; changing the seed changes the workload.
+//  2. Config round-trip: every knob of ScenarioConfig is observable in the
+//     generated problem (horizon, offer count/shape, penalties, market
+//     levels, energy/time flexibility bounds).
+//  3. Validity: randomized configs always generate Validate()-clean
+//     problems.
+#include "scheduling/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mirabel::scheduling {
+namespace {
+
+bool BitIdentical(const SchedulingProblem& a, const SchedulingProblem& b) {
+  if (a.horizon_start != b.horizon_start ||
+      a.horizon_length != b.horizon_length ||
+      a.baseline_imbalance_kwh != b.baseline_imbalance_kwh ||
+      a.imbalance_penalty_eur != b.imbalance_penalty_eur ||
+      a.market.buy_price_eur != b.market.buy_price_eur ||
+      a.market.sell_price_eur != b.market.sell_price_eur ||
+      a.market.max_buy_kwh != b.market.max_buy_kwh ||
+      a.market.max_sell_kwh != b.market.max_sell_kwh ||
+      a.offers.size() != b.offers.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.offers.size(); ++i) {
+    const auto& fa = a.offers[i];
+    const auto& fb = b.offers[i];
+    if (fa.id != fb.id || fa.earliest_start != fb.earliest_start ||
+        fa.latest_start != fb.latest_start ||
+        fa.unit_price_eur != fb.unit_price_eur ||
+        fa.profile.size() != fb.profile.size()) {
+      return false;
+    }
+    for (size_t j = 0; j < fa.profile.size(); ++j) {
+      if (fa.profile[j] != fb.profile[j]) return false;
+    }
+  }
+  return true;
+}
+
+TEST(ScenarioTest, SameSeedIsBitDeterministic) {
+  ScenarioConfig cfg;
+  cfg.num_offers = 40;
+  cfg.seed = 123;
+  SchedulingProblem a = MakeScenario(cfg);
+  SchedulingProblem b = MakeScenario(cfg);
+  EXPECT_TRUE(BitIdentical(a, b));
+}
+
+TEST(ScenarioTest, DifferentSeedsDiffer) {
+  ScenarioConfig cfg;
+  cfg.num_offers = 40;
+  cfg.seed = 123;
+  SchedulingProblem a = MakeScenario(cfg);
+  cfg.seed = 124;
+  SchedulingProblem b = MakeScenario(cfg);
+  EXPECT_FALSE(BitIdentical(a, b));
+}
+
+TEST(ScenarioTest, ConfigRoundTripsThroughGeneratedProblem) {
+  ScenarioConfig cfg;
+  cfg.num_offers = 60;
+  cfg.horizon_length = 48;
+  cfg.seed = 7;
+  cfg.penalty_eur_per_kwh = 0.4;
+  cfg.peak_penalty_factor = 2.5;
+  cfg.buy_price_eur = 0.2;
+  cfg.sell_price_eur = 0.08;
+  cfg.max_buy_kwh = 11.0;
+  cfg.max_sell_kwh = 13.0;
+  cfg.min_duration = 3;
+  cfg.max_duration = 7;
+  cfg.min_slice_energy_kwh = 2.0;
+  cfg.max_slice_energy_kwh = 5.0;
+  cfg.max_time_flexibility = 9;
+  SchedulingProblem p = MakeScenario(cfg);
+  ASSERT_TRUE(p.Validate().ok());
+
+  EXPECT_EQ(p.horizon_length, cfg.horizon_length);
+  EXPECT_EQ(p.baseline_imbalance_kwh.size(),
+            static_cast<size_t>(cfg.horizon_length));
+  EXPECT_EQ(p.offers.size(), static_cast<size_t>(cfg.num_offers));
+  EXPECT_EQ(p.market.max_buy_kwh, cfg.max_buy_kwh);
+  EXPECT_EQ(p.market.max_sell_kwh, cfg.max_sell_kwh);
+
+  // Penalties take exactly the off-peak level or the peak multiple; both
+  // levels occur over a day.
+  bool saw_peak = false;
+  bool saw_off_peak = false;
+  for (double pen : p.imbalance_penalty_eur) {
+    if (pen == cfg.penalty_eur_per_kwh) {
+      saw_off_peak = true;
+    } else {
+      EXPECT_EQ(pen, cfg.penalty_eur_per_kwh * cfg.peak_penalty_factor);
+      saw_peak = true;
+    }
+  }
+  EXPECT_TRUE(saw_peak);
+  EXPECT_TRUE(saw_off_peak);
+
+  // Market prices wobble within +/-10% of their levels.
+  for (size_t s = 0; s < p.market.buy_price_eur.size(); ++s) {
+    EXPECT_GE(p.market.buy_price_eur[s], 0.9 * cfg.buy_price_eur);
+    EXPECT_LE(p.market.buy_price_eur[s], 1.1 * cfg.buy_price_eur);
+    EXPECT_GE(p.market.sell_price_eur[s], 0.9 * cfg.sell_price_eur);
+    EXPECT_LE(p.market.sell_price_eur[s], 1.1 * cfg.sell_price_eur);
+  }
+
+  for (const auto& fo : p.offers) {
+    EXPECT_GE(fo.Duration(), cfg.min_duration);
+    EXPECT_LE(fo.Duration(), cfg.max_duration);
+    EXPECT_GE(fo.TimeFlexibility(), 0);
+    EXPECT_LE(fo.TimeFlexibility(), cfg.max_time_flexibility);
+    // The whole window fits the horizon.
+    EXPECT_GE(fo.earliest_start, 0);
+    EXPECT_LE(fo.LatestEnd(), p.horizon_start + p.horizon_length);
+    for (const auto& r : fo.profile) {
+      EXPECT_LE(r.min_kwh, r.max_kwh);
+      // The band's outer magnitude is the drawn slice energy.
+      const double outer = std::max(std::fabs(r.min_kwh), std::fabs(r.max_kwh));
+      EXPECT_GE(outer, cfg.min_slice_energy_kwh);
+      EXPECT_LE(outer, cfg.max_slice_energy_kwh);
+    }
+  }
+}
+
+TEST(ScenarioTest, NoEnergyFlexibilityPinsSliceBands) {
+  ScenarioConfig cfg;
+  cfg.num_offers = 25;
+  cfg.seed = 31;
+  cfg.no_energy_flexibility = true;
+  SchedulingProblem p = MakeScenario(cfg);
+  for (const auto& fo : p.offers) {
+    for (const auto& r : fo.profile) {
+      EXPECT_EQ(r.min_kwh, r.max_kwh);
+      EXPECT_EQ(r.Flexibility(), 0.0);
+    }
+  }
+}
+
+TEST(ScenarioTest, ProductionFractionControlsOfferSign) {
+  ScenarioConfig cfg;
+  cfg.num_offers = 80;
+  cfg.seed = 5;
+  cfg.production_fraction = 0.0;
+  for (const auto& fo : MakeScenario(cfg).offers) {
+    for (const auto& r : fo.profile) EXPECT_GT(r.max_kwh, 0.0);
+  }
+  cfg.production_fraction = 1.0;
+  for (const auto& fo : MakeScenario(cfg).offers) {
+    for (const auto& r : fo.profile) EXPECT_LT(r.min_kwh, 0.0);
+  }
+}
+
+TEST(ScenarioTest, RandomizedConfigsAlwaysValidate) {
+  Rng rng(99);
+  for (int it = 0; it < 150; ++it) {
+    ScenarioConfig cfg;
+    cfg.num_offers = 1 + static_cast<int>(rng.UniformInt(0, 50));
+    cfg.seed = static_cast<uint64_t>(it);
+    cfg.horizon_length = static_cast<int>(rng.UniformInt(16, 128));
+    cfg.min_duration = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    cfg.max_duration =
+        cfg.min_duration + static_cast<int>(rng.UniformInt(0, 10));
+    cfg.max_time_flexibility = static_cast<int>(rng.UniformInt(0, 30));
+    cfg.production_fraction = rng.NextDouble();
+    cfg.no_energy_flexibility = rng.Bernoulli(0.25);
+    cfg.max_energy_flex = rng.NextDouble();
+    SchedulingProblem p = MakeScenario(cfg);
+    ASSERT_TRUE(p.Validate().ok())
+        << "config " << it << ": " << p.Validate().message();
+    ASSERT_EQ(p.offers.size(), static_cast<size_t>(cfg.num_offers));
+  }
+}
+
+}  // namespace
+}  // namespace mirabel::scheduling

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON reports leg by leg.
+
+CI's bench-smoke job uploads BENCH_*.json per commit; this script is the
+reader for that trajectory: point it at two artifacts of the same bench
+(e.g. BENCH_scheduler_kernel.json from two commits) and it prints one line
+per leg with before/after throughput and the speedup, plus any legs that
+appear or disappear between the two.
+
+Usage:
+    bench_diff.py <before.json> <after.json> [--threshold PCT]
+
+Exits 0 on a clean comparison. With --threshold, exits 1 if any leg
+regressed by more than PCT percent (for use as a soft perf gate); added or
+removed legs never fail the comparison, they are only reported.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    results = {}
+    for r in report.get("results", []):
+        name = r.get("name")
+        if name:
+            results[name] = r
+    return report, results
+
+
+def fmt_rate(value):
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M/s"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k/s"
+    return f"{value:.1f}/s"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two bench JSON reports leg by leg."
+    )
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) if any leg regresses by more than PCT percent",
+    )
+    args = parser.parse_args()
+
+    before_report, before = load(args.before)
+    after_report, after = load(args.after)
+    if before_report.get("bench") != after_report.get("bench"):
+        print(
+            f"bench_diff: comparing different benches: "
+            f"{before_report.get('bench')} vs {after_report.get('bench')}",
+            file=sys.stderr,
+        )
+        return 2
+    for side, report, path in (
+        ("before", before_report, args.before),
+        ("after", after_report, args.after),
+    ):
+        if report.get("small_mode"):
+            print(f"bench_diff: note: {side} report {path} ran in small mode")
+
+    common = [name for name in after if name in before]
+    added = [name for name in after if name not in before]
+    removed = [name for name in before if name not in after]
+
+    width = max((len(n) for n in common), default=4)
+    print(f"{'leg':<{width}} {'before':>12} {'after':>12} {'speedup':>9}")
+    regressions = []
+    for name in common:
+        b = before[name].get("throughput_items_per_s")
+        a = after[name].get("throughput_items_per_s")
+        if not b or not a:
+            print(f"{name:<{width}} {'n/a':>12} {'n/a':>12} {'n/a':>9}")
+            continue
+        speedup = a / b
+        print(
+            f"{name:<{width}} {fmt_rate(b):>12} {fmt_rate(a):>12} "
+            f"{speedup:>8.2f}x"
+        )
+        if args.threshold is not None and speedup < 1.0 - args.threshold / 100:
+            regressions.append((name, speedup))
+
+    for name in added:
+        print(f"added:   {name}")
+    for name in removed:
+        print(f"removed: {name}")
+
+    if regressions:
+        for name, speedup in regressions:
+            print(
+                f"bench_diff: REGRESSION {name}: {speedup:.2f}x "
+                f"(threshold {args.threshold}%)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,31 @@ _LATENCY_FIELDS = [
 
 _GAP_FIELDS = ["cost_eur", "gap_vs_optimal_eur", "gap_vs_optimal_pct"]
 
+_THROUGHPUT_FIELDS = ["wall_s", "throughput_items_per_s", "items"]
+
+
+def _kernel_legs():
+    """Per-size legs of BENCH_scheduler_kernel.json, incl. the fast_math
+    legs (speedup_vs_kernel anchors the fast-kernel acceptance check)."""
+    legs = {}
+    for size in (32, 256, 2048):
+        legs[f"child_evaluate/ref/{size}"] = _THROUGHPUT_FIELDS
+        legs[f"child_evaluate/kernel/{size}"] = _THROUGHPUT_FIELDS + [
+            "speedup_vs_ref"
+        ]
+        legs[f"trymove_scan/ref/{size}"] = _THROUGHPUT_FIELDS
+        legs[f"trymove_scan/kernel/{size}"] = _THROUGHPUT_FIELDS + [
+            "speedup_vs_ref"
+        ]
+        legs[f"fast/child_evaluate/{size}"] = _THROUGHPUT_FIELDS + [
+            "speedup_vs_kernel"
+        ]
+        legs[f"fast/scan/{size}"] = _THROUGHPUT_FIELDS + ["speedup_vs_kernel"]
+    return legs
+
+
 REQUIRED_BY_FILE = {
+    "BENCH_scheduler_kernel.json": _kernel_legs(),
     "BENCH_edms_runtime.json": {
         "latency/sustained": _LATENCY_FIELDS,
         "latency/bursty": _LATENCY_FIELDS,
