@@ -1,0 +1,178 @@
+// Degradation trajectories of the fault-tolerant hierarchy, emitting
+// BENCH_robustness.json:
+//
+//  1. Loss sweep (results "drop/<rate>"): the full prosumer/BRP simulation
+//     under uniform random message loss from 0% to 50%, acked retries on.
+//     The interesting curve is how slowly schedules_received and the
+//     imbalance reduction decay as the wire gets worse — retries flatten
+//     the low-loss end, dead letters and deadline fallbacks take over past
+//     the retry budget.
+//
+//  2. Blackout sweep (results "blackout/<slices>"): one BRP goes dark for a
+//     window of {0, 16, 48, 96} slices mid-run. Its prosumers' offers ride
+//     retries across short outages and degrade to deadline fallbacks across
+//     long ones; the other BRPs are untouched.
+//
+//  3. Fire-and-forget contrast (result "noretry/0.20"): the 20% loss leg
+//     with the reliable channel disabled — the baseline the tentpole is
+//     measured against (compare with "drop/0.20").
+//
+// Every leg reports terminal_fraction: the share of offers created before
+// the wind-down that reached a terminal lifecycle state (executed, rejected
+// or expired-to-fallback). Conservation under chaos means this is 1.0 on
+// every leg regardless of the fault plan — the schema check enforces it.
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_main.h"
+#include "common/stopwatch.h"
+#include "node/simulation.h"
+
+using namespace mirabel;  // NOLINT: bench brevity
+
+namespace {
+
+node::SimulationConfig BaseConfig(bool small) {
+  node::SimulationConfig cfg;
+  cfg.num_brps = 3;
+  cfg.prosumers_per_brp = small ? 6 : 20;
+  cfg.days = small ? 1 : 3;
+  cfg.offers_per_day = 8.0;
+  cfg.seed = 97;
+  // Iteration-capped anytime scheduling: every leg spends the same effort,
+  // so the degradation curves isolate the transport, not scheduler jitter.
+  cfg.scheduler_budget_s = 0.0;
+  cfg.scheduler_max_iterations = small ? 200 : 1000;
+  return cfg;
+}
+
+/// Share of offers created before the wind-down that reached a terminal
+/// state. Offers created during the drain itself are excluded — their
+/// deadlines legitimately outlive the run.
+double TerminalFraction(const node::EdmsSimulation& sim,
+                        flexoffer::TimeSlice run_end) {
+  int64_t created = 0;
+  int64_t terminal = 0;
+  for (const auto& prosumer : sim.prosumers()) {
+    for (int s = 0; s <= static_cast<int>(storage::FlexOfferState::kRejected);
+         ++s) {
+      storage::FlexOfferState state = static_cast<storage::FlexOfferState>(s);
+      for (const auto& fact : prosumer->store().FlexOffersInState(state)) {
+        if (fact.offer.creation_time >= run_end) continue;
+        ++created;
+        if (state == storage::FlexOfferState::kExecuted ||
+            state == storage::FlexOfferState::kExpired ||
+            state == storage::FlexOfferState::kRejected) {
+          ++terminal;
+        }
+      }
+    }
+  }
+  return created > 0
+             ? static_cast<double>(terminal) / static_cast<double>(created)
+             : 1.0;
+}
+
+void RunLeg(bench::BenchReport& report, const std::string& name,
+            const node::SimulationConfig& cfg) {
+  node::EdmsSimulation sim(cfg);
+  Stopwatch watch;
+  node::SimulationReport r = sim.Run();
+  double wall_s = watch.ElapsedSeconds();
+  const flexoffer::TimeSlice run_end =
+      static_cast<flexoffer::TimeSlice>(cfg.days) * flexoffer::kSlicesPerDay;
+  double terminal_fraction = TerminalFraction(sim, run_end);
+
+  report.AddResult(name)
+      .Wall(wall_s)
+      .Items(static_cast<double>(r.offers_created))
+      .Metric("imbalance_reduction", r.ImbalanceReduction())
+      .Metric("terminal_fraction", terminal_fraction)
+      .Metric("offers_created", static_cast<double>(r.offers_created))
+      .Metric("offers_executed", static_cast<double>(r.offers_executed))
+      .Metric("schedules_received", static_cast<double>(r.schedules_received))
+      .Metric("fallbacks", static_cast<double>(r.fallbacks))
+      .Metric("retries", static_cast<double>(r.transport_retries))
+      .Metric("dead_letters", static_cast<double>(r.transport_dead_letters))
+      .Metric("duplicates_dropped",
+              static_cast<double>(r.transport_duplicates_dropped))
+      .Metric("nacks_received", static_cast<double>(r.nacks_received))
+      .Metric("offers_resubmitted",
+              static_cast<double>(r.offers_resubmitted))
+      .Metric("dropped_by_fault",
+              static_cast<double>(r.messages_dropped_by_fault))
+      .Metric("backlog_at_end",
+              static_cast<double>(r.messages_undelivered_at_end));
+  std::printf(
+      "%-14s %.2fs  imbalance -%.1f%%  terminal %.4f  "
+      "executed %lld/%lld  fallbacks %lld  retries %lld  dead %lld\n",
+      name.c_str(), wall_s, 100.0 * r.ImbalanceReduction(), terminal_fraction,
+      static_cast<long long>(r.offers_executed),
+      static_cast<long long>(r.offers_created),
+      static_cast<long long>(r.fallbacks),
+      static_cast<long long>(r.transport_retries),
+      static_cast<long long>(r.transport_dead_letters));
+}
+
+std::string RateName(const char* prefix, double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s/%.2f", prefix, rate);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  bool small = bench::SmallMode();
+  node::SimulationConfig base = BaseConfig(small);
+
+  bench::BenchReport report("robustness");
+  report.AddConfig("num_brps", static_cast<int64_t>(base.num_brps));
+  report.AddConfig("prosumers_per_brp",
+                   static_cast<int64_t>(base.prosumers_per_brp));
+  report.AddConfig("days", static_cast<int64_t>(base.days));
+  report.AddConfig("offers_per_day", base.offers_per_day);
+  report.AddConfig("scheduler_iterations",
+                   static_cast<int64_t>(base.scheduler_max_iterations));
+  report.AddConfig("retry_max_attempts",
+                   static_cast<int64_t>(base.reliability.max_attempts));
+  report.AddConfig("small_mode", small);
+
+  // Leg 1: uniform random loss, acked retries on.
+  for (double rate : {0.0, 0.05, 0.10, 0.20, 0.35, 0.50}) {
+    node::SimulationConfig cfg = base;
+    cfg.bus.drop_probability = rate;
+    RunLeg(report, RateName("drop", rate), cfg);
+  }
+
+  // Leg 2: one BRP dark for a mid-run window, clean wire otherwise.
+  for (int len : {0, 16, 48, 96}) {
+    node::SimulationConfig cfg = base;
+    if (len > 0) {
+      flexoffer::TimeSlice from = flexoffer::kSlicesPerDay / 4;
+      cfg.bus.faults.blackouts.push_back(
+          {100, from, from + static_cast<flexoffer::TimeSlice>(len)});
+    }
+    RunLeg(report, "blackout/" + std::to_string(len), cfg);
+  }
+
+  // Leg 3: the 20% loss leg again without the reliable channel — the
+  // fire-and-forget baseline the retry machinery is measured against.
+  {
+    node::SimulationConfig cfg = base;
+    cfg.bus.drop_probability = 0.20;
+    cfg.reliability.enabled = false;
+    RunLeg(report, "noretry/0.20", cfg);
+  }
+
+  std::string path = report.WriteFile();
+  if (path.empty()) {
+    std::cerr << "failed to write bench report\n";
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

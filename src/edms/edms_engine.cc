@@ -1,5 +1,6 @@
 #include "edms/edms_engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 #include <utility>
@@ -20,17 +21,19 @@ EngineStats& EngineStats::Merge(const EngineStats& other) {
   // Destructuring both sides pins the member count at compile time: adding a
   // field to EngineStats without extending these bindings fails to build.
   // The size guard additionally catches same-count layout changes.
-  static_assert(sizeof(EngineStats) == 23 * sizeof(int64_t),
+  static_assert(sizeof(EngineStats) == 25 * sizeof(int64_t),
                 "EngineStats layout changed: update Merge()");
   auto& [received, batches, accepted, rejected, runs, macros, micros, expired,
          executed, payments, imb_before, imb_after, cost, budget_saved,
-         intake_errs, metering_fails, shed, dropped, wins_greedy, wins_ea,
-         wins_hybrid, wins_bnb, proven] = *this;
+         intake_errs, metering_fails, shed, dropped, macros_expired,
+         exec_timeouts, wins_greedy, wins_ea, wins_hybrid, wins_bnb,
+         proven] = *this;
   const auto& [o_received, o_batches, o_accepted, o_rejected, o_runs, o_macros,
                o_micros, o_expired, o_executed, o_payments, o_imb_before,
                o_imb_after, o_cost, o_budget_saved, o_intake_errs,
-               o_metering_fails, o_shed, o_dropped, o_wins_greedy, o_wins_ea,
-               o_wins_hybrid, o_wins_bnb, o_proven] = other;
+               o_metering_fails, o_shed, o_dropped, o_macros_expired,
+               o_exec_timeouts, o_wins_greedy, o_wins_ea, o_wins_hybrid,
+               o_wins_bnb, o_proven] = other;
   received += o_received;
   batches += o_batches;
   accepted += o_accepted;
@@ -49,6 +52,8 @@ EngineStats& EngineStats::Merge(const EngineStats& other) {
   metering_fails += o_metering_fails;
   shed += o_shed;
   dropped += o_dropped;
+  macros_expired += o_macros_expired;
+  exec_timeouts += o_exec_timeouts;
   wins_greedy += o_wins_greedy;
   wins_ea += o_wins_ea;
   wins_hybrid += o_wins_hybrid;
@@ -157,33 +162,22 @@ Status EdmsEngine::Advance(TimeSlice now) {
   return RunGate(now);
 }
 
-Status EdmsEngine::RunGate(TimeSlice now) {
+void EdmsEngine::ExpireDeadlines(TimeSlice now) {
   (void)pipeline_.Flush();
-
   const TimeSlice horizon_start = now + 1;
-  const TimeSlice horizon_end = horizon_start + config_.horizon;
 
-  std::vector<AggregatedFlexOffer> ready;
+  // (a) Pipeline offers whose window already closed: the macro deadline is
+  // the earliest member deadline — past it, members have already fallen
+  // back to their contracts.
   std::vector<std::pair<FlexOfferId, flexoffer::ActorId>> expired_members;
   for (const auto& [aid, agg] : pipeline_.aggregates()) {
-    // The macro deadline is the earliest member deadline: past it, members
-    // have already fallen back to their contracts.
     if (agg.macro.assignment_before <= now ||
         agg.macro.latest_start < horizon_start) {
       for (const auto& m : agg.members) {
         expired_members.emplace_back(m.offer.id, m.offer.owner);
       }
-      continue;
     }
-    if (agg.macro.earliest_start >= horizon_start &&
-        agg.macro.LatestEnd() <= horizon_end) {
-      ready.push_back(agg);
-    }
-    // Otherwise the aggregate waits for a later gate.
   }
-
-  // Expire members whose window already closed (their owners fall back to
-  // the open contract on their own).
   for (const auto& [id, owner] : expired_members) {
     (void)pipeline_.Remove(id);
     (void)store_.TransitionFlexOffer(id, storage::FlexOfferState::kExpired);
@@ -191,9 +185,66 @@ Status EdmsEngine::RunGate(TimeSlice now) {
     ++stats_.offers_expired_in_pipeline;
     events_.Push(OfferExpired{id, owner, now});
   }
+  if (!expired_members.empty()) (void)pipeline_.Flush();
+
+  // (b) Forwarded macros whose schedule never returned from the parent
+  // level (lost reply, parent blackout): expire the members instead of
+  // stranding them. Ids are sorted so the event order is canonical.
+  std::vector<FlexOfferId> stale_macros;
+  for (const auto& [id, agg] : pending_macros_) {
+    if (agg.macro.assignment_before <= now) stale_macros.push_back(id);
+  }
+  std::sort(stale_macros.begin(), stale_macros.end());
+  for (FlexOfferId macro_id : stale_macros) {
+    auto it = pending_macros_.find(macro_id);
+    for (const auto& m : it->second.members) {
+      (void)store_.TransitionFlexOffer(m.offer.id,
+                                       storage::FlexOfferState::kExpired);
+      (void)lifecycle_.Transition(m.offer.id, OfferState::kExpired);
+      ++stats_.offers_expired_in_pipeline;
+      events_.Push(OfferExpired{m.offer.id, m.offer.owner, now});
+    }
+    ++stats_.macros_expired_unscheduled;
+    events_.Push(MacroExpired{macro_id, now, it->second.members.size()});
+    pending_macros_.erase(it);
+  }
+
+  // (c) Assigned offers whose execution confirmation is overdue: the
+  // metering was lost (or the owner is gone) — close the lifecycle so
+  // bookkeeping cannot leak. A late metering then fails its transition and
+  // is tolerated as a metering_failure, so there is exactly one terminal
+  // event per offer.
+  if (config_.execution_timeout_slices > 0) {
+    for (const auto& fact :
+         store_.FlexOffersInState(storage::FlexOfferState::kScheduled)) {
+      TimeSlice end = fact.schedule.start +
+                      static_cast<int64_t>(fact.schedule.energies_kwh.size());
+      if (end + config_.execution_timeout_slices > now) continue;
+      if (!lifecycle_.Transition(fact.id, OfferState::kExpired).ok()) continue;
+      (void)store_.TransitionFlexOffer(fact.id,
+                                       storage::FlexOfferState::kExpired);
+      ++stats_.executions_timed_out;
+      events_.Push(OfferExpired{fact.id, fact.offer.owner, now});
+    }
+  }
+}
+
+Status EdmsEngine::RunGate(TimeSlice now) {
+  ExpireDeadlines(now);
+
+  const TimeSlice horizon_start = now + 1;
+  const TimeSlice horizon_end = horizon_start + config_.horizon;
+
+  std::vector<AggregatedFlexOffer> ready;
+  for (const auto& [aid, agg] : pipeline_.aggregates()) {
+    if (agg.macro.earliest_start >= horizon_start &&
+        agg.macro.LatestEnd() <= horizon_end) {
+      ready.push_back(agg);
+    }
+    // Otherwise the aggregate waits for a later gate.
+  }
 
   if (ready.empty()) {
-    (void)pipeline_.Flush();
     return Status::OK();
   }
 

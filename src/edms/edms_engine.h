@@ -62,6 +62,14 @@ struct EngineStats {
   /// Offers still sitting in shard intake queues when the runtime was
   /// destroyed (reported through Config::final_stats only).
   int64_t offers_dropped_at_shutdown = 0;
+  /// Forwarded macro offers that missed their reply deadline — the parent
+  /// never returned a schedule — and were expired with all their members
+  /// (MacroExpired + per-member OfferExpired events).
+  int64_t macros_expired_unscheduled = 0;
+  /// Assigned offers whose execution confirmation never arrived within
+  /// Config::execution_timeout_slices of their schedule's end; closed as
+  /// expired so per-offer bookkeeping cannot leak under message loss.
+  int64_t executions_timed_out = 0;
   /// Portfolio-race wins per member family, counted over scheduling runs
   /// whose result carried per-member stats (i.e. the configured scheduler
   /// was a PortfolioScheduler). Members with other names count nowhere.
@@ -165,6 +173,12 @@ class EdmsEngine {
     /// CompleteMacroSchedule().
     bool schedule_locally = true;
 
+    /// Deadline-degradation grace: an assigned offer whose execution
+    /// confirmation has not arrived this many slices after its schedule
+    /// ended is closed as expired (ExpireDeadlines()). Must exceed the bus
+    /// round trip plus the owner's metering cadence; 0 disables the check.
+    int execution_timeout_slices = 32;
+
     /// Identifier lane of published macro offers: the wire id is
     /// actor * 1000000 + aggregate id * macro_id_lanes + macro_id_lane.
     /// The sharded runtime gives every shard its own lane so macros
@@ -192,6 +206,15 @@ class EdmsEngine {
   /// gate closure expires stale offers, claims the aggregates that fit the
   /// upcoming horizon, and either schedules them locally or publishes them.
   Status Advance(flexoffer::TimeSlice now);
+
+  /// Deadline degradation pass, also run at every gate closure: expires
+  /// (a) pipeline offers whose assignment deadline or start window has
+  /// passed, (b) forwarded macros whose schedule never returned from the
+  /// parent level (MacroExpired + per-member OfferExpired), and (c)
+  /// assigned offers whose execution confirmation is overdue. Wind-down
+  /// phases call this directly so every admitted offer reaches a terminal
+  /// lifecycle state without opening new gates.
+  void ExpireDeadlines(flexoffer::TimeSlice now);
 
   /// Delivers the schedule of a previously published (forwarded) macro
   /// offer: disaggregates it and emits ScheduleAssigned per member.

@@ -15,6 +15,7 @@ struct NameVisitor {
   }
   std::string_view operator()(const OfferExecuted&) { return "OfferExecuted"; }
   std::string_view operator()(const OfferExpired&) { return "OfferExpired"; }
+  std::string_view operator()(const MacroExpired&) { return "MacroExpired"; }
 };
 
 }  // namespace

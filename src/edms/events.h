@@ -71,8 +71,20 @@ struct OfferExpired {
   flexoffer::TimeSlice at = 0;
 };
 
-using Event = std::variant<OfferAccepted, OfferRejected, MacroPublished,
-                           ScheduleAssigned, OfferExecuted, OfferExpired>;
+/// Degradation event: a forwarded macro offer missed its reply deadline —
+/// the parent level never returned a schedule — and the engine expired its
+/// members (each also emits OfferExpired). The run degrades to the
+/// traditional setting instead of stranding the members (paper §1).
+struct MacroExpired {
+  /// Wire id of the published macro.
+  flexoffer::FlexOfferId macro = 0;
+  flexoffer::TimeSlice at = 0;
+  size_t member_count = 0;
+};
+
+using Event =
+    std::variant<OfferAccepted, OfferRejected, MacroPublished,
+                 ScheduleAssigned, OfferExecuted, OfferExpired, MacroExpired>;
 
 /// Short event-kind name ("OfferAccepted", ...), for logs and tests.
 std::string_view EventName(const Event& event);

@@ -390,6 +390,30 @@ Status ShardedEdmsRuntime::Advance(TimeSlice now) {
   return JoinAll(futures, statuses);
 }
 
+Status ShardedEdmsRuntime::ExpireDeadlines(TimeSlice now) {
+  const size_t n = shards_.size();
+  if (pool_ == nullptr) {
+    Stopwatch watch;
+    shards_[0]->engine->ExpireDeadlines(now);
+    FinishShardTask(*shards_[0], watch.ElapsedSeconds());
+    return Status::OK();
+  }
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(shards_[i]->strand->Post([this, i, &statuses, now] {
+      Stopwatch watch;
+      Shard& shard = *shards_[i];
+      DrainShardIntake(shard);
+      statuses[i] = std::exchange(shard.intake_error, Status::OK());
+      shard.engine->ExpireDeadlines(now);
+      FinishShardTask(shard, watch.ElapsedSeconds());
+    }));
+  }
+  return JoinAll(futures, statuses);
+}
+
 Status ShardedEdmsRuntime::FlushIntake() {
   if (pool_ == nullptr || !config_.streaming_intake) return Status::OK();
   const size_t n = shards_.size();

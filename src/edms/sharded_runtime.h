@@ -156,6 +156,15 @@ class ShardedEdmsRuntime {
   /// first deferred streaming-intake error, if any, before gate errors.
   Status Advance(flexoffer::TimeSlice now);
 
+  /// Runs every shard's deadline-degradation pass
+  /// (EdmsEngine::ExpireDeadlines) and joins, WITHOUT firing gates: expires
+  /// stale pipeline offers, forwarded macros whose schedule never returned,
+  /// and assigned offers with overdue execution confirmations. Wind-down
+  /// phases call this so offers reach terminal lifecycle states even though
+  /// no further gates open. Pending streaming intake is drained first so a
+  /// late batch cannot be admitted after its deadline check.
+  Status ExpireDeadlines(flexoffer::TimeSlice now);
+
   /// Drains every shard's pending streaming intake and joins, WITHOUT
   /// advancing gates; returns the first deferred intake error. A no-op in
   /// fork-join mode. After it returns (with no concurrent submitters) the

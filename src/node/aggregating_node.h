@@ -1,10 +1,12 @@
 #ifndef MIRABEL_NODE_AGGREGATING_NODE_H_
 #define MIRABEL_NODE_AGGREGATING_NODE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "edms/sharded_runtime.h"
 #include "node/message_bus.h"
+#include "node/reliable_channel.h"
 
 namespace mirabel::node {
 
@@ -46,6 +48,19 @@ class AggregatingNode {
     /// `engine.schedule_locally` are derived from `id`/`parent` by the
     /// constructor.
     edms::EdmsEngine::Config engine;
+    /// Streaming-intake knobs threaded through to the runtime (see
+    /// ShardedEdmsRuntime::Config). With a bounded queue the runtime sheds
+    /// overflow as OfferRejected{kOverloaded}; this node turns those into
+    /// kNack bus replies so prosumers retry with backoff instead of losing
+    /// the offer.
+    bool streaming_intake = false;
+    size_t max_pending_batches_per_shard = 0;
+    /// Retry-after carried in overload NACKs (slices); 0 derives one gate
+    /// period — by then a full scheduling pass has drained the queues.
+    int64_t nack_retry_after_slices = 0;
+    /// Transport reliability (retry/ack/dedupe); `self` and `seed` are
+    /// derived from `id` and the reliability seed by the constructor.
+    ReliableChannel::Config reliability;
   };
 
   /// Registers the node on `bus` (which must outlive it).
@@ -55,10 +70,14 @@ class AggregatingNode {
   /// and offer batch, then fires due gates on every shard.
   void OnTick(flexoffer::TimeSlice now);
 
-  /// Flushes the buffered meter readings and offers and relays pending
-  /// events WITHOUT advancing the control loop. Wind-down phases use this
-  /// to absorb end-of-run execution meterings (and answer late offers)
-  /// without opening new scheduling gates.
+  /// Flushes the buffered meter readings and relays pending events WITHOUT
+  /// advancing the control loop. Wind-down phases use this to absorb
+  /// end-of-run execution meterings without opening new scheduling gates.
+  /// Offers still buffered are REFUSED with a kFlexOfferRejected reply
+  /// (counted in late_offers_refused()) instead of being admitted to a
+  /// pipeline that will never run another gate, and the runtime's deadline
+  /// sweep (ExpireDeadlines) terminalizes anything the gates left behind —
+  /// so every offer the node ever saw reaches a terminal state.
   void FlushBuffers(flexoffer::TimeSlice now);
 
   /// Merged stats of all engine shards.
@@ -75,6 +94,13 @@ class AggregatingNode {
   const edms::ShardedEdmsRuntime& runtime() const { return runtime_; }
   /// Offers buffered since the last tick.
   size_t pending_offers() const { return pending_offers_.size(); }
+  /// Transport-level reliability counters (retries, dead letters, dupes).
+  const ReliableChannel& channel() const { return channel_; }
+  /// Offers refused (with a rejection reply) because they arrived during
+  /// wind-down, after the last scheduling gate.
+  int64_t late_offers_refused() const { return late_offers_refused_; }
+  /// Overload NACKs sent for shed offers.
+  int64_t nacks_sent() const { return nacks_sent_; }
   NodeId id() const { return config_.id; }
 
  private:
@@ -90,8 +116,14 @@ class AggregatingNode {
   Config config_;
   MessageBus* bus_;
   edms::ShardedEdmsRuntime runtime_;
+  ReliableChannel channel_;
   std::vector<flexoffer::FlexOffer> pending_offers_;
   std::vector<edms::ShardedEdmsRuntime::MeterReading> pending_readings_;
+  /// True once FlushBuffers() ran: the control loop is winding down and
+  /// late offers are refused instead of buffered.
+  bool draining_ = false;
+  int64_t late_offers_refused_ = 0;
+  int64_t nacks_sent_ = 0;
 };
 
 }  // namespace mirabel::node

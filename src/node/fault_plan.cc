@@ -1,0 +1,68 @@
+#include "node/fault_plan.h"
+
+namespace mirabel::node {
+
+bool FaultPlan::StalledAt(NodeId node, flexoffer::TimeSlice now) const {
+  for (const Stall& s : stalls) {
+    if (s.node == node && now >= s.from && now < s.to) return true;
+  }
+  return false;
+}
+
+std::vector<NamedFaultPlan> ChaosScenarios(flexoffer::TimeSlice run_slices) {
+  const flexoffer::TimeSlice third = run_slices / 3;
+  std::vector<NamedFaultPlan> scenarios;
+
+  scenarios.push_back({"clean", FaultPlan{}});
+
+  {
+    // Sustained random loss over the whole run.
+    FaultPlan plan;
+    plan.drop_windows.push_back({0, run_slices, 0.25});
+    scenarios.push_back({"lossy_25", std::move(plan)});
+  }
+  {
+    // Acceptance anchor: a hard outage — 100% drop inside the middle third.
+    FaultPlan plan;
+    plan.drop_windows.push_back({third, 2 * third, 1.0});
+    scenarios.push_back({"total_drop_window", std::move(plan)});
+  }
+  {
+    // Acceptance anchor: a full BRP blackout for the middle third.
+    FaultPlan plan;
+    plan.blackouts.push_back({100, third, 2 * third});
+    scenarios.push_back({"brp_blackout", std::move(plan)});
+  }
+  {
+    // One BRP split off from the rest of the hierarchy (its prosumers and,
+    // in 3-level runs, the TSO are all on the far side).
+    FaultPlan plan;
+    plan.partitions.push_back({{101}, third, 2 * third});
+    scenarios.push_back({"brp_partitioned", std::move(plan)});
+  }
+  {
+    // Congestion spike: +8 slices of extra latency for the middle third.
+    FaultPlan plan;
+    plan.latency_spikes.push_back({third, 2 * third, 8});
+    scenarios.push_back({"latency_spike", std::move(plan)});
+  }
+  {
+    // A BRP's control loop freezes (shard stall): no gates, no retries.
+    FaultPlan plan;
+    plan.stalls.push_back({100, third, 2 * third});
+    scenarios.push_back({"brp_stall", std::move(plan)});
+  }
+  {
+    // Everything at once, staggered so the system has to recover repeatedly.
+    FaultPlan plan;
+    plan.drop_windows.push_back({0, run_slices, 0.10});
+    plan.drop_windows.push_back({third, third + third / 2, 1.0});
+    plan.blackouts.push_back({100, 2 * third, 2 * third + third / 2});
+    plan.latency_spikes.push_back({third / 2, third, 4});
+    plan.stalls.push_back({101, third, third + third / 2});
+    scenarios.push_back({"kitchen_sink", std::move(plan)});
+  }
+  return scenarios;
+}
+
+}  // namespace mirabel::node

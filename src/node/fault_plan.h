@@ -1,0 +1,95 @@
+#ifndef MIRABEL_NODE_FAULT_PLAN_H_
+#define MIRABEL_NODE_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "node/message.h"
+
+namespace mirabel::node {
+
+/// A seeded chaos schedule for one simulation run (paper §1: "even in
+/// critical scenarios (e.g., nodes unreachable, failed execution deadlines)
+/// the overall system would gracefully behave as in the traditional
+/// setting"). Every fault is a slice window, so a plan composes with the
+/// deterministic slice clock: the same plan + the same bus seed reproduces
+/// the exact same drops, delays and stalls. All windows are half-open
+/// [from, to) against Message::sent_at.
+///
+/// MessageBus evaluates the wire-level faults (drops, blackouts, partitions,
+/// latency spikes) at Send() time; EdmsSimulation drives the node-level
+/// stalls (a stalled node skips its OnTick — a frozen control loop, not a
+/// network failure).
+struct FaultPlan {
+  /// Messages sent inside the window are dropped with `probability`
+  /// (1.0 = hard outage).
+  struct DropWindow {
+    flexoffer::TimeSlice from = 0;
+    flexoffer::TimeSlice to = 0;
+    double probability = 1.0;
+  };
+
+  /// Node unreachable: every message to or from `node` inside the window is
+  /// dropped (the node itself keeps running — it just cannot reach anyone).
+  struct Blackout {
+    NodeId node = 0;
+    flexoffer::TimeSlice from = 0;
+    flexoffer::TimeSlice to = 0;
+  };
+
+  /// Network split: messages crossing the island boundary (exactly one
+  /// endpoint in `island`) inside the window are dropped; traffic within the
+  /// island and within the rest still flows.
+  struct Partition {
+    std::vector<NodeId> island;
+    flexoffer::TimeSlice from = 0;
+    flexoffer::TimeSlice to = 0;
+  };
+
+  /// Congestion: messages sent inside the window are delayed by
+  /// `extra_slices` on top of the configured bus latency.
+  struct LatencySpike {
+    flexoffer::TimeSlice from = 0;
+    flexoffer::TimeSlice to = 0;
+    int64_t extra_slices = 0;
+  };
+
+  /// Frozen control loop: the simulation skips OnTick() of `node` inside the
+  /// window (gates stall, retries stall — delivery to the node continues).
+  struct Stall {
+    NodeId node = 0;
+    flexoffer::TimeSlice from = 0;
+    flexoffer::TimeSlice to = 0;
+  };
+
+  std::vector<DropWindow> drop_windows;
+  std::vector<Blackout> blackouts;
+  std::vector<Partition> partitions;
+  std::vector<LatencySpike> latency_spikes;
+  std::vector<Stall> stalls;
+
+  bool empty() const {
+    return drop_windows.empty() && blackouts.empty() && partitions.empty() &&
+           latency_spikes.empty() && stalls.empty();
+  }
+
+  /// True when the simulation must skip `node`'s OnTick at `now`.
+  bool StalledAt(NodeId node, flexoffer::TimeSlice now) const;
+};
+
+/// A named fault scenario for the chaos suite and the robustness bench.
+struct NamedFaultPlan {
+  std::string name;
+  FaultPlan plan;
+};
+
+/// The named chaos scenarios, sized against a run of `run_slices` active
+/// slices over the standard simulation id layout (TSO = 1, BRPs = 100 + b,
+/// prosumers = 1000 + ...). Includes the two acceptance anchors: a 100% drop
+/// window and a full BRP blackout.
+std::vector<NamedFaultPlan> ChaosScenarios(flexoffer::TimeSlice run_slices);
+
+}  // namespace mirabel::node
+
+#endif  // MIRABEL_NODE_FAULT_PLAN_H_

@@ -24,6 +24,13 @@ enum class MessageType {
   kScheduledFlexOffer = 3,
   /// Prosumer -> BRP: metered energy of one slice.
   kMeasurement = 4,
+  /// Transport-level delivery acknowledgement (ReliableChannel): `ack_id`
+  /// names the acknowledged message. Never retried, never acked itself.
+  kAck = 5,
+  /// BRP -> prosumer: intake overloaded, the offer was shed before reaching
+  /// an engine. `value` carries the suggested retry-after (slices); the
+  /// prosumer resubmits with backoff.
+  kNack = 6,
 };
 
 /// A message on the EDMS wide-area network. Exactly the fields implied by
@@ -36,15 +43,25 @@ struct Message {
   /// Slice at which the sender posted the message.
   flexoffer::TimeSlice sent_at = 0;
 
+  /// Transport id, unique per sender (ReliableChannel stamps
+  /// sender << 32 | sequence); 0 = untracked fire-and-forget. Retransmits
+  /// reuse the id so receivers can dedupe redelivery.
+  uint64_t id = 0;
+  /// kAck / kNack: the transport id of the subject message.
+  uint64_t ack_id = 0;
+  /// True when the sender expects a kAck and will retry until one arrives.
+  bool requires_ack = false;
+
   /// kFlexOffer payload.
   flexoffer::FlexOffer offer;
   /// kScheduledFlexOffer payload.
   flexoffer::ScheduledFlexOffer schedule;
   /// kFlexOfferAccepted: agreed flexibility price (EUR).
   /// kMeasurement: metered energy (kWh).
+  /// kNack: suggested retry-after (slices).
   double value = 0.0;
-  /// kFlexOfferAccepted / kFlexOfferRejected / kMeasurement: subject offer
-  /// (0 for measurements not tied to an offer).
+  /// kFlexOfferAccepted / kFlexOfferRejected / kMeasurement / kNack:
+  /// subject offer (0 for measurements not tied to an offer).
   flexoffer::FlexOfferId offer_id = 0;
 
   std::string ToString() const;

@@ -1,6 +1,9 @@
 #include "node/message_bus.h"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "common/logging.h"
 
 namespace mirabel::node {
 
@@ -22,14 +25,22 @@ std::string Message::ToString() const {
     case MessageType::kMeasurement:
       kind = "Measurement";
       break;
+    case MessageType::kAck:
+      kind = "Ack";
+      break;
+    case MessageType::kNack:
+      kind = "Nack";
+      break;
   }
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "Message{%s %llu->%llu at=%s offer=%llu}",
-                kind, static_cast<unsigned long long>(from),
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Message{%s %llu->%llu at=%s offer=%llu id=%llu}", kind,
+                static_cast<unsigned long long>(from),
                 static_cast<unsigned long long>(to),
                 flexoffer::FormatTimeSlice(sent_at).c_str(),
                 static_cast<unsigned long long>(
-                    type == MessageType::kFlexOffer ? offer.id : offer_id));
+                    type == MessageType::kFlexOffer ? offer.id : offer_id),
+                static_cast<unsigned long long>(id));
   return buf;
 }
 
@@ -47,21 +58,58 @@ Status MessageBus::Register(NodeId id, Handler handler) {
   return Status::OK();
 }
 
+bool MessageBus::FaultDrops(const Message& msg) {
+  const flexoffer::TimeSlice t = msg.sent_at;
+  for (const FaultPlan::Blackout& b : config_.faults.blackouts) {
+    if (t >= b.from && t < b.to && (msg.to == b.node || msg.from == b.node)) {
+      return true;
+    }
+  }
+  for (const FaultPlan::Partition& p : config_.faults.partitions) {
+    if (t < p.from || t >= p.to) continue;
+    bool from_in = std::find(p.island.begin(), p.island.end(), msg.from) !=
+                   p.island.end();
+    bool to_in =
+        std::find(p.island.begin(), p.island.end(), msg.to) != p.island.end();
+    if (from_in != to_in) return true;
+  }
+  for (const FaultPlan::DropWindow& w : config_.faults.drop_windows) {
+    if (t < w.from || t >= w.to) continue;
+    if (w.probability >= 1.0 || rng_.Bernoulli(w.probability)) return true;
+  }
+  return false;
+}
+
+int64_t MessageBus::FaultLatency(const Message& msg) const {
+  int64_t extra = 0;
+  for (const FaultPlan::LatencySpike& s : config_.faults.latency_spikes) {
+    if (msg.sent_at >= s.from && msg.sent_at < s.to) extra += s.extra_slices;
+  }
+  return extra;
+}
+
 Status MessageBus::Send(const Message& msg) {
   if (handlers_.count(msg.to) == 0) {
     return Status::NotFound("unknown recipient node " + std::to_string(msg.to));
   }
   ++sent_;
+  if (FaultDrops(msg)) {
+    ++dropped_;
+    ++dropped_by_fault_;
+    return Status::OK();  // silent loss, like the network
+  }
   if (config_.drop_probability > 0.0 &&
       rng_.Bernoulli(config_.drop_probability)) {
     ++dropped_;
-    return Status::OK();  // silent loss, like the network
+    return Status::OK();
   }
-  queue_.push_back({msg.sent_at + config_.latency_slices, msg});
+  queue_.push_back(
+      {msg.sent_at + config_.latency_slices + FaultLatency(msg), msg});
   return Status::OK();
 }
 
 void MessageBus::AdvanceTo(flexoffer::TimeSlice now) {
+  now_ = std::max(now_, now);
   // Handlers may enqueue more messages; keep draining until nothing due is
   // left. Send order is preserved for messages with equal due slices.
   bool progress = true;
@@ -80,6 +128,15 @@ void MessageBus::AdvanceTo(flexoffer::TimeSlice now) {
       }
     }
   }
+}
+
+size_t MessageBus::ReportBacklog() const {
+  if (!queue_.empty()) {
+    MIRABEL_LOG(kWarning) << "message bus ends with " << queue_.size()
+                          << " undelivered message(s); first: "
+                          << queue_.front().msg.ToString();
+  }
+  return queue_.size();
 }
 
 }  // namespace mirabel::node

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "node/fault_plan.h"
 #include "node/message.h"
 
 namespace mirabel::node {
@@ -15,10 +16,13 @@ namespace mirabel::node {
 /// In-process substitute for MIRABEL's wide-area messaging (the paper's
 /// Communication component). Delivery is tied to the simulated slice clock:
 /// a message sent at slice t is delivered when the simulation advances to
-/// t + latency_slices. Latency and message loss are injectable so tests can
-/// exercise the degradation path (paper §1: "even in critical scenarios
-/// (e.g., nodes unreachable, failed execution deadlines) the overall system
-/// would gracefully behave as in the traditional setting").
+/// t + latency_slices. Latency, random loss and a full FaultPlan (drop
+/// windows, node blackouts, partitions, latency spikes) are injectable so
+/// tests can exercise the degradation path (paper §1: "even in critical
+/// scenarios (e.g., nodes unreachable, failed execution deadlines) the
+/// overall system would gracefully behave as in the traditional setting").
+/// Everything is seeded: the same config + the same send sequence yields
+/// bit-identical dropped/delivered sets.
 class MessageBus {
  public:
   struct Config {
@@ -27,6 +31,9 @@ class MessageBus {
     /// Probability that a message is silently dropped.
     double drop_probability = 0.0;
     uint64_t seed = 99;
+    /// Windowed chaos faults, evaluated at Send() time (see FaultPlan; the
+    /// plan's node stalls are driven by the simulation, not the bus).
+    FaultPlan faults;
   };
 
   MessageBus();
@@ -37,20 +44,39 @@ class MessageBus {
   /// Registers the handler of node `id`; AlreadyExists on duplicates.
   Status Register(NodeId id, Handler handler);
 
-  /// Queues `msg` for delivery at msg.sent_at + latency. Unknown recipients
-  /// return NotFound at send time (the sender can react immediately).
+  /// Queues `msg` for delivery at msg.sent_at + latency (+ any active
+  /// latency spike). Unknown recipients return NotFound at send time (the
+  /// sender can react immediately).
   Status Send(const Message& msg);
 
   /// Delivers every queued message due at or before `now`, in send order.
   /// Handlers may Send() further messages; those are delivered too when due.
   void AdvanceTo(flexoffer::TimeSlice now);
 
+  /// The latest slice AdvanceTo() reached — the bus-side clock. Handlers use
+  /// this to timestamp replies sent from inside a delivery.
+  flexoffer::TimeSlice now() const { return now_; }
+
   int64_t sent() const { return sent_; }
   int64_t delivered() const { return delivered_; }
   int64_t dropped() const { return dropped_; }
+  /// Drops attributable to the FaultPlan (blackouts, partitions, drop
+  /// windows), a subset of dropped().
+  int64_t dropped_by_fault() const { return dropped_by_fault_; }
   size_t pending() const { return queue_.size(); }
 
+  /// End-of-run backlog check: logs a warning when messages are still
+  /// undelivered and returns their count — the bus-level mirror of
+  /// EngineStats::offers_dropped_at_shutdown, so messages cannot vanish
+  /// silently when a run is torn down.
+  size_t ReportBacklog() const;
+
  private:
+  /// True when the fault plan says `msg` must be dropped at send time.
+  bool FaultDrops(const Message& msg);
+  /// Extra delivery latency from active latency spikes.
+  int64_t FaultLatency(const Message& msg) const;
+
   struct InFlight {
     flexoffer::TimeSlice due = 0;
     Message msg;
@@ -60,9 +86,11 @@ class MessageBus {
   Rng rng_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::deque<InFlight> queue_;
+  flexoffer::TimeSlice now_ = 0;
   int64_t sent_ = 0;
   int64_t delivered_ = 0;
   int64_t dropped_ = 0;
+  int64_t dropped_by_fault_ = 0;
 };
 
 }  // namespace mirabel::node

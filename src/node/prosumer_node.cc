@@ -1,6 +1,7 @@
 #include "node/prosumer_node.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -9,8 +10,29 @@ namespace mirabel::node {
 using flexoffer::FlexOffer;
 using flexoffer::TimeSlice;
 
+namespace {
+
+/// A resubmit entry in this state waits for the next NACK (or expiry) to
+/// re-arm it; it is never due on its own.
+constexpr TimeSlice kNotDue = std::numeric_limits<TimeSlice>::max();
+
+ReliableChannel::Config ChannelConfig(const ProsumerNode::Config& config) {
+  ReliableChannel::Config cc = config.reliability;
+  cc.self = config.id;
+  // Per-node stream: channel jitter must differ across prosumers even when
+  // they share a base seed.
+  cc.seed = config.reliability.seed * 0x9E3779B97F4A7C15ULL + config.id;
+  return cc;
+}
+
+}  // namespace
+
 ProsumerNode::ProsumerNode(const Config& config, MessageBus* bus)
-    : config_(config), bus_(bus), rng_(config.seed) {
+    : config_(config),
+      bus_(bus),
+      rng_(config.seed),
+      retry_rng_(config.seed * 0x2545F4914F6CDD1DULL + config.id),
+      channel_(ChannelConfig(config), bus) {
   Status st = bus_->Register(
       config_.id, [this](const Message& msg) { HandleMessage(msg); });
   if (!st.ok()) {
@@ -47,6 +69,36 @@ FlexOffer ProsumerNode::MakeOffer(TimeSlice now) {
 }
 
 void ProsumerNode::OnTick(TimeSlice now) {
+  // Transport first: retransmit unacked sends that are due.
+  channel_.OnTick(now);
+
+  // Resubmit NACKed offers whose retry-after + backoff elapsed. Entries for
+  // offers that meanwhile left the kOffered state (or timed out) are dropped;
+  // the deadline fallback below owns those.
+  for (auto it = resubmits_.begin(); it != resubmits_.end();) {
+    if (it->second.due > now) {
+      ++it;
+      continue;
+    }
+    Result<const storage::FlexOfferFact*> fact = store_.FindFlexOffer(it->first);
+    if (!fact.ok() || (*fact)->state != storage::FlexOfferState::kOffered ||
+        (*fact)->offer.assignment_before <= now) {
+      it = resubmits_.erase(it);
+      continue;
+    }
+    ++it->second.attempts;
+    it->second.due = kNotDue;  // wait state until the BRP NACKs again
+    ++stats_.offers_resubmitted;
+    Message msg;
+    msg.type = MessageType::kFlexOffer;
+    msg.from = config_.id;
+    msg.to = config_.brp;
+    msg.sent_at = now;
+    msg.offer = (*fact)->offer;
+    (void)channel_.Send(msg);
+    ++it;
+  }
+
   // Device activity: emit a flex-offer with per-slice probability matching
   // the configured daily rate.
   if (rng_.Bernoulli(config_.offers_per_day / flexoffer::kSlicesPerDay)) {
@@ -59,7 +111,7 @@ void ProsumerNode::OnTick(TimeSlice now) {
       msg.to = config_.brp;
       msg.sent_at = now;
       msg.offer = fo;
-      (void)bus_->Send(msg);
+      (void)channel_.Send(msg);
     }
   }
 
@@ -79,7 +131,7 @@ void ProsumerNode::OnTick(TimeSlice now) {
     msg.sent_at = now;
     msg.offer_id = fact.id;
     msg.value = fact.schedule.TotalEnergy();
-    (void)bus_->Send(msg);
+    (void)channel_.Send(msg);
   }
 
   // Timed-out offers fall back to the open contract: the load runs at its
@@ -88,24 +140,39 @@ void ProsumerNode::OnTick(TimeSlice now) {
     if (store_.TransitionFlexOffer(fact.id, storage::FlexOfferState::kExpired)
             .ok()) {
       ++stats_.fallbacks;
+      resubmits_.erase(fact.id);
     }
   }
 }
 
 void ProsumerNode::HandleMessage(const Message& msg) {
+  // Transport filter: consume acks, ack what requires it, drop redelivered
+  // duplicates before they reach lifecycle handling.
+  if (!channel_.Accept(msg)) return;
   switch (msg.type) {
     case MessageType::kFlexOfferAccepted: {
-      (void)store_.TransitionFlexOffer(msg.offer_id,
-                                       storage::FlexOfferState::kAccepted);
-      (void)store_.SetAgreedPrice(msg.offer_id, msg.value);
-      stats_.earnings_eur += msg.value;
-      ++stats_.offers_accepted;
+      // A (possibly retried) reply landing after the deadline fallback finds
+      // the offer already terminal: the transition fails and the stats must
+      // not drift from the stored facts.
+      if (store_
+              .TransitionFlexOffer(msg.offer_id,
+                                   storage::FlexOfferState::kAccepted)
+              .ok()) {
+        (void)store_.SetAgreedPrice(msg.offer_id, msg.value);
+        stats_.earnings_eur += msg.value;
+        ++stats_.offers_accepted;
+      }
+      resubmits_.erase(msg.offer_id);
       break;
     }
     case MessageType::kFlexOfferRejected: {
-      (void)store_.TransitionFlexOffer(msg.offer_id,
-                                       storage::FlexOfferState::kRejected);
-      ++stats_.offers_rejected;
+      if (store_
+              .TransitionFlexOffer(msg.offer_id,
+                                   storage::FlexOfferState::kRejected)
+              .ok()) {
+        ++stats_.offers_rejected;
+      }
+      resubmits_.erase(msg.offer_id);
       break;
     }
     case MessageType::kScheduledFlexOffer: {
@@ -119,6 +186,30 @@ void ProsumerNode::HandleMessage(const Message& msg) {
           ++stats_.schedules_received;
         }
       }
+      break;
+    }
+    case MessageType::kNack: {
+      // Overloaded BRP shed the offer before an engine saw it. Honor the
+      // server-supplied retry-after, plus exponential local backoff with
+      // jitter so a thundering herd of shed prosumers spreads out.
+      ++stats_.nacks_received;
+      Result<const storage::FlexOfferFact*> fact =
+          store_.FindFlexOffer(msg.offer_id);
+      if (!fact.ok() ||
+          (*fact)->state != storage::FlexOfferState::kOffered) {
+        break;
+      }
+      Resubmit& r = resubmits_[msg.offer_id];
+      if (r.attempts >= config_.max_offer_resubmits) {
+        // Out of retries: leave it to the deadline fallback.
+        resubmits_.erase(msg.offer_id);
+        break;
+      }
+      TimeSlice retry_after = std::max<TimeSlice>(
+          1, static_cast<TimeSlice>(msg.value));
+      TimeSlice backoff = TimeSlice{1} << std::min(r.attempts, 6);
+      r.due = bus_->now() + retry_after + backoff +
+              retry_rng_.UniformInt(0, backoff);
       break;
     }
     default:

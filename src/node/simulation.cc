@@ -11,13 +11,16 @@ using flexoffer::kSlicesPerDay;
 using flexoffer::TimeSlice;
 
 std::string SimulationReport::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "SimulationReport{offers=%lld accepted=%lld rejected=%lld "
       "scheduled=%lld executed=%lld fallbacks=%lld earnings=%.2fEUR "
       "runs=%lld macros=%lld imbalance %.1f->%.1f kWh (-%.1f%%) "
-      "msgs=%lld/%lld (dropped %lld)}",
+      "msgs=%lld/%lld (dropped %lld, faulted %lld, backlog %lld) "
+      "transport{retries=%lld dead=%lld dupes=%lld} "
+      "degraded{nacks=%lld resubmits=%lld late_refused=%lld "
+      "macros_expired=%lld exec_timeouts=%lld}}",
       static_cast<long long>(offers_created),
       static_cast<long long>(offers_accepted),
       static_cast<long long>(offers_rejected),
@@ -29,7 +32,17 @@ std::string SimulationReport::ToString() const {
       imbalance_after_kwh, 100.0 * ImbalanceReduction(),
       static_cast<long long>(messages_delivered),
       static_cast<long long>(messages_sent),
-      static_cast<long long>(messages_dropped));
+      static_cast<long long>(messages_dropped),
+      static_cast<long long>(messages_dropped_by_fault),
+      static_cast<long long>(messages_undelivered_at_end),
+      static_cast<long long>(transport_retries),
+      static_cast<long long>(transport_dead_letters),
+      static_cast<long long>(transport_duplicates_dropped),
+      static_cast<long long>(nacks_received),
+      static_cast<long long>(offers_resubmitted),
+      static_cast<long long>(late_offers_refused),
+      static_cast<long long>(macros_expired_unscheduled),
+      static_cast<long long>(executions_timed_out));
   return buf;
 }
 
@@ -67,7 +80,12 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
     tso_cfg.engine.horizon = config.horizon;
     tso_cfg.engine.scheduler_factory = config.scheduler_factory;
     tso_cfg.engine.scheduler_budget_s = config.scheduler_budget_s;
+    tso_cfg.engine.scheduler_max_iterations = config.scheduler_max_iterations;
     tso_cfg.engine.seed = config.seed * 7 + 1;
+    tso_cfg.reliability = config.reliability;
+    tso_cfg.streaming_intake = config.streaming_intake;
+    tso_cfg.max_pending_batches_per_shard =
+        config.max_pending_batches_per_shard;
     // The TSO balances the residual of the whole area.
     datagen::DemandSeriesConfig demand_cfg;
     demand_cfg.periods_per_day = kSlicesPerDay;
@@ -99,7 +117,12 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
     brp_cfg.engine.horizon = config.horizon;
     brp_cfg.engine.scheduler_factory = config.scheduler_factory;
     brp_cfg.engine.scheduler_budget_s = config.scheduler_budget_s;
+    brp_cfg.engine.scheduler_max_iterations = config.scheduler_max_iterations;
     brp_cfg.engine.seed = config.seed * 13 + static_cast<uint64_t>(b);
+    brp_cfg.reliability = config.reliability;
+    brp_cfg.streaming_intake = config.streaming_intake;
+    brp_cfg.max_pending_batches_per_shard =
+        config.max_pending_batches_per_shard;
 
     // Demand (positive) minus wind supply: the curve the BRP must balance.
     datagen::DemandSeriesConfig demand_cfg;
@@ -139,6 +162,7 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
       pro_cfg.offers_per_day = config.offers_per_day;
       pro_cfg.seed = config.seed * 31 + static_cast<uint64_t>(b) * 997 +
                      static_cast<uint64_t>(p);
+      pro_cfg.reliability = config.reliability;
       prosumers_.push_back(std::make_unique<ProsumerNode>(pro_cfg, &bus_));
     }
   }
@@ -146,12 +170,21 @@ EdmsSimulation::EdmsSimulation(const SimulationConfig& config)
 
 SimulationReport EdmsSimulation::Run() {
   const TimeSlice end = static_cast<TimeSlice>(config_.days) * kSlicesPerDay;
+  const FaultPlan& faults = config_.bus.faults;
   for (TimeSlice now = 0; now < end; ++now) {
-    for (auto& p : prosumers_) p->OnTick(now);
+    // A stalled node skips its tick: no new offers, no retries, no gate —
+    // but its mailbox still accepts deliveries (bus handlers are passive).
+    for (auto& p : prosumers_) {
+      if (!faults.StalledAt(p->id(), now)) p->OnTick(now);
+    }
     bus_.AdvanceTo(now);
-    for (auto& b : brps_) b->OnTick(now);
+    for (auto& b : brps_) {
+      if (!faults.StalledAt(b->id(), now)) b->OnTick(now);
+    }
     bus_.AdvanceTo(now);
-    if (tso_ != nullptr) tso_->OnTick(now);
+    if (tso_ != nullptr && !faults.StalledAt(tso_->id(), now)) {
+      tso_->OnTick(now);
+    }
     bus_.AdvanceTo(now);
   }
   // Drain in-flight messages and give prosumers a final execution pass.
@@ -175,9 +208,16 @@ SimulationReport EdmsSimulation::Run() {
   bus_.AdvanceTo(final_slice);
   for (auto& b : brps_) b->FlushBuffers(final_slice);
   if (tso_ != nullptr) tso_->FlushBuffers(final_slice);
-  // The flushes may answer late offers; deliver those replies too so the
-  // bus ends the run settled (prosumer handlers never send in response).
-  bus_.AdvanceTo(final_slice + config_.bus.latency_slices);
+  // The flushes may answer late offers, and every delivery of an
+  // ack-required message triggers an ack send in turn: keep advancing in
+  // latency-sized steps until the queue drains (bounded — an ack chain is
+  // at most reply -> ack, but retransmits can stack a few more rounds).
+  TimeSlice settle = final_slice;
+  for (int round = 0; round < 8; ++round) {
+    settle += std::max<TimeSlice>(1, config_.bus.latency_slices);
+    bus_.AdvanceTo(settle);
+    if (bus_.pending() == 0) break;
+  }
 
   SimulationReport report;
   for (const auto& p : prosumers_) {
@@ -190,18 +230,40 @@ SimulationReport EdmsSimulation::Run() {
     report.fallbacks += s.fallbacks;
     report.prosumer_earnings_eur += s.earnings_eur;
   }
+  for (const auto& p : prosumers_) {
+    report.nacks_received += p->stats().nacks_received;
+    report.offers_resubmitted += p->stats().offers_resubmitted;
+    report.transport_retries += p->channel().stats().retries;
+    report.transport_dead_letters += p->channel().stats().dead_letters;
+    report.transport_duplicates_dropped +=
+        p->channel().stats().duplicates_dropped;
+    report.transport_acks_sent += p->channel().stats().acks_sent;
+  }
   auto add_agg = [&report](const AggregatingNode& n) {
     report.scheduling_runs += n.stats().scheduling_runs;
     report.macros_scheduled += n.stats().macros_scheduled;
     report.imbalance_before_kwh += n.stats().imbalance_before_kwh;
     report.imbalance_after_kwh += n.stats().imbalance_after_kwh;
     report.schedule_cost_eur += n.stats().schedule_cost_eur;
+    report.late_offers_refused += n.late_offers_refused();
+    report.macros_expired_unscheduled += n.stats().macros_expired_unscheduled;
+    report.executions_timed_out += n.stats().executions_timed_out;
+    report.transport_retries += n.channel().stats().retries;
+    report.transport_dead_letters += n.channel().stats().dead_letters;
+    report.transport_duplicates_dropped +=
+        n.channel().stats().duplicates_dropped;
+    report.transport_acks_sent += n.channel().stats().acks_sent;
   };
   for (const auto& b : brps_) add_agg(*b);
   if (tso_ != nullptr) add_agg(*tso_);
   report.messages_sent = bus_.sent();
   report.messages_delivered = bus_.delivered();
   report.messages_dropped = bus_.dropped();
+  report.messages_dropped_by_fault = bus_.dropped_by_fault();
+  // Satellite: surface any undelivered backlog (ReportBacklog also logs a
+  // warning naming the first stuck message).
+  report.messages_undelivered_at_end =
+      static_cast<int64_t>(bus_.ReportBacklog());
   return report;
 }
 

@@ -21,8 +21,16 @@ struct SimulationConfig {
   /// When false, BRPs schedule locally and no TSO level exists (2-level
   /// deployment); when true, BRPs forward macro offers to the TSO (3-level).
   bool use_tso = false;
+  /// Bus configuration, including `bus.faults` — the chaos plan. Drops,
+  /// blackouts, partitions and latency spikes apply at the bus; `Stall`
+  /// windows are honored here by skipping the stalled node's OnTick (its
+  /// mailbox still accepts deliveries, it just stops processing).
   MessageBus::Config bus;
   uint64_t seed = 2024;
+  /// Transport reliability template for every node (acked retries with
+  /// backoff, receiver dedupe); per-node `self`/`seed` are derived. Disable
+  /// for the pre-reliability fire-and-forget wire.
+  ReliableChannel::Config reliability;
 
   /// Per-prosumer offer rate (offers per day).
   double offers_per_day = 3.0;
@@ -37,6 +45,15 @@ struct SimulationConfig {
   /// (resolve names via edms::SchedulerRegistry::Default() at the CLI edge).
   edms::SchedulerFactory scheduler_factory;
   double scheduler_budget_s = 0.05;
+  /// Iteration cap per scheduling run; set > 0 together with
+  /// scheduler_budget_s <= 0 for bit-reproducible runs (chaos tests rerun
+  /// scenarios and diff the reports).
+  int scheduler_max_iterations = 0;
+  /// Streaming-intake knobs for the aggregating nodes; a bounded queue plus
+  /// the default shed policy turns overload into kNack replies that
+  /// prosumers honor with backoff. 0 = unbounded fork-join (default).
+  bool streaming_intake = false;
+  size_t max_pending_batches_per_shard = 0;
 };
 
 /// Aggregated outcome of a simulation run.
@@ -58,6 +75,27 @@ struct SimulationReport {
   int64_t messages_sent = 0;
   int64_t messages_delivered = 0;
   int64_t messages_dropped = 0;
+  /// Subset of messages_dropped caused by the fault plan.
+  int64_t messages_dropped_by_fault = 0;
+  /// Bus backlog after the final drain (> 0 is logged as a warning).
+  int64_t messages_undelivered_at_end = 0;
+
+  // -- Transport reliability (summed over every node's ReliableChannel) ----
+  int64_t transport_retries = 0;
+  int64_t transport_dead_letters = 0;
+  int64_t transport_duplicates_dropped = 0;
+  int64_t transport_acks_sent = 0;
+
+  // -- Degradation counters ------------------------------------------------
+  /// Overload NACKs received by prosumers / resubmissions they made.
+  int64_t nacks_received = 0;
+  int64_t offers_resubmitted = 0;
+  /// Offers refused with a reply during wind-down (never silently dropped).
+  int64_t late_offers_refused = 0;
+  /// Forwarded macros expired because the parent never returned a schedule.
+  int64_t macros_expired_unscheduled = 0;
+  /// Assigned offers closed as expired because execution never metered.
+  int64_t executions_timed_out = 0;
 
   /// Relative imbalance reduction achieved by flex-offer scheduling (the
   /// effect sketched in the paper's Fig. 1), in [0, 1].

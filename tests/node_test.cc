@@ -20,6 +20,10 @@ ProsumerNode::Config ProsumerConfig(NodeId id, NodeId brp) {
   cfg.brp = brp;
   cfg.offers_per_day = 96.0;  // ~1 per slice: deterministic-ish activity
   cfg.seed = id;
+  // These tests pair the prosumer with a raw inbox handler that never acks;
+  // passthrough transport keeps send counts 1:1 with offers. The reliability
+  // layer has its own tests (reliable_channel_test, the NACK tests below).
+  cfg.reliability.enabled = false;
   return cfg;
 }
 
@@ -236,6 +240,143 @@ TEST(AggregatingNodeTest, ShardedNodePartitionsProsumers) {
   }
   EXPECT_EQ(accepts, 4);
   EXPECT_EQ(schedules, 4);
+}
+
+TEST(ProsumerNodeTest, HonorsNackWithBackoffResubmit) {
+  MessageBus bus;
+  std::vector<Message> inbox;
+  ASSERT_TRUE(bus.Register(100, [&inbox](const Message& m) {
+                   if (m.type == MessageType::kFlexOffer) inbox.push_back(m);
+                 }).ok());
+  ProsumerNode prosumer(ProsumerConfig(1000, 100), &bus);
+  flexoffer::TimeSlice t = 0;
+  for (; t < 20 && inbox.empty(); ++t) {
+    prosumer.OnTick(t);
+    bus.AdvanceTo(t);
+  }
+  ASSERT_FALSE(inbox.empty());
+  const flexoffer::FlexOfferId shed_id = inbox.front().offer.id;
+
+  // The BRP sheds the offer: NACK with retry-after = 2 slices.
+  Message nack;
+  nack.type = MessageType::kNack;
+  nack.from = 100;
+  nack.to = 1000;
+  nack.sent_at = t;
+  nack.offer_id = shed_id;
+  nack.value = 2.0;
+  ASSERT_TRUE(bus.Send(nack).ok());
+  bus.AdvanceTo(t);
+  EXPECT_EQ(prosumer.stats().nacks_received, 1);
+  EXPECT_EQ(prosumer.stats().offers_resubmitted, 0);  // waiting out backoff
+
+  // Within retry-after + backoff(1) + jitter <= 2 + 1 + 1 slices the offer
+  // goes out again — same id, fresh send.
+  auto resubmissions = [&inbox, shed_id]() {
+    int n = 0;
+    for (const Message& m : inbox) {
+      if (m.offer.id == shed_id) ++n;
+    }
+    return n - 1;  // minus the original send
+  };
+  for (flexoffer::TimeSlice u = t; u < t + 6; ++u) {
+    prosumer.OnTick(u);
+    bus.AdvanceTo(u);
+  }
+  EXPECT_EQ(prosumer.stats().offers_resubmitted, 1);
+  EXPECT_EQ(resubmissions(), 1);
+
+  // Without a fresh NACK there is no further resubmission (the entry waits),
+  // and after max_offer_resubmits NACKs the prosumer gives up and leaves the
+  // offer to the deadline fallback.
+  for (flexoffer::TimeSlice u = t + 6; u < t + 12; ++u) {
+    prosumer.OnTick(u);
+    bus.AdvanceTo(u);
+  }
+  EXPECT_EQ(prosumer.stats().offers_resubmitted, 1);
+  for (int round = 0; round < 5; ++round) {
+    nack.sent_at = t + 12 + round * 8;
+    ASSERT_TRUE(bus.Send(nack).ok());
+    for (flexoffer::TimeSlice u = nack.sent_at; u < nack.sent_at + 8; ++u) {
+      bus.AdvanceTo(u);
+      prosumer.OnTick(u);
+    }
+  }
+  EXPECT_EQ(prosumer.stats().nacks_received, 6);
+  // Capped at max_offer_resubmits (3); the deadline fallback may close the
+  // offer before all retries are spent, but the cap is never exceeded.
+  EXPECT_LE(prosumer.stats().offers_resubmitted, 3);
+  EXPECT_GE(prosumer.stats().offers_resubmitted, 1);
+}
+
+TEST(AggregatingNodeTest, DrainPhaseRefusesLateOffersWithReply) {
+  // Regression: offers arriving during wind-down used to be buffered into a
+  // batch no gate would ever run — silently stranding the owner until its
+  // deadline. They must be refused with a terminal reply instead.
+  MessageBus bus;
+  AggregatingNode::Config cfg = BrpConfig(100);
+  cfg.reliability.enabled = false;  // raw inbox below never acks
+  AggregatingNode brp(cfg, &bus);
+  std::vector<Message> inbox;
+  ASSERT_TRUE(bus.Register(1000, [&inbox](const Message& m) {
+                   inbox.push_back(m);
+                 }).ok());
+
+  brp.OnTick(0);
+  brp.FlushBuffers(10);  // wind-down begins: no gate will run again
+
+  Message late;
+  late.type = MessageType::kFlexOffer;
+  late.from = 1000;
+  late.to = 100;
+  late.sent_at = 11;
+  late.offer = testutil::OwnedOffer(77, 1000, /*assign_before=*/40,
+                                    /*earliest=*/48, /*latest=*/60, /*dur=*/4);
+  ASSERT_TRUE(bus.Send(late).ok());
+  bus.AdvanceTo(11);
+  EXPECT_EQ(brp.late_offers_refused(), 1);
+  EXPECT_EQ(brp.pending_offers(), 0u);  // refused inline, not buffered
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].type, MessageType::kFlexOfferRejected);
+  EXPECT_EQ(inbox[0].offer_id, 77u);
+  // The refused offer never reached an engine.
+  EXPECT_EQ(brp.stats().offers_received, 0);
+
+  // A late copy of an offer the node already admitted is NOT refused (the
+  // runtime's own state terminalizes it); it is dropped as the duplicate
+  // it is.
+  brp.FlushBuffers(12);
+  bus.AdvanceTo(12);
+  EXPECT_EQ(brp.late_offers_refused(), 1);
+}
+
+TEST(AggregatingNodeTest, FlushBuffersExpiresStrandedPipelineOffers) {
+  // An offer admitted before wind-down whose deadline passes during the
+  // drain must be terminalized by the deadline sweep, without a gate.
+  MessageBus bus;
+  AggregatingNode::Config cfg = BrpConfig(100);
+  cfg.reliability.enabled = false;
+  AggregatingNode brp(cfg, &bus);
+  ASSERT_TRUE(bus.Register(1000, [](const Message&) {}).ok());
+
+  Message msg;
+  msg.type = MessageType::kFlexOffer;
+  msg.from = 1000;
+  msg.to = 100;
+  msg.sent_at = 0;
+  msg.offer = testutil::OwnedOffer(88, 1000, /*assign_before=*/6,
+                                   /*earliest=*/8, /*latest=*/12, /*dur=*/2);
+  ASSERT_TRUE(bus.Send(msg).ok());
+  bus.AdvanceTo(0);
+  // First wind-down flush admits the buffered offer (negotiation accepts
+  // it) but never opens a gate.
+  brp.FlushBuffers(1);
+  ASSERT_EQ(brp.stats().offers_accepted, 1);
+  EXPECT_EQ(brp.stats().offers_expired_in_pipeline, 0);
+  // Once the deadline passes, the sweep expires it.
+  brp.FlushBuffers(7);
+  EXPECT_EQ(brp.stats().offers_expired_in_pipeline, 1);
+  EXPECT_EQ(brp.stats().macros_scheduled, 0);
 }
 
 TEST(AggregatingNodeTest, MeasurementsLandInStore) {

@@ -34,6 +34,28 @@ _GAP_FIELDS = ["cost_eur", "gap_vs_optimal_eur", "gap_vs_optimal_pct"]
 
 _THROUGHPUT_FIELDS = ["wall_s", "throughput_items_per_s", "items"]
 
+_ROBUSTNESS_FIELDS = [
+    "wall_s",
+    "imbalance_reduction",
+    "terminal_fraction",
+    "offers_created",
+    "fallbacks",
+    "retries",
+    "dead_letters",
+]
+
+
+def _robustness_legs():
+    """Degradation-curve legs of BENCH_robustness.json; leg names are
+    independent of MIRABEL_BENCH_SMALL (only the workload shrinks)."""
+    legs = {}
+    for rate in ("0.00", "0.05", "0.10", "0.20", "0.35", "0.50"):
+        legs[f"drop/{rate}"] = _ROBUSTNESS_FIELDS
+    for length in (0, 16, 48, 96):
+        legs[f"blackout/{length}"] = _ROBUSTNESS_FIELDS
+    legs["noretry/0.20"] = _ROBUSTNESS_FIELDS
+    return legs
+
 
 def _kernel_legs():
     """Per-size legs of BENCH_scheduler_kernel.json, incl. the fast_math
@@ -63,6 +85,7 @@ REQUIRED_BY_FILE = {
         "streaming/pooled": ["wall_s", "accepted", "micro_schedules"],
         "shards/1": ["wall_s", "imbalance_reduction_kwh"],
     },
+    "BENCH_robustness.json": _robustness_legs(),
     "BENCH_optimality_study.json": {
         "Exhaustive(optimal)": _GAP_FIELDS + ["optimal_proven"],
         "GreedySearch": _GAP_FIELDS,
@@ -105,6 +128,17 @@ def check(path: str) -> int:
         result = results.get(name)
         if result and result.get("accept_samples", 0) <= 0:
             errors.append(f"{name}: accept_samples is zero")
+    # Sanity: conservation under chaos — every robustness leg must close all
+    # offers created before the wind-down, whatever the fault plan did.
+    if os.path.basename(path) == "BENCH_robustness.json":
+        for name in required:
+            result = results.get(name)
+            if result and result.get("terminal_fraction") != 1.0:
+                errors.append(
+                    f"{name}: terminal_fraction is "
+                    f"{result.get('terminal_fraction')} (offers leaked a "
+                    f"non-terminal lifecycle state)"
+                )
     # Sanity: the optimality study is anchored by a completed enumeration; a
     # gap computed against an unproven "optimum" is not an optimality gap.
     anchor = results.get("Exhaustive(optimal)")
