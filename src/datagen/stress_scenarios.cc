@@ -1,0 +1,208 @@
+#include "datagen/stress_scenarios.h"
+
+#include <cmath>
+#include <utility>
+
+namespace mirabel::datagen {
+
+namespace {
+
+/// Seed-stream discriminators: ensembles and realizations must never share
+/// a generator state, or the "out-of-sample" realizations would be in
+/// sample. Ensemble scenario k draws from seed * kStreamStride + k;
+/// realization r from seed * kStreamStride + kRealizationOffset + r.
+constexpr uint64_t kStreamStride = 0x9E3779B97F4A7C15ULL;
+constexpr uint64_t kRealizationOffset = 0x100000ULL;
+
+/// One shared base workload: a mid-size intra-day BRP gate with enough time
+/// flexibility that schedules can actually hedge across windows.
+scheduling::ScenarioConfig BaseWorkload(uint64_t seed) {
+  scheduling::ScenarioConfig base;
+  base.num_offers = 24;
+  base.horizon_length = 96;
+  base.seed = seed;
+  base.imbalance_amplitude_kwh = 40.0;
+  base.max_time_flexibility = 48;
+  return base;
+}
+
+}  // namespace
+
+Status ValidateStressScenario(const StressScenarioSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("stress scenario needs a name");
+  }
+  if (spec.base.horizon_length <= 0) {
+    return Status::InvalidArgument(spec.name + ": horizon must be positive");
+  }
+  if (spec.event_length < 0 || spec.event_start_slice < 0 ||
+      spec.event_start_slice + spec.event_length > spec.base.horizon_length) {
+    return Status::InvalidArgument(spec.name +
+                                   ": event window outside the horizon");
+  }
+  if (spec.event_probability < 0.0 || spec.event_probability > 1.0) {
+    return Status::InvalidArgument(spec.name +
+                                   ": event probability outside [0, 1]");
+  }
+  if (spec.depth_sigma_kwh < 0.0 || spec.noise_sigma_kwh < 0.0) {
+    return Status::InvalidArgument(spec.name + ": negative sigma");
+  }
+  if (spec.price_spike_factor <= 0.0) {
+    return Status::InvalidArgument(spec.name +
+                                   ": price spike factor must be positive");
+  }
+  return Status::OK();
+}
+
+std::vector<StressScenarioSpec> NamedStressScenarios(uint64_t seed) {
+  std::vector<StressScenarioSpec> specs;
+
+  {
+    StressScenarioSpec s;
+    s.name = "ev_charge_surge";
+    s.description =
+        "Evening-to-midnight EV charging turns the cheap late shoulder into "
+        "a ~30 kWh deficit with probability 1/2.";
+    s.base = BaseWorkload(seed + 11);
+    s.event_start_slice = 80;
+    s.event_length = 16;
+    s.event_probability = 0.5;
+    s.event_depth_kwh = 30.0;
+    s.depth_sigma_kwh = 5.0;
+    s.noise_sigma_kwh = 0.8;
+    s.seed = seed + 101;
+    specs.push_back(std::move(s));
+  }
+  {
+    StressScenarioSpec s;
+    s.name = "demand_response_event";
+    s.description =
+        "A forecast demand-response curtailment fails to deliver: consumption "
+        "rebounds into a ~35 kWh deficit burst with probability 0.4.";
+    s.base = BaseWorkload(seed + 12);
+    s.event_start_slice = 30;
+    s.event_length = 12;
+    s.event_probability = 0.4;
+    s.event_depth_kwh = 35.0;
+    s.depth_sigma_kwh = 6.0;
+    s.noise_sigma_kwh = 0.8;
+    s.seed = seed + 102;
+    specs.push_back(std::move(s));
+  }
+  {
+    StressScenarioSpec s;
+    s.name = "prosumer_flash_crowd";
+    s.description =
+        "Many small prosumers deviate the same way: a broad, shallow "
+        "correlated feed-in surge (~18 kWh toward surplus) with "
+        "probability 0.35.";
+    s.base = BaseWorkload(seed + 13);
+    s.event_start_slice = 24;
+    s.event_length = 44;
+    s.event_probability = 0.35;
+    s.event_depth_kwh = -18.0;
+    s.depth_sigma_kwh = 4.0;
+    s.noise_sigma_kwh = 1.2;
+    s.seed = seed + 103;
+    specs.push_back(std::move(s));
+  }
+  {
+    StressScenarioSpec s;
+    s.name = "price_spike";
+    s.description =
+        "The evening ramp comes early and steep: a ~20 kWh deficit across "
+        "the pre-peak ramp whose window also realizes 4x buy price and "
+        "penalty — being short there is disproportionately expensive.";
+    s.base = BaseWorkload(seed + 14);
+    s.event_start_slice = 58;
+    s.event_length = 16;
+    s.event_probability = 0.5;
+    s.event_depth_kwh = 20.0;
+    s.depth_sigma_kwh = 4.0;
+    s.noise_sigma_kwh = 0.8;
+    s.price_spike_factor = 4.0;
+    s.seed = seed + 104;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+Result<StressScenarioSpec> FindStressScenario(std::string_view name,
+                                              uint64_t seed) {
+  for (StressScenarioSpec& spec : NamedStressScenarios(seed)) {
+    if (spec.name == name) return std::move(spec);
+  }
+  return Status::NotFound("no stress scenario named '" + std::string(name) +
+                          "'");
+}
+
+scheduling::SchedulingProblem MakePlanningProblem(
+    const StressScenarioSpec& spec) {
+  return scheduling::MakeScenario(spec.base);
+}
+
+std::vector<double> SampleBaselineError(const StressScenarioSpec& spec,
+                                        Rng* rng) {
+  std::vector<double> error(static_cast<size_t>(spec.base.horizon_length),
+                            0.0);
+  // Event first, noise second: a fixed draw order keeps the stream layout
+  // stable (and thus the per-seed bit-reproducibility contract testable).
+  bool event = rng->Bernoulli(spec.event_probability);
+  double depth = event
+                     ? rng->Gaussian(spec.event_depth_kwh, spec.depth_sigma_kwh)
+                     : 0.0;
+  if (event) {
+    for (int j = 0; j < spec.event_length; ++j) {
+      // Half-sine excursion: zero at the window edges, `depth` at center.
+      double bump = std::sin(M_PI * (static_cast<double>(j) + 0.5) /
+                             static_cast<double>(spec.event_length));
+      error[static_cast<size_t>(spec.event_start_slice + j)] = depth * bump;
+    }
+  }
+  if (spec.noise_sigma_kwh > 0.0) {
+    for (double& e : error) e += rng->Gaussian(0.0, spec.noise_sigma_kwh);
+  }
+  return error;
+}
+
+std::vector<double> RealizedBaselineError(const StressScenarioSpec& spec,
+                                          int realization) {
+  Rng rng(spec.seed * kStreamStride + kRealizationOffset +
+          static_cast<uint64_t>(realization));
+  return SampleBaselineError(spec, &rng);
+}
+
+scheduling::SchedulingProblem MakeRealizedProblem(
+    const StressScenarioSpec& spec, int realization) {
+  scheduling::SchedulingProblem problem = MakePlanningProblem(spec);
+  std::vector<double> error = RealizedBaselineError(spec, realization);
+  for (size_t s = 0; s < problem.baseline_imbalance_kwh.size(); ++s) {
+    problem.baseline_imbalance_kwh[s] += error[s];
+  }
+  if (spec.price_spike_factor != 1.0) {
+    for (int j = 0; j < spec.event_length; ++j) {
+      size_t s = static_cast<size_t>(spec.event_start_slice + j);
+      problem.market.buy_price_eur[s] *= spec.price_spike_factor;
+      problem.imbalance_penalty_eur[s] *= spec.price_spike_factor;
+    }
+  }
+  return problem;
+}
+
+Result<scheduling::ScenarioEnsemble> MakeStressEnsemble(
+    const StressScenarioSpec& spec, int num_scenarios) {
+  if (num_scenarios < 1) {
+    return Status::InvalidArgument("num_scenarios must be >= 1");
+  }
+  std::vector<scheduling::BaselinePerturbation> perturbations;
+  perturbations.reserve(static_cast<size_t>(num_scenarios));
+  for (int k = 0; k < num_scenarios; ++k) {
+    Rng rng(spec.seed * kStreamStride + static_cast<uint64_t>(k));
+    perturbations.push_back(
+        scheduling::BaselinePerturbation{SampleBaselineError(spec, &rng)});
+  }
+  return scheduling::ScenarioEnsemble::FromPerturbations(
+      std::move(perturbations));
+}
+
+}  // namespace mirabel::datagen

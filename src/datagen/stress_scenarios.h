@@ -1,0 +1,110 @@
+#ifndef MIRABEL_DATAGEN_STRESS_SCENARIOS_H_
+#define MIRABEL_DATAGEN_STRESS_SCENARIOS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "scheduling/scenario.h"
+#include "scheduling/stochastic_evaluator.h"
+
+namespace mirabel::datagen {
+
+/// One named, seeded stress workload for the uncertainty study: a planning
+/// problem (the point forecast a scheduler sees) plus a structural
+/// forecast-error model (what reality may do to the baseline). The error
+/// model is a probabilistic *event* — with `event_probability` an extra
+/// half-sine baseline excursion of depth ~ N(event_depth_kwh,
+/// depth_sigma_kwh) materializes across the event window — on top of
+/// per-slice background noise. Everything is deterministic per seed:
+/// the planning problem from `base.seed`, ensembles and realizations from
+/// disjoint streams derived from `seed`.
+struct StressScenarioSpec {
+  std::string name;
+  std::string description;
+
+  /// The planning workload (offers, market, baseline curve).
+  scheduling::ScenarioConfig base;
+
+  /// Stress-event window [event_start_slice, event_start_slice +
+  /// event_length) within the horizon.
+  int event_start_slice = 0;
+  int event_length = 0;
+  /// Probability the event materializes in a sampled error curve.
+  double event_probability = 1.0;
+  /// Signed peak depth of the event excursion (kWh per slice at the window
+  /// center), in the baseline's sign convention: positive deepens the
+  /// deficit (unforecast load), negative shifts toward surplus (RES
+  /// overproduction / correlated feed-in).
+  double event_depth_kwh = 0.0;
+  /// Per-sample depth variability (Gaussian sigma around event_depth_kwh).
+  double depth_sigma_kwh = 0.0;
+  /// Background per-slice forecast noise (Gaussian sigma, all slices).
+  double noise_sigma_kwh = 0.5;
+  /// Realized buy-price / penalty multiplier inside the event window
+  /// (price-spike scenarios; 1.0 leaves prices untouched). Applies to
+  /// realized problems only — planning problems always carry base prices.
+  double price_spike_factor = 1.0;
+
+  /// Root of the scenario's error-model seed streams.
+  uint64_t seed = 0;
+};
+
+/// Validates the spec's shape: non-empty name, event window inside the
+/// horizon, probability in [0, 1], positive sigmas, positive spike factor.
+Status ValidateStressScenario(const StressScenarioSpec& spec);
+
+/// The library: four named stress scenarios over one intra-day BRP workload,
+/// derived deterministically from `seed`.
+///
+///   ev_charge_surge       — probable late-shoulder deficit (correlated EV
+///                           charging after the forecast evening peak)
+///   demand_response_event — possible midday deficit burst (a forecast DR
+///                           curtailment fails and consumption rebounds)
+///   prosumer_flash_crowd  — broad, shallower surplus shift (correlated
+///                           feed-in from many small prosumers)
+///   price_spike           — pre-peak-ramp deficit whose window also
+///                           realizes a multiplied buy price and penalty
+std::vector<StressScenarioSpec> NamedStressScenarios(uint64_t seed);
+
+/// Looks a scenario up by name in NamedStressScenarios(seed); NotFound
+/// otherwise.
+Result<StressScenarioSpec> FindStressScenario(std::string_view name,
+                                              uint64_t seed);
+
+/// The planning problem: what the point forecast claims the horizon looks
+/// like. Deterministic per spec (base.seed).
+scheduling::SchedulingProblem MakePlanningProblem(
+    const StressScenarioSpec& spec);
+
+/// Draws one per-slice baseline-error curve from the spec's structural
+/// error model using the caller's generator: Bernoulli(event_probability)
+/// event with Gaussian depth shaped as a half-sine over the event window,
+/// plus background noise on every slice.
+std::vector<double> SampleBaselineError(const StressScenarioSpec& spec,
+                                        Rng* rng);
+
+/// The error curve of out-of-sample realization `realization` (>= 0).
+/// Deterministic per (spec.seed, realization); the stream is disjoint from
+/// MakeStressEnsemble's, so realized outcomes are genuinely out of sample.
+std::vector<double> RealizedBaselineError(const StressScenarioSpec& spec,
+                                          int realization);
+
+/// The realized problem of one out-of-sample draw: the planning problem
+/// with its baseline shifted by RealizedBaselineError and, for price-spike
+/// scenarios, buy price and penalty multiplied inside the event window.
+scheduling::SchedulingProblem MakeRealizedProblem(
+    const StressScenarioSpec& spec, int realization);
+
+/// A planning ensemble of `num_scenarios` error curves drawn from the same
+/// structural model (disjoint seed stream from the realizations) — what a
+/// RobustScheduler plans against.
+Result<scheduling::ScenarioEnsemble> MakeStressEnsemble(
+    const StressScenarioSpec& spec, int num_scenarios);
+
+}  // namespace mirabel::datagen
+
+#endif  // MIRABEL_DATAGEN_STRESS_SCENARIOS_H_

@@ -7,7 +7,9 @@
 
 #include "common/logging.h"
 #include "scheduling/compiled_problem.h"
+#include "scheduling/robust_scheduler.h"
 #include "scheduling/scheduling_problem.h"
+#include "scheduling/stochastic_evaluator.h"
 
 namespace mirabel::edms {
 
@@ -21,19 +23,20 @@ EngineStats& EngineStats::Merge(const EngineStats& other) {
   // Destructuring both sides pins the member count at compile time: adding a
   // field to EngineStats without extending these bindings fails to build.
   // The size guard additionally catches same-count layout changes.
-  static_assert(sizeof(EngineStats) == 25 * sizeof(int64_t),
+  static_assert(sizeof(EngineStats) == 29 * sizeof(int64_t),
                 "EngineStats layout changed: update Merge()");
   auto& [received, batches, accepted, rejected, runs, macros, micros, expired,
          executed, payments, imb_before, imb_after, cost, budget_saved,
          intake_errs, metering_fails, shed, dropped, macros_expired,
-         exec_timeouts, wins_greedy, wins_ea, wins_hybrid, wins_bnb,
-         proven] = *this;
+         exec_timeouts, wins_greedy, wins_ea, wins_hybrid, wins_bnb, proven,
+         rob_runs, rob_evals, rob_expected, rob_cvar] = *this;
   const auto& [o_received, o_batches, o_accepted, o_rejected, o_runs, o_macros,
                o_micros, o_expired, o_executed, o_payments, o_imb_before,
                o_imb_after, o_cost, o_budget_saved, o_intake_errs,
                o_metering_fails, o_shed, o_dropped, o_macros_expired,
                o_exec_timeouts, o_wins_greedy, o_wins_ea, o_wins_hybrid,
-               o_wins_bnb, o_proven] = other;
+               o_wins_bnb, o_proven, o_rob_runs, o_rob_evals, o_rob_expected,
+               o_rob_cvar] = other;
   received += o_received;
   batches += o_batches;
   accepted += o_accepted;
@@ -59,6 +62,10 @@ EngineStats& EngineStats::Merge(const EngineStats& other) {
   wins_hybrid += o_wins_hybrid;
   wins_bnb += o_wins_bnb;
   proven += o_proven;
+  rob_runs += o_rob_runs;
+  rob_evals += o_rob_evals;
+  rob_expected += o_rob_expected;
+  rob_cvar += o_rob_cvar;
   return *this;
 }
 
@@ -353,6 +360,27 @@ Status EdmsEngine::ScheduleClaimed(
   if (scheduler == nullptr) {
     return Status::Internal("scheduler factory returned nullptr");
   }
+  // Uncertainty-aware gate: bootstrap a forecast-error ensemble from the
+  // fitted residual pool (seeded per gate, so reruns of the same engine
+  // timeline reproduce bit-identically) and wrap the configured scheduler
+  // in a robust re-ranking pass.
+  if (config_.ensemble_scenarios > 0 && config_.forecast_residuals != nullptr &&
+      !config_.forecast_residuals->empty()) {
+    MIRABEL_ASSIGN_OR_RETURN(
+        scheduling::ScenarioEnsemble ensemble,
+        scheduling::ScenarioEnsemble::FromResidualPool(
+            *config_.forecast_residuals, config_.horizon,
+            config_.ensemble_scenarios,
+            config_.seed + static_cast<uint64_t>(now)));
+    scheduling::RobustScheduler::Config robust_config;
+    robust_config.inner_factory = config_.scheduler_factory;
+    robust_config.ensemble = std::move(ensemble);
+    robust_config.cvar_alpha = config_.ensemble_cvar_alpha;
+    robust_config.risk_weight = config_.ensemble_risk_weight;
+    robust_config.executor = config_.ensemble_executor;
+    scheduler = std::make_unique<scheduling::RobustScheduler>(
+        std::move(robust_config));
+  }
   // One compile serves the whole gate: the scheduler run (all its restarts
   // and, for Hybrid, both phases), the imbalance accounting and the
   // macro-schedule export below. Validate() here preserves the check the
@@ -375,6 +403,13 @@ Status EdmsEngine::ScheduleClaimed(
   ++stats_.scheduling_runs;
   stats_.schedule_cost_eur += run.cost.total();
   if (run.optimal_proven) ++stats_.bnb_optimal_proven;
+  if (run.robust.has_value()) {
+    ++stats_.robust_runs;
+    stats_.robust_scenario_evaluations +=
+        static_cast<int64_t>(run.robust->candidates) * run.robust->scenarios;
+    stats_.robust_expected_cost_eur += run.robust->expected_cost_eur;
+    stats_.robust_cvar_eur += run.robust->cvar_eur;
+  }
   for (const scheduling::PortfolioMemberStats& member : run.portfolio) {
     if (!member.won) continue;
     if (member.name == "GreedySearch") ++stats_.portfolio_wins_greedy;

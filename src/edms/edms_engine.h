@@ -13,6 +13,7 @@
 #include "edms/offer_lifecycle.h"
 #include "edms/scheduler_registry.h"
 #include "negotiation/negotiator.h"
+#include "scheduling/executor.h"
 #include "storage/data_store.h"
 
 namespace mirabel::edms {
@@ -81,6 +82,18 @@ struct EngineStats {
   /// search space (BranchAndBound directly, or a portfolio whose winner
   /// proved it; a completed Exhaustive sweep counts too).
   int64_t bnb_optimal_proven = 0;
+  /// Scheduling runs that went through the robust (ensemble re-ranking)
+  /// path — the configured scheduler was wrapped per Config::
+  /// ensemble_scenarios, and the ensemble was non-degenerate.
+  int64_t robust_runs = 0;
+  /// Candidate-schedule x scenario evaluations those runs performed (the
+  /// uncertainty layer's work counter, as nodes_visited is BnB's).
+  int64_t robust_scenario_evaluations = 0;
+  /// Sum over robust runs of the winning schedule's mean scenario cost
+  /// (EUR); divide by robust_runs for the average expected cost.
+  double robust_expected_cost_eur = 0.0;
+  /// Sum over robust runs of the winning schedule's CVaR (EUR).
+  double robust_cvar_eur = 0.0;
 
   /// Adds `other` field by field. The implementation destructures the whole
   /// struct, so adding a field without extending Merge() fails to compile.
@@ -167,6 +180,30 @@ class EdmsEngine {
     double sell_price_eur = 0.05;
     double max_buy_kwh = 50.0;
     double max_sell_kwh = 50.0;
+
+    /// --- Uncertainty-aware scheduling --------------------------------
+    /// Forecast-error scenarios per gate. > 0 wraps the configured
+    /// scheduler in a scheduling::RobustScheduler: each gate bootstraps an
+    /// ensemble of this many per-slice baseline-error scenarios from
+    /// `forecast_residuals` (seeded deterministically per gate) and
+    /// re-ranks the candidate schedules by expected cost plus tail risk.
+    /// 0 disables (pure point scheduling). Ignored while
+    /// `forecast_residuals` is null or empty.
+    int ensemble_scenarios = 0;
+    /// CVaR tail mass of the robust ranking objective, in (0, 1].
+    double ensemble_cvar_alpha = 0.25;
+    /// Weight of the tail term: rank = mean + weight * (CVaR - mean).
+    double ensemble_risk_weight = 0.5;
+    /// Fitted forecast-error pool the gate ensembles draw from — e.g. a
+    /// HwtModel's or EgrvModel's residuals() after fitting the baseline
+    /// series (the same models a ForecastBaselineProvider wraps).
+    std::shared_ptr<const std::vector<double>> forecast_residuals;
+    /// Fan-out seam for the per-scenario evaluations; null evaluates
+    /// serially on the gate thread. The WorkerPoolExecutor deadlock
+    /// contract applies (pool_executor.h): do not point this at a pool
+    /// whose workers drive this engine (e.g. this engine's
+    /// ShardedEdmsRuntime pool).
+    std::shared_ptr<scheduling::Executor> ensemble_executor;
 
     /// When false, gate closures publish macro offers (MacroPublished with
     /// forwarded = true) instead of scheduling; schedules return via

@@ -4,6 +4,7 @@
 
 #include "scheduling/bnb_scheduler.h"
 #include "scheduling/portfolio_scheduler.h"
+#include "scheduling/robust_scheduler.h"
 
 namespace mirabel::edms {
 
@@ -27,6 +28,12 @@ SchedulerRegistry& SchedulerRegistry::Default() {
     });
     (void)r->Register("Portfolio", [] {
       return std::make_unique<scheduling::PortfolioScheduler>();
+    });
+    // Default-constructed Robust carries a degenerate ensemble, i.e. it is
+    // exactly its inner greedy scheduler until an ensemble is configured
+    // (EdmsEngine::Config::ensemble_scenarios builds the configured form).
+    (void)r->Register("Robust", [] {
+      return std::make_unique<scheduling::RobustScheduler>();
     });
     return r;
   }();

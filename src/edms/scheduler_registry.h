@@ -28,7 +28,7 @@ class SchedulerRegistry {
   /// The process-wide registry, preloaded with the paper's algorithms plus
   /// the optimal-scheduling subsystem: "GreedySearch",
   /// "EvolutionaryAlgorithm", "Exhaustive", "Hybrid", "BranchAndBound",
-  /// "Portfolio".
+  /// "Portfolio", "Robust".
   static SchedulerRegistry& Default();
 
   /// Registers `factory` under `name`; AlreadyExists on duplicates.

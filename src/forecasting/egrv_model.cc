@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/matrix.h"
+#include "forecasting/residual_sampling.h"
 
 namespace mirabel::forecasting {
 
@@ -109,8 +110,31 @@ Status EgrvModel::FitParallel(const TimeSeries& series,
   const std::vector<double>& y = series.values();
   history_tail_.assign(y.end() - static_cast<ptrdiff_t>(week_lag), y.end());
   train_size_ = y.size();
+
+  // Record in-sample one-step errors in a serial pass over the series so the
+  // residual pool is deterministic and independent of the fit thread count.
+  residuals_.clear();
+  residuals_.reserve(y.size() - week_lag);
+  for (size_t t = week_lag; t < y.size(); ++t) {
+    int p = static_cast<int>(t % static_cast<size_t>(periods_per_day_));
+    std::vector<double> reg =
+        MakeRow(y, exog.temperature_c[t], exog.holiday[t], t);
+    const std::vector<double>& beta = coefficients_[static_cast<size_t>(p)];
+    double predicted = 0.0;
+    for (int c = 0; c < kNumRegressors; ++c) {
+      predicted += beta[static_cast<size_t>(c)] * reg[static_cast<size_t>(c)];
+    }
+    residuals_.push_back(y[t] - predicted);
+  }
   fitted_ = true;
   return Status::OK();
+}
+
+Status EgrvModel::SampleResiduals(Rng* rng, std::span<double> out) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("model has not been fitted");
+  }
+  return SampleCenteredResiduals(residuals_, rng, out);
 }
 
 Result<std::vector<double>> EgrvModel::Forecast(

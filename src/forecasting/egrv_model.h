@@ -1,9 +1,11 @@
 #ifndef MIRABEL_FORECASTING_EGRV_MODEL_H_
 #define MIRABEL_FORECASTING_EGRV_MODEL_H_
 
+#include <span>
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "forecasting/time_series.h"
 
 namespace mirabel::forecasting {
@@ -61,6 +63,18 @@ class EgrvModel {
   bool fitted() const { return fitted_; }
   int periods_per_day() const { return periods_per_day_; }
 
+  /// In-sample one-step errors of the last fit over every observation with
+  /// full lags (global index >= one week), in series order. Computed in a
+  /// deterministic serial pass after the equations are solved, so Fit() and
+  /// FitParallel() record bit-identical pools. Empty before the first fit.
+  const std::vector<double>& residuals() const { return residuals_; }
+
+  /// Fills `out` with centered bootstrap draws from residuals() using the
+  /// caller's generator (see SampleCenteredResiduals in
+  /// residual_sampling.h). Const: never perturbs the fitted state.
+  /// FailedPrecondition before the first fit.
+  Status SampleResiduals(Rng* rng, std::span<double> out) const;
+
   /// Coefficients of the equation for intra-day period `p` (fitted only).
   Result<std::vector<double>> Coefficients(int period) const;
 
@@ -81,6 +95,8 @@ class EgrvModel {
   /// Trailing training data needed for lagged regressors at forecast time.
   std::vector<double> history_tail_;
   size_t train_size_ = 0;
+  /// In-sample one-step errors (see residuals()).
+  std::vector<double> residuals_;
 };
 
 }  // namespace mirabel::forecasting

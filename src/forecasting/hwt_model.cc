@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "forecasting/residual_sampling.h"
 
 namespace mirabel::forecasting {
 
@@ -67,19 +68,24 @@ Result<double> HwtModel::FitWithParams(const TimeSeries& series,
   for (int j = 0; j < max_period; ++j) level_ += y[static_cast<size_t>(j)];
   level_ /= max_period;
 
-  seasons_.clear();
-  std::vector<double> residual(y.begin(),
-                               y.begin() + 2 * static_cast<size_t>(max_period));
+  // The detrend/count scratch lives in member buffers: estimators call
+  // FitWithParams once per candidate parameter vector, so after the first
+  // call every assign() below runs within existing capacity.
+  std::vector<double>& residual = fit_residual_buf_;
+  residual.assign(y.begin(), y.begin() + 2 * static_cast<size_t>(max_period));
   for (double& r : residual) r -= level_;
-  for (int m : seasonal_periods_) {
-    std::vector<double> idx(static_cast<size_t>(m), 0.0);
-    std::vector<int> counts(static_cast<size_t>(m), 0);
+  seasons_.resize(seasonal_periods_.size());
+  for (size_t i = 0; i < seasonal_periods_.size(); ++i) {
+    int m = seasonal_periods_[i];
+    std::vector<double>& idx = seasons_[i];
+    idx.assign(static_cast<size_t>(m), 0.0);
+    fit_count_buf_.assign(static_cast<size_t>(m), 0);
     for (size_t j = 0; j < residual.size(); ++j) {
       idx[j % static_cast<size_t>(m)] += residual[j];
-      counts[j % static_cast<size_t>(m)] += 1;
+      fit_count_buf_[j % static_cast<size_t>(m)] += 1;
     }
     for (size_t p = 0; p < idx.size(); ++p) {
-      idx[p] = counts[p] > 0 ? idx[p] / counts[p] : 0.0;
+      idx[p] = fit_count_buf_[p] > 0 ? idx[p] / fit_count_buf_[p] : 0.0;
     }
     // Zero-mean the indices so they do not absorb the level.
     double mean = Mean(idx);
@@ -88,7 +94,6 @@ Result<double> HwtModel::FitWithParams(const TimeSeries& series,
     for (size_t j = 0; j < residual.size(); ++j) {
       residual[j] -= idx[j % static_cast<size_t>(m)];
     }
-    seasons_.push_back(std::move(idx));
   }
 
   // ---- Smoothing recursions over the series --------------------------------
@@ -96,10 +101,15 @@ Result<double> HwtModel::FitWithParams(const TimeSeries& series,
   last_error_ = 0.0;
   double sse = 0.0;
   size_t warmup = static_cast<size_t>(max_period);
+  residuals_.clear();
+  residuals_.reserve(y.size() - warmup);
   for (size_t j = 0; j < y.size(); ++j) {
     double forecast = level_ + SeasonalAt(0) + phi * last_error_;
     double e = y[j] - forecast;
-    if (j >= warmup) sse += e * e;
+    if (j >= warmup) {
+      sse += e * e;
+      residuals_.push_back(e);
+    }
     level_ += alpha * e;
     for (size_t i = 0; i < seasons_.size(); ++i) {
       double gamma = params_[1 + i];
@@ -114,6 +124,13 @@ Result<double> HwtModel::FitWithParams(const TimeSeries& series,
     return Status::Internal("smoothing diverged (non-finite SSE)");
   }
   return sse;
+}
+
+Status HwtModel::SampleResiduals(Rng* rng, std::span<double> out) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("model has not been fitted");
+  }
+  return SampleCenteredResiduals(residuals_, rng, out);
 }
 
 Status HwtModel::Update(double value) {

@@ -1,10 +1,12 @@
 #ifndef MIRABEL_FORECASTING_HWT_MODEL_H_
 #define MIRABEL_FORECASTING_HWT_MODEL_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "forecasting/time_series.h"
 
 namespace mirabel::forecasting {
@@ -74,6 +76,19 @@ class HwtModel {
   /// True once FitWithParams succeeded.
   bool fitted() const { return fitted_; }
 
+  /// Post-warmup in-sample one-step errors of the last successful fit, in
+  /// series order (the same errors whose squares form the returned SSE).
+  /// Empty before the first fit. This is the empirical forecast-error pool
+  /// the uncertainty layer bootstraps scenario perturbations from.
+  const std::vector<double>& residuals() const { return residuals_; }
+
+  /// Fills `out` with centered bootstrap draws from residuals() using the
+  /// caller's generator (see SampleCenteredResiduals in
+  /// residual_sampling.h). Const: sampling never perturbs the fitted state,
+  /// so concurrent sampling and forecasting from one fitted model is safe.
+  /// FailedPrecondition before the first fit.
+  Status SampleResiduals(Rng* rng, std::span<double> out) const;
+
   const std::vector<double>& params() const { return params_; }
   const std::vector<int>& seasonal_periods() const {
     return seasonal_periods_;
@@ -93,6 +108,15 @@ class HwtModel {
   std::vector<std::vector<double>> seasons_;
   /// Observations consumed so far (positions the ring buffers).
   int64_t t_ = 0;
+
+  /// Post-warmup one-step errors of the last fit (see residuals()).
+  std::vector<double> residuals_;
+
+  /// Fit-time scratch, hoisted into members so refitting (the estimator
+  /// calls FitWithParams once per candidate parameter vector) reuses
+  /// capacity instead of reallocating the detrend/count arrays every call.
+  std::vector<double> fit_residual_buf_;
+  std::vector<int> fit_count_buf_;
 };
 
 }  // namespace mirabel::forecasting

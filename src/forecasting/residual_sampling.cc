@@ -1,0 +1,23 @@
+#include "forecasting/residual_sampling.h"
+
+namespace mirabel::forecasting {
+
+Status SampleCenteredResiduals(std::span<const double> pool, Rng* rng,
+                               std::span<double> out) {
+  if (pool.empty()) {
+    return Status::FailedPrecondition(
+        "residual pool is empty (model not fitted?)");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must be non-null");
+  }
+  double mean = 0.0;
+  for (double r : pool) mean += r;
+  mean /= static_cast<double>(pool.size());
+  for (double& v : out) {
+    v = pool[rng->Index(pool.size())] - mean;
+  }
+  return Status::OK();
+}
+
+}  // namespace mirabel::forecasting

@@ -1,0 +1,26 @@
+#ifndef MIRABEL_FORECASTING_RESIDUAL_SAMPLING_H_
+#define MIRABEL_FORECASTING_RESIDUAL_SAMPLING_H_
+
+#include <span>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mirabel::forecasting {
+
+/// Fills `out` with independent bootstrap draws from the centered empirical
+/// distribution of `pool`: each draw is `pool[i] - mean(pool)` for a
+/// uniformly random index i from the caller's generator. This is the shared
+/// implementation of the models' residual-sampling hooks (HwtModel::
+/// SampleResiduals, EgrvModel::SampleResiduals): drawing from *centered*
+/// in-sample forecast errors yields zero-mean per-slice error scenarios, the
+/// raw material of scheduling::ScenarioEnsemble::FromResidualPool.
+///
+/// Deterministic in the generator state; the pool is read-only
+/// (FailedPrecondition when it is empty). Performs no allocations.
+Status SampleCenteredResiduals(std::span<const double> pool, Rng* rng,
+                               std::span<double> out);
+
+}  // namespace mirabel::forecasting
+
+#endif  // MIRABEL_FORECASTING_RESIDUAL_SAMPLING_H_

@@ -1,0 +1,45 @@
+#ifndef MIRABEL_SCHEDULING_EXECUTOR_H_
+#define MIRABEL_SCHEDULING_EXECUTOR_H_
+
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mirabel::scheduling {
+
+/// Runs a batch of independent tasks to completion (blocking). Tasks only
+/// touch their own slot, so implementations need no synchronization beyond
+/// the completion barrier.
+///
+/// This is the scheduling layer's concurrency seam: the layer cannot depend
+/// on the EDMS layer, so consumers that want their fan-out on the shared
+/// edms::WorkerPool plug in edms::WorkerPoolExecutor (src/edms/
+/// pool_executor.h) while everything else defaults to plain threads.
+/// PortfolioScheduler races its members through it; StochasticEvaluator
+/// fans its per-scenario evaluations out through it.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual void RunAll(std::vector<std::function<void()>> tasks) = 0;
+};
+
+/// Default executor: one std::thread per task, joined before returning.
+/// A single task runs inline on the calling thread.
+class ThreadExecutor : public Executor {
+ public:
+  void RunAll(std::vector<std::function<void()>> tasks) override {
+    if (tasks.size() == 1) {
+      tasks.front()();
+      return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(tasks.size());
+    for (auto& task : tasks) threads.emplace_back(std::move(task));
+    for (auto& thread : threads) thread.join();
+  }
+};
+
+}  // namespace mirabel::scheduling
+
+#endif  // MIRABEL_SCHEDULING_EXECUTOR_H_

@@ -1,25 +1,12 @@
 #include "scheduling/portfolio_scheduler.h"
 
 #include <optional>
-#include <thread>
 #include <utility>
 
 #include "common/stopwatch.h"
 #include "scheduling/bnb_scheduler.h"
 
 namespace mirabel::scheduling {
-
-void PortfolioScheduler::ThreadExecutor::RunAll(
-    std::vector<std::function<void()>> tasks) {
-  if (tasks.size() == 1) {
-    tasks.front()();
-    return;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(tasks.size());
-  for (auto& task : tasks) threads.emplace_back(std::move(task));
-  for (auto& thread : threads) thread.join();
-}
 
 PortfolioScheduler::PortfolioScheduler() : config_() {}
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "scheduling/compiled_problem.h"
+#include "scheduling/executor.h"
 #include "scheduling/scheduler.h"
 
 namespace mirabel::scheduling {
@@ -30,20 +31,11 @@ namespace mirabel::scheduling {
 /// strand per member; the default ThreadExecutor spawns plain threads).
 class PortfolioScheduler : public Scheduler {
  public:
-  /// Runs a batch of independent tasks to completion (blocking). Tasks only
-  /// touch their own slot, so implementations need no synchronization
-  /// beyond the completion barrier.
-  class Executor {
-   public:
-    virtual ~Executor() = default;
-    virtual void RunAll(std::vector<std::function<void()>> tasks) = 0;
-  };
-
-  /// Default executor: one std::thread per task, joined before returning.
-  class ThreadExecutor : public Executor {
-   public:
-    void RunAll(std::vector<std::function<void()>> tasks) override;
-  };
+  /// The task-batch seam now lives in scheduling/executor.h (it is shared
+  /// with StochasticEvaluator); these aliases keep the historical nested
+  /// names working for executor implementations and tests.
+  using Executor = scheduling::Executor;
+  using ThreadExecutor = scheduling::ThreadExecutor;
 
   /// One racing member. `rank` is its index in Config::members: the seed
   /// offset and the tie-break priority (lower rank wins cost ties).

@@ -2,6 +2,7 @@
 #define MIRABEL_SCHEDULING_SCHEDULER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,21 @@ struct PortfolioMemberStats {
   bool won = false;
 };
 
+/// Risk profile of the returned schedule when it came from a
+/// RobustScheduler re-ranking pass (robust_scheduler.h).
+struct RobustStats {
+  /// Candidate schedules planned and re-ranked.
+  int candidates = 0;
+  /// Ensemble scenarios each candidate was scored on.
+  int scenarios = 0;
+  /// Mean scenario cost of the winning schedule (EUR).
+  double expected_cost_eur = 0.0;
+  /// CVaR-alpha of the winning schedule's scenario costs (EUR).
+  double cvar_eur = 0.0;
+  /// The ranking objective: mean + risk_weight * (CVaR - mean).
+  double risk_score_eur = 0.0;
+};
+
 /// Outcome of a scheduling run.
 struct SchedulingResult {
   Schedule schedule;
@@ -75,6 +91,9 @@ struct SchedulingResult {
   /// Per-member outcomes when this result came from a portfolio race
   /// (empty otherwise).
   std::vector<PortfolioMemberStats> portfolio;
+  /// Risk profile when this result came from a RobustScheduler re-ranking
+  /// pass (unset otherwise, including its degenerate-ensemble delegation).
+  std::optional<RobustStats> robust;
 };
 
 /// Interface of the MIRABEL scheduling algorithms (paper §6: "we used two

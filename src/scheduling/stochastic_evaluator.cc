@@ -1,0 +1,191 @@
+#include "scheduling/stochastic_evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace mirabel::scheduling {
+
+Result<ScenarioEnsemble> ScenarioEnsemble::FromResidualPool(
+    std::span<const double> residual_pool, int64_t horizon, int num_scenarios,
+    uint64_t seed) {
+  if (residual_pool.empty()) {
+    return Status::InvalidArgument("residual pool is empty");
+  }
+  if (horizon < 1) {
+    return Status::InvalidArgument("horizon must be >= 1");
+  }
+  if (num_scenarios < 1) {
+    return Status::InvalidArgument("num_scenarios must be >= 1");
+  }
+  double pool_mean = 0.0;
+  for (double r : residual_pool) pool_mean += r;
+  pool_mean /= static_cast<double>(residual_pool.size());
+
+  Rng rng(seed);
+  ScenarioEnsemble ensemble;
+  ensemble.horizon_ = horizon;
+  ensemble.perturbations_.resize(static_cast<size_t>(num_scenarios));
+  for (BaselinePerturbation& scenario : ensemble.perturbations_) {
+    scenario.delta_kwh.resize(static_cast<size_t>(horizon));
+    for (double& d : scenario.delta_kwh) {
+      d = residual_pool[rng.Index(residual_pool.size())] - pool_mean;
+    }
+  }
+  return ensemble;
+}
+
+Result<ScenarioEnsemble> ScenarioEnsemble::FromPerturbations(
+    std::vector<BaselinePerturbation> perturbations) {
+  if (perturbations.empty()) {
+    return Status::InvalidArgument("ensemble needs at least one scenario");
+  }
+  size_t horizon = perturbations.front().delta_kwh.size();
+  if (horizon == 0) {
+    return Status::InvalidArgument("scenario perturbations must be non-empty");
+  }
+  for (const BaselinePerturbation& p : perturbations) {
+    if (p.delta_kwh.size() != horizon) {
+      return Status::InvalidArgument(
+          "all scenario perturbations must share one length");
+    }
+  }
+  ScenarioEnsemble ensemble;
+  ensemble.horizon_ = static_cast<int64_t>(horizon);
+  ensemble.perturbations_ = std::move(perturbations);
+  return ensemble;
+}
+
+ScenarioEnsemble ScenarioEnsemble::Degenerate(int64_t horizon) {
+  ScenarioEnsemble ensemble;
+  ensemble.horizon_ = horizon;
+  ensemble.perturbations_.resize(1);
+  ensemble.perturbations_.front().delta_kwh.assign(
+      static_cast<size_t>(horizon), 0.0);
+  return ensemble;
+}
+
+bool ScenarioEnsemble::IsDegenerate() const {
+  if (perturbations_.size() != 1) return false;
+  for (double d : perturbations_.front().delta_kwh) {
+    if (d != 0.0) return false;
+  }
+  return true;
+}
+
+std::vector<double> ScenarioEnsemble::MeanPerturbation() const {
+  std::vector<double> mean(static_cast<size_t>(horizon_), 0.0);
+  for (const BaselinePerturbation& p : perturbations_) {
+    for (size_t s = 0; s < mean.size(); ++s) mean[s] += p.delta_kwh[s];
+  }
+  double inv = 1.0 / static_cast<double>(perturbations_.size());
+  for (double& m : mean) m *= inv;
+  return mean;
+}
+
+Result<StochasticEvaluator> StochasticEvaluator::Create(
+    const CompiledProblem& base, const ScenarioEnsemble& ensemble,
+    const Config& config) {
+  if (ensemble.num_scenarios() < 1) {
+    return Status::InvalidArgument("ensemble has no scenarios");
+  }
+  if (ensemble.horizon() != base.horizon_length) {
+    return Status::InvalidArgument(
+        "ensemble horizon " + std::to_string(ensemble.horizon()) +
+        " does not match problem horizon " +
+        std::to_string(base.horizon_length));
+  }
+  if (!(config.cvar_alpha > 0.0) || config.cvar_alpha > 1.0) {
+    return Status::InvalidArgument("cvar_alpha must be in (0, 1]");
+  }
+
+  StochasticEvaluator evaluator;
+  evaluator.config_ = config;
+  size_t k = static_cast<size_t>(ensemble.num_scenarios());
+  evaluator.problems_.reserve(k);
+  evaluator.workspaces_.reserve(k);
+  for (const BaselinePerturbation& scenario : ensemble.perturbations()) {
+    CompiledProblem perturbed = base;  // shares `source`; tables are copied
+    for (size_t s = 0; s < perturbed.baseline_kwh.size(); ++s) {
+      perturbed.baseline_kwh[s] += scenario.delta_kwh[s];
+    }
+    evaluator.problems_.push_back(std::move(perturbed));
+    evaluator.workspaces_.emplace_back(evaluator.problems_.back());
+  }
+  evaluator.scenario_costs_.assign(k, 0.0);
+  evaluator.sorted_costs_.assign(k, 0.0);
+  evaluator.task_statuses_.assign(
+      static_cast<size_t>(std::max(config.max_parallel_tasks, 1)),
+      Status::OK());
+  return evaluator;
+}
+
+Status StochasticEvaluator::EvaluateRange(const Schedule& schedule,
+                                          size_t begin, size_t end) {
+  for (size_t s = begin; s < end; ++s) {
+    Result<double> cost = workspaces_[s].EvaluateInto(problems_[s], schedule);
+    MIRABEL_RETURN_IF_ERROR(cost.status());
+    scenario_costs_[s] = cost.value();
+  }
+  return Status::OK();
+}
+
+Result<StochasticCost> StochasticEvaluator::Evaluate(
+    const Schedule& schedule) {
+  const size_t k = problems_.size();
+  size_t num_tasks =
+      std::min(k, static_cast<size_t>(std::max(config_.max_parallel_tasks, 1)));
+  if (config_.executor == nullptr || num_tasks <= 1) {
+    MIRABEL_RETURN_IF_ERROR(EvaluateRange(schedule, 0, k));
+  } else {
+    // Contiguous scenario ranges, one per task; each task writes only its
+    // own cost slots and status slot, so the executor's completion barrier
+    // is the only synchronization needed. The chunking never affects the
+    // result: the reduction below always runs serially in scenario order.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_tasks);
+    size_t per_task = (k + num_tasks - 1) / num_tasks;
+    for (size_t task = 0; task < num_tasks; ++task) {
+      size_t begin = task * per_task;
+      size_t end = std::min(k, begin + per_task);
+      tasks.push_back([this, &schedule, task, begin, end] {
+        task_statuses_[task] = EvaluateRange(schedule, begin, end);
+      });
+    }
+    config_.executor->RunAll(std::move(tasks));
+    for (size_t task = 0; task < num_tasks; ++task) {
+      MIRABEL_RETURN_IF_ERROR(task_statuses_[task]);
+    }
+  }
+
+  // Serial reduction in scenario order — the other half of the
+  // parallel-equals-serial bit-identity contract.
+  StochasticCost out;
+  for (size_t s = 0; s < k; ++s) out.mean_eur += scenario_costs_[s];
+  out.mean_eur /= static_cast<double>(k);
+  for (size_t s = 0; s < k; ++s) {
+    double d = scenario_costs_[s] - out.mean_eur;
+    out.variance += d * d;
+  }
+  out.variance /= static_cast<double>(k);
+
+  // CVaR-alpha: mean of the worst ceil(alpha * K) scenario costs. The sort
+  // is in-place on the preallocated scratch (no steady-state allocation);
+  // ties are broken by value only, so the tail mean is order-independent up
+  // to identical values and the accumulation order is deterministic.
+  std::copy(scenario_costs_.begin(), scenario_costs_.end(),
+            sorted_costs_.begin());
+  std::sort(sorted_costs_.begin(), sorted_costs_.end(),
+            std::greater<double>());
+  size_t tail = static_cast<size_t>(
+      std::ceil(config_.cvar_alpha * static_cast<double>(k)));
+  tail = std::clamp<size_t>(tail, 1, k);
+  for (size_t s = 0; s < tail; ++s) out.cvar_eur += sorted_costs_[s];
+  out.cvar_eur /= static_cast<double>(tail);
+  out.worst_eur = sorted_costs_.front();
+  return out;
+}
+
+}  // namespace mirabel::scheduling

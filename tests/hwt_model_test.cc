@@ -1,10 +1,36 @@
 #include "forecasting/hwt_model.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <gtest/gtest.h>
+#include <new>
 
 #include "common/math_util.h"
 #include "datagen/energy_series_generator.h"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator (binary-wide): estimators call FitWithParams
+// once per candidate parameter vector, so refits must reuse the member
+// fit buffers instead of allocating fresh scratch per call.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<int64_t> g_heap_allocations{0};
+
+void* CountedAlloc(std::size_t n) {
+  ++g_heap_allocations;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace mirabel::forecasting {
 namespace {
@@ -163,6 +189,27 @@ TEST_P(HwtParamSweep, SseFiniteInsideBounds) {
 
 INSTANTIATE_TEST_SUITE_P(Grid, HwtParamSweep,
                          ::testing::Values(0.0, 0.05, 0.25, 0.5, 0.75, 1.0));
+
+TEST(HwtModelTest, RefitReusesFitBuffersWithoutAllocating) {
+  // Regression: the per-fit detrend/count scratch and the residual pool
+  // used to be fresh vectors per FitWithParams call; they now live in
+  // member buffers, so a same-shape refit allocates nothing at all.
+  HwtModel model({48, 336});
+  std::vector<double> signal = SeasonalSignal(20);
+  TimeSeries series(signal, 48);
+  std::vector<double> params = {0.1, 0.25, 0.15, 0.4};
+  ASSERT_TRUE(model.FitWithParams(series, params).ok());  // warm-up
+
+  int64_t before = g_heap_allocations.load();
+  double acc = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    auto sse = model.FitWithParams(series, params);
+    ASSERT_TRUE(sse.ok());
+    acc += *sse;
+  }
+  EXPECT_EQ(g_heap_allocations.load(), before) << "acc=" << acc;
+  EXPECT_EQ(model.residuals().size(), signal.size() - 336);
+}
 
 }  // namespace
 }  // namespace mirabel::forecasting

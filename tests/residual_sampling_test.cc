@@ -1,0 +1,191 @@
+// Properties of the forecast-error residual hooks feeding the uncertainty
+// layer (SampleCenteredResiduals + HwtModel/EgrvModel::SampleResiduals):
+//
+//  1. Sampling is seed-deterministic (same Rng seed, same draws, bitwise)
+//     and every draw is exactly pool[i] - mean(pool) for some i.
+//  2. Draws are mean-centered: over 10k draws the sample mean sits within
+//     a few standard errors of zero.
+//  3. Sampling never mutates the fitted model — it is const-correct and
+//     the model's residual pool and forecasts are bit-identical before and
+//     after — and Fit vs FitParallel record bit-identical pools.
+#include "forecasting/residual_sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/energy_series_generator.h"
+#include "datagen/weather_generator.h"
+#include "forecasting/egrv_model.h"
+#include "forecasting/hwt_model.h"
+
+namespace mirabel::forecasting {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Daily-cycle series with seeded Gaussian noise, so fitted residuals have
+/// genuine spread.
+std::vector<double> NoisySeasonalSignal(int days, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(days) * 48);
+  for (int t = 0; t < days * 48; ++t) {
+    double daily = 10.0 * std::sin(2.0 * kPi * (t % 48) / 48.0);
+    out.push_back(100.0 + daily + rng.Gaussian(0.0, 1.5));
+  }
+  return out;
+}
+
+double MeanOf(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double StdDevOf(const std::vector<double>& v) {
+  double mean = MeanOf(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - mean) * (x - mean);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+TEST(ResidualSamplingTest, DeterministicPerSeedAndExactlyCentered) {
+  std::vector<double> pool = {3.0, -1.5, 0.25, 7.0, -4.0};
+  double mean = MeanOf(pool);
+
+  std::vector<double> a(64), b(64), c(64);
+  Rng rng_a(42), rng_b(42), rng_c(43);
+  ASSERT_TRUE(SampleCenteredResiduals(pool, &rng_a, a).ok());
+  ASSERT_TRUE(SampleCenteredResiduals(pool, &rng_b, b).ok());
+  ASSERT_TRUE(SampleCenteredResiduals(pool, &rng_c, c).ok());
+
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    differs = differs || a[i] != c[i];
+    // Every draw is exactly one of the centered pool values.
+    bool member = false;
+    for (double r : pool) member = member || a[i] == r - mean;
+    EXPECT_TRUE(member);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ResidualSamplingTest, RejectsEmptyPoolAndNullRng) {
+  Rng rng(1);
+  std::vector<double> out(4);
+  EXPECT_FALSE(SampleCenteredResiduals({}, &rng, out).ok());
+  std::vector<double> pool = {1.0};
+  EXPECT_FALSE(SampleCenteredResiduals(pool, nullptr, out).ok());
+}
+
+TEST(ResidualSamplingTest, TenThousandDrawsAreMeanCentered) {
+  std::vector<double> pool;
+  Rng pool_rng(9);
+  for (int i = 0; i < 40; ++i) pool.push_back(pool_rng.Gaussian(5.0, 2.0));
+
+  std::vector<double> draws(10000);
+  Rng rng(1234);
+  ASSERT_TRUE(SampleCenteredResiduals(pool, &rng, draws).ok());
+
+  // Centered draws have expectation 0; allow six standard errors.
+  double tolerance = 6.0 * StdDevOf(pool) / std::sqrt(10000.0);
+  EXPECT_LT(std::fabs(MeanOf(draws)), tolerance);
+}
+
+TEST(ResidualSamplingTest, HwtExposesResidualsAndSamplesWithoutMutation) {
+  HwtModel model({48});
+  std::vector<double> signal = NoisySeasonalSignal(10, 77);
+  ASSERT_TRUE(
+      model.FitWithParams(TimeSeries(signal, 48), {0.1, 0.3, 0.2}).ok());
+
+  // One post-warmup residual per observation past the init window.
+  ASSERT_EQ(model.residuals().size(), signal.size() - 48);
+  EXPECT_GT(StdDevOf(model.residuals()), 0.0);
+
+  // Snapshot the fitted state, sample through a const reference (compile-
+  // time const-correctness), and verify nothing moved — bitwise.
+  std::vector<double> residuals_before = model.residuals();
+  auto forecast_before = model.Forecast(96);
+  ASSERT_TRUE(forecast_before.ok());
+
+  const HwtModel& fitted = model;
+  std::vector<double> draws(10000);
+  Rng rng(5);
+  ASSERT_TRUE(fitted.SampleResiduals(&rng, draws).ok());
+  double tolerance = 6.0 * StdDevOf(residuals_before) / std::sqrt(10000.0);
+  EXPECT_LT(std::fabs(MeanOf(draws)), tolerance);
+
+  // Determinism: a fresh generator with the same seed replays the draws.
+  std::vector<double> replay(10000);
+  Rng rng2(5);
+  ASSERT_TRUE(fitted.SampleResiduals(&rng2, replay).ok());
+  for (size_t i = 0; i < draws.size(); ++i) EXPECT_EQ(draws[i], replay[i]);
+
+  ASSERT_EQ(model.residuals().size(), residuals_before.size());
+  for (size_t i = 0; i < residuals_before.size(); ++i) {
+    EXPECT_EQ(model.residuals()[i], residuals_before[i]);
+  }
+  auto forecast_after = model.Forecast(96);
+  ASSERT_TRUE(forecast_after.ok());
+  for (size_t i = 0; i < forecast_before->size(); ++i) {
+    EXPECT_EQ((*forecast_before)[i], (*forecast_after)[i]);
+  }
+}
+
+TEST(ResidualSamplingTest, HwtSampleBeforeFitFails) {
+  HwtModel model({48});
+  Rng rng(2);
+  std::vector<double> out(8);
+  EXPECT_FALSE(model.SampleResiduals(&rng, out).ok());
+}
+
+TEST(ResidualSamplingTest, EgrvFitAndFitParallelRecordIdenticalPools) {
+  datagen::DemandSeriesConfig dcfg;
+  dcfg.days = 21;
+  dcfg.seed = 7;
+  datagen::WeatherConfig wcfg;
+  wcfg.days = 21;
+  wcfg.seed = 8;
+  std::vector<double> values = datagen::GenerateDemandSeries(dcfg);
+  ExogenousData exog;
+  exog.temperature_c = datagen::GenerateTemperatureSeries(wcfg);
+  exog.holiday.resize(values.size());
+  for (size_t t = 0; t < values.size(); ++t) {
+    exog.holiday[t] = datagen::IsHolidayDayOfYear(static_cast<int>(t / 48));
+  }
+  TimeSeries series(values, 48);
+
+  EgrvModel sequential(48);
+  EgrvModel parallel(48);
+  ASSERT_TRUE(sequential.Fit(series, exog).ok());
+  ASSERT_TRUE(parallel.FitParallel(series, exog, 4).ok());
+
+  // One in-sample residual per observation past the one-week lag, and the
+  // pool must not depend on how the fit was parallelised.
+  ASSERT_EQ(sequential.residuals().size(), values.size() - 7 * 48);
+  ASSERT_EQ(parallel.residuals().size(), sequential.residuals().size());
+  for (size_t i = 0; i < sequential.residuals().size(); ++i) {
+    EXPECT_EQ(sequential.residuals()[i], parallel.residuals()[i]);
+  }
+
+  // Seeded sampling through the const hook, no mutation of the pool.
+  const EgrvModel& fitted = sequential;
+  std::vector<double> a(512), b(512);
+  Rng rng_a(31), rng_b(31);
+  ASSERT_TRUE(fitted.SampleResiduals(&rng_a, a).ok());
+  ASSERT_TRUE(fitted.SampleResiduals(&rng_b, b).ok());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  ASSERT_EQ(fitted.residuals().size(), parallel.residuals().size());
+
+  EgrvModel unfitted(48);
+  Rng rng(3);
+  std::vector<double> out(8);
+  EXPECT_FALSE(unfitted.SampleResiduals(&rng, out).ok());
+}
+
+}  // namespace
+}  // namespace mirabel::forecasting

@@ -142,7 +142,7 @@ TEST(SchedulerFactoryTest, DefaultRegistryListsThePaperAlgorithms) {
   auto names = edms::SchedulerRegistry::Default().Names();
   EXPECT_EQ(names, (std::vector<std::string>{
                        "BranchAndBound", "EvolutionaryAlgorithm", "Exhaustive",
-                       "GreedySearch", "Hybrid", "Portfolio"}));
+                       "GreedySearch", "Hybrid", "Portfolio", "Robust"}));
   for (const std::string& name : names) {
     auto created = edms::SchedulerRegistry::Default().Create(name);
     ASSERT_TRUE(created.ok()) << name;

@@ -1,0 +1,397 @@
+// Contracts of the uncertainty layer's scenario scoring
+// (ScenarioEnsemble / StochasticEvaluator):
+//
+//  1. Evaluate()'s mean/variance/CVaR/worst match a naive per-scenario
+//     recompute (perturb the SchedulingProblem, compile, evaluate, reduce
+//     in the same order) bit for bit, across randomized problems and
+//     schedules.
+//  2. Parallel evaluation — through ThreadExecutor and through a shared
+//     edms::WorkerPool — is bit-identical to the serial path for every
+//     chunking, and race-free (this suite runs under TSan in CI).
+//  3. The serial Evaluate() path performs zero steady-state heap
+//     allocations, asserted with a counting global operator new.
+#include "scheduling/stochastic_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/rng.h"
+#include "edms/pool_executor.h"
+#include "edms/worker_pool.h"
+#include "scheduling/scenario.h"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator (binary-wide): every operator new bumps the
+// counter, so a test section can assert "no allocations happened here".
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<int64_t> g_heap_allocations{0};
+
+void* CountedAlloc(std::size_t n) {
+  ++g_heap_allocations;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mirabel::scheduling {
+namespace {
+
+Schedule RandomScheduleFor(const SchedulingProblem& p, Rng* rng) {
+  Schedule s;
+  s.assignments.reserve(p.offers.size());
+  for (const auto& fo : p.offers) {
+    s.assignments.push_back(
+        {fo.earliest_start + rng->UniformInt(0, fo.TimeFlexibility()),
+         rng->NextDouble()});
+  }
+  return s;
+}
+
+/// A small randomized workload with hedging-relevant knobs varied.
+ScenarioConfig RandomScenarioConfig(Rng* rng, int index) {
+  ScenarioConfig cfg;
+  cfg.num_offers = 1 + static_cast<int>(rng->UniformInt(0, 16));
+  cfg.seed = 4000 + static_cast<uint64_t>(index);
+  cfg.horizon_length = static_cast<int>(rng->UniformInt(16, 64));
+  cfg.max_time_flexibility = 1 + static_cast<int>(rng->UniformInt(0, 12));
+  cfg.production_fraction = rng->NextDouble() * 0.5;
+  cfg.max_buy_kwh = rng->Bernoulli(0.25) ? 0.0 : 5.0 + rng->NextDouble() * 25.0;
+  cfg.max_sell_kwh =
+      rng->Bernoulli(0.25) ? 0.0 : 5.0 + rng->NextDouble() * 25.0;
+  return cfg;
+}
+
+/// Gaussian residual pool standing in for a fitted forecast model's errors.
+std::vector<double> ResidualPool(size_t n, double sigma, Rng* rng) {
+  std::vector<double> pool(n);
+  for (double& r : pool) r = rng->Gaussian(0.3, sigma);
+  return pool;
+}
+
+/// Naive oracle: score the schedule on every scenario by perturbing the
+/// *SchedulingProblem* (not the compiled tables), compiling and evaluating
+/// from scratch, then reduce with the same loop shapes as the evaluator.
+StochasticCost NaiveStochasticCost(const SchedulingProblem& problem,
+                                   const ScenarioEnsemble& ensemble,
+                                   const Schedule& schedule, double alpha) {
+  const size_t k = static_cast<size_t>(ensemble.num_scenarios());
+  std::vector<double> costs(k, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    SchedulingProblem perturbed = problem;
+    const std::vector<double>& delta = ensemble.perturbations()[i].delta_kwh;
+    for (size_t s = 0; s < perturbed.baseline_imbalance_kwh.size(); ++s) {
+      perturbed.baseline_imbalance_kwh[s] += delta[s];
+    }
+    CompiledProblem cp(perturbed);
+    ScheduleWorkspace ws(cp);
+    auto cost = ws.EvaluateInto(cp, schedule);
+    EXPECT_TRUE(cost.ok());
+    costs[i] = cost.ok() ? cost.value() : 0.0;
+  }
+  StochasticCost out;
+  for (size_t s = 0; s < k; ++s) out.mean_eur += costs[s];
+  out.mean_eur /= static_cast<double>(k);
+  for (size_t s = 0; s < k; ++s) {
+    double d = costs[s] - out.mean_eur;
+    out.variance += d * d;
+  }
+  out.variance /= static_cast<double>(k);
+  std::sort(costs.begin(), costs.end(), std::greater<double>());
+  size_t tail =
+      static_cast<size_t>(std::ceil(alpha * static_cast<double>(k)));
+  tail = std::clamp<size_t>(tail, 1, k);
+  for (size_t s = 0; s < tail; ++s) out.cvar_eur += costs[s];
+  out.cvar_eur /= static_cast<double>(tail);
+  out.worst_eur = costs.front();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioEnsemble construction.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioEnsembleTest, FromResidualPoolIsSeededAndDrawsCenteredValues) {
+  Rng rng(11);
+  std::vector<double> pool = ResidualPool(9, 2.0, &rng);
+  double mean = 0.0;
+  for (double r : pool) mean += r;
+  mean /= static_cast<double>(pool.size());
+
+  auto a = ScenarioEnsemble::FromResidualPool(pool, 24, 6, 99);
+  auto b = ScenarioEnsemble::FromResidualPool(pool, 24, 6, 99);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_scenarios(), 6);
+  EXPECT_EQ(a->horizon(), 24);
+  EXPECT_FALSE(a->IsDegenerate());
+
+  bool differs_from_other_seed = false;
+  auto c = ScenarioEnsemble::FromResidualPool(pool, 24, 6, 100);
+  ASSERT_TRUE(c.ok());
+  for (int i = 0; i < 6; ++i) {
+    const auto& da = a->perturbations()[static_cast<size_t>(i)].delta_kwh;
+    const auto& db = b->perturbations()[static_cast<size_t>(i)].delta_kwh;
+    const auto& dc = c->perturbations()[static_cast<size_t>(i)].delta_kwh;
+    ASSERT_EQ(da.size(), 24u);
+    // Same seed: bit-identical. Every draw is exactly pool[j] - mean.
+    for (size_t s = 0; s < da.size(); ++s) {
+      EXPECT_EQ(da[s], db[s]);
+      bool member = false;
+      for (double r : pool) member = member || da[s] == r - mean;
+      EXPECT_TRUE(member);
+      differs_from_other_seed = differs_from_other_seed || da[s] != dc[s];
+    }
+  }
+  EXPECT_TRUE(differs_from_other_seed);
+}
+
+TEST(ScenarioEnsembleTest, RejectsBadArguments) {
+  std::vector<double> pool = {1.0, -1.0};
+  EXPECT_FALSE(ScenarioEnsemble::FromResidualPool({}, 8, 4, 1).ok());
+  EXPECT_FALSE(ScenarioEnsemble::FromResidualPool(pool, 0, 4, 1).ok());
+  EXPECT_FALSE(ScenarioEnsemble::FromResidualPool(pool, 8, 0, 1).ok());
+  EXPECT_FALSE(ScenarioEnsemble::FromPerturbations({}).ok());
+  EXPECT_FALSE(
+      ScenarioEnsemble::FromPerturbations({BaselinePerturbation{{}}}).ok());
+  EXPECT_FALSE(ScenarioEnsemble::FromPerturbations(
+                   {BaselinePerturbation{{1.0, 2.0}},
+                    BaselinePerturbation{{1.0}}})
+                   .ok());
+}
+
+TEST(ScenarioEnsembleTest, DegenerateAndMeanPerturbation) {
+  ScenarioEnsemble degenerate = ScenarioEnsemble::Degenerate(16);
+  EXPECT_TRUE(degenerate.IsDegenerate());
+  EXPECT_EQ(degenerate.num_scenarios(), 1);
+  EXPECT_EQ(degenerate.horizon(), 16);
+
+  // A K=1 all-zero ensemble is degenerate however built; K=2 is not.
+  auto one = ScenarioEnsemble::FromPerturbations({BaselinePerturbation{
+      std::vector<double>(16, 0.0)}});
+  ASSERT_TRUE(one.ok());
+  EXPECT_TRUE(one->IsDegenerate());
+  auto two = ScenarioEnsemble::FromPerturbations(
+      {BaselinePerturbation{std::vector<double>(16, 0.0)},
+       BaselinePerturbation{std::vector<double>(16, 0.0)}});
+  ASSERT_TRUE(two.ok());
+  EXPECT_FALSE(two->IsDegenerate());
+
+  auto mixed = ScenarioEnsemble::FromPerturbations(
+      {BaselinePerturbation{{2.0, -4.0}}, BaselinePerturbation{{6.0, 0.0}}});
+  ASSERT_TRUE(mixed.ok());
+  std::vector<double> mean = mixed->MeanPerturbation();
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_EQ(mean[0], 4.0);
+  EXPECT_EQ(mean[1], -2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: Evaluate == naive per-scenario recompute, bitwise.
+// ---------------------------------------------------------------------------
+
+TEST(StochasticEvaluatorTest, MatchesNaiveRecomputeBitwise) {
+  Rng rng(31);
+  for (int it = 0; it < 20; ++it) {
+    SchedulingProblem p = MakeScenario(RandomScenarioConfig(&rng, it));
+    ASSERT_TRUE(p.Validate().ok());
+    CompiledProblem cp(p);
+
+    std::vector<double> pool = ResidualPool(32, 4.0, &rng);
+    int k = 1 + static_cast<int>(rng.UniformInt(0, 12));
+    double alpha = rng.Uniform(0.05, 1.0);
+    auto ensemble = ScenarioEnsemble::FromResidualPool(
+        pool, p.horizon_length, k, 500 + static_cast<uint64_t>(it));
+    ASSERT_TRUE(ensemble.ok());
+
+    StochasticEvaluator::Config config;
+    config.cvar_alpha = alpha;
+    auto evaluator = StochasticEvaluator::Create(cp, *ensemble, config);
+    ASSERT_TRUE(evaluator.ok());
+    EXPECT_EQ(evaluator->num_scenarios(), k);
+
+    for (int s = 0; s < 4; ++s) {
+      Schedule schedule = RandomScheduleFor(p, &rng);
+      auto got = evaluator->Evaluate(schedule);
+      ASSERT_TRUE(got.ok());
+      StochasticCost want = NaiveStochasticCost(p, *ensemble, schedule, alpha);
+      EXPECT_EQ(got->mean_eur, want.mean_eur);
+      EXPECT_EQ(got->variance, want.variance);
+      EXPECT_EQ(got->cvar_eur, want.cvar_eur);
+      EXPECT_EQ(got->worst_eur, want.worst_eur);
+      EXPECT_GE(got->cvar_eur, got->mean_eur - 1e-9 * std::abs(got->mean_eur));
+      EXPECT_GE(got->worst_eur, got->cvar_eur);
+    }
+  }
+}
+
+TEST(StochasticEvaluatorTest, DegenerateEnsembleCollapsesToPointCost) {
+  Rng rng(5);
+  SchedulingProblem p = MakeScenario(RandomScenarioConfig(&rng, 0));
+  CompiledProblem cp(p);
+  auto evaluator = StochasticEvaluator::Create(
+      cp, ScenarioEnsemble::Degenerate(p.horizon_length), {});
+  ASSERT_TRUE(evaluator.ok());
+
+  Schedule schedule = RandomScheduleFor(p, &rng);
+  ScheduleWorkspace ws(cp);
+  auto point = ws.EvaluateInto(cp, schedule);
+  ASSERT_TRUE(point.ok());
+
+  auto cost = evaluator->Evaluate(schedule);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost->mean_eur, point.value());
+  EXPECT_EQ(cost->cvar_eur, point.value());
+  EXPECT_EQ(cost->worst_eur, point.value());
+  EXPECT_EQ(cost->variance, 0.0);
+  EXPECT_EQ(cost->RiskScore(0.7), point.value());
+}
+
+TEST(StochasticEvaluatorTest, CreateRejectsBadConfig) {
+  Rng rng(6);
+  SchedulingProblem p = MakeScenario(RandomScenarioConfig(&rng, 1));
+  CompiledProblem cp(p);
+
+  // Horizon mismatch.
+  auto wrong = StochasticEvaluator::Create(
+      cp, ScenarioEnsemble::Degenerate(p.horizon_length + 1), {});
+  EXPECT_FALSE(wrong.ok());
+
+  // Alpha outside (0, 1].
+  StochasticEvaluator::Config config;
+  config.cvar_alpha = 0.0;
+  EXPECT_FALSE(StochasticEvaluator::Create(
+                   cp, ScenarioEnsemble::Degenerate(p.horizon_length), config)
+                   .ok());
+  config.cvar_alpha = 1.5;
+  EXPECT_FALSE(StochasticEvaluator::Create(
+                   cp, ScenarioEnsemble::Degenerate(p.horizon_length), config)
+                   .ok());
+}
+
+TEST(StochasticEvaluatorTest, InvalidScheduleReportsError) {
+  Rng rng(7);
+  SchedulingProblem p = MakeScenario(RandomScenarioConfig(&rng, 2));
+  CompiledProblem cp(p);
+  std::vector<double> pool = {1.0, -1.0};
+  auto ensemble =
+      ScenarioEnsemble::FromResidualPool(pool, p.horizon_length, 5, 3);
+  ASSERT_TRUE(ensemble.ok());
+  auto evaluator = StochasticEvaluator::Create(cp, *ensemble, {});
+  ASSERT_TRUE(evaluator.ok());
+
+  Schedule wrong_size;  // assignment count != offer count
+  EXPECT_FALSE(evaluator->Evaluate(wrong_size).ok());
+
+  ThreadExecutor threads;
+  StochasticEvaluator::Config parallel;
+  parallel.executor = &threads;
+  parallel.max_parallel_tasks = 3;
+  auto parallel_eval = StochasticEvaluator::Create(cp, *ensemble, parallel);
+  ASSERT_TRUE(parallel_eval.ok());
+  EXPECT_FALSE(parallel_eval->Evaluate(wrong_size).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: parallel evaluation is bit-identical to serial, for every
+// chunking and through both executor implementations. Runs under TSan in CI.
+// ---------------------------------------------------------------------------
+
+TEST(StochasticEvaluatorTest, ParallelBitIdenticalToSerial) {
+  Rng rng(47);
+  SchedulingProblem p = MakeScenario(RandomScenarioConfig(&rng, 3));
+  CompiledProblem cp(p);
+  std::vector<double> pool = ResidualPool(24, 6.0, &rng);
+  // 13 scenarios: prime, so most task counts produce ragged chunks.
+  auto ensemble =
+      ScenarioEnsemble::FromResidualPool(pool, p.horizon_length, 13, 77);
+  ASSERT_TRUE(ensemble.ok());
+
+  auto serial = StochasticEvaluator::Create(cp, *ensemble, {});
+  ASSERT_TRUE(serial.ok());
+
+  ThreadExecutor threads;
+  edms::WorkerPool::Options pool_options;
+  pool_options.num_threads = 3;
+  edms::WorkerPool worker_pool(pool_options);
+  edms::WorkerPoolExecutor pooled(&worker_pool);
+
+  std::vector<std::unique_ptr<StochasticEvaluator>> parallels;
+  for (Executor* executor : {static_cast<Executor*>(&threads),
+                             static_cast<Executor*>(&pooled)}) {
+    for (int tasks : {1, 2, 3, 8, 32}) {
+      StochasticEvaluator::Config config;
+      config.executor = executor;
+      config.max_parallel_tasks = tasks;
+      auto evaluator = StochasticEvaluator::Create(cp, *ensemble, config);
+      ASSERT_TRUE(evaluator.ok());
+      parallels.push_back(
+          std::make_unique<StochasticEvaluator>(std::move(*evaluator)));
+    }
+  }
+
+  for (int s = 0; s < 6; ++s) {
+    Schedule schedule = RandomScheduleFor(p, &rng);
+    auto want = serial->Evaluate(schedule);
+    ASSERT_TRUE(want.ok());
+    for (auto& evaluator : parallels) {
+      auto got = evaluator->Evaluate(schedule);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got->mean_eur, want->mean_eur);
+      EXPECT_EQ(got->variance, want->variance);
+      EXPECT_EQ(got->cvar_eur, want->cvar_eur);
+      EXPECT_EQ(got->worst_eur, want->worst_eur);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property 3: the serial Evaluate path allocates nothing in steady state.
+// ---------------------------------------------------------------------------
+
+TEST(StochasticEvaluatorTest, SerialEvaluateDoesNotAllocate) {
+  Rng rng(53);
+  ScenarioConfig cfg;
+  cfg.num_offers = 12;
+  cfg.horizon_length = 48;
+  cfg.seed = 9;
+  SchedulingProblem p = MakeScenario(cfg);
+  CompiledProblem cp(p);
+  std::vector<double> pool = ResidualPool(16, 3.0, &rng);
+  auto ensemble =
+      ScenarioEnsemble::FromResidualPool(pool, p.horizon_length, 10, 21);
+  ASSERT_TRUE(ensemble.ok());
+  auto evaluator = StochasticEvaluator::Create(cp, *ensemble, {});
+  ASSERT_TRUE(evaluator.ok());
+
+  Schedule schedule = RandomScheduleFor(p, &rng);
+  ASSERT_TRUE(evaluator->Evaluate(schedule).ok());  // warm-up
+
+  int64_t before = g_heap_allocations.load();
+  double acc = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    auto cost = evaluator->Evaluate(schedule);
+    ASSERT_TRUE(cost.ok());
+    acc += cost->mean_eur + cost->cvar_eur;
+  }
+  EXPECT_EQ(g_heap_allocations.load(), before) << "acc=" << acc;
+}
+
+}  // namespace
+}  // namespace mirabel::scheduling

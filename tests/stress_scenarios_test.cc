@@ -1,0 +1,200 @@
+// The seeded stress-scenario library behind bench/uncertainty_study.cc:
+//
+//  1. Every named scenario validates clean and yields a valid planning
+//     problem.
+//  2. Everything is bit-reproducible per seed — specs, planning problems,
+//     ensembles and out-of-sample realizations — and the ensemble stream
+//     is disjoint from the realization stream.
+//  3. Each scenario has its advertised shape, checked through aggregate
+//     invariants over many realizations: the error concentrates in the
+//     event window, carries the spec's sign, and materializes at roughly
+//     the spec's event probability; price-spike realizations multiply buy
+//     price and penalty inside the window only.
+#include "datagen/stress_scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "scheduling/scenario.h"
+
+namespace mirabel::datagen {
+namespace {
+
+constexpr uint64_t kSeed = 7;
+
+TEST(StressScenariosTest, LibraryHasFourValidNamedScenarios) {
+  std::vector<StressScenarioSpec> specs = NamedStressScenarios(kSeed);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "ev_charge_surge");
+  EXPECT_EQ(specs[1].name, "demand_response_event");
+  EXPECT_EQ(specs[2].name, "prosumer_flash_crowd");
+  EXPECT_EQ(specs[3].name, "price_spike");
+
+  for (const StressScenarioSpec& spec : specs) {
+    EXPECT_TRUE(ValidateStressScenario(spec).ok()) << spec.name;
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+    scheduling::SchedulingProblem planning = MakePlanningProblem(spec);
+    EXPECT_TRUE(planning.Validate().ok()) << spec.name;
+    EXPECT_EQ(planning.horizon_length, spec.base.horizon_length);
+    scheduling::SchedulingProblem realized = MakeRealizedProblem(spec, 0);
+    EXPECT_TRUE(realized.Validate().ok()) << spec.name;
+  }
+}
+
+TEST(StressScenariosTest, ValidateRejectsMalformedSpecs) {
+  StressScenarioSpec base = NamedStressScenarios(kSeed).front();
+  ASSERT_TRUE(ValidateStressScenario(base).ok());
+
+  StressScenarioSpec s = base;
+  s.name.clear();
+  EXPECT_FALSE(ValidateStressScenario(s).ok());
+
+  s = base;
+  s.event_start_slice = s.base.horizon_length - 1;
+  s.event_length = 2;  // window spills past the horizon
+  EXPECT_FALSE(ValidateStressScenario(s).ok());
+
+  s = base;
+  s.event_probability = 1.5;
+  EXPECT_FALSE(ValidateStressScenario(s).ok());
+
+  s = base;
+  s.depth_sigma_kwh = -1.0;
+  EXPECT_FALSE(ValidateStressScenario(s).ok());
+
+  s = base;
+  s.price_spike_factor = 0.0;
+  EXPECT_FALSE(ValidateStressScenario(s).ok());
+}
+
+TEST(StressScenariosTest, FindByNameAndRejectUnknown) {
+  auto found = FindStressScenario("price_spike", kSeed);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->name, "price_spike");
+  EXPECT_GT(found->price_spike_factor, 1.0);
+  EXPECT_FALSE(FindStressScenario("volcano", kSeed).ok());
+}
+
+TEST(StressScenariosTest, EverythingIsBitReproduciblePerSeed) {
+  std::vector<StressScenarioSpec> a = NamedStressScenarios(kSeed);
+  std::vector<StressScenarioSpec> b = NamedStressScenarios(kSeed);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].base.seed, b[i].base.seed);
+    EXPECT_EQ(a[i].event_depth_kwh, b[i].event_depth_kwh);
+
+    // Planning problems, realizations and ensembles replay bitwise.
+    scheduling::SchedulingProblem pa = MakePlanningProblem(a[i]);
+    scheduling::SchedulingProblem pb = MakePlanningProblem(b[i]);
+    ASSERT_EQ(pa.baseline_imbalance_kwh.size(),
+              pb.baseline_imbalance_kwh.size());
+    for (size_t s = 0; s < pa.baseline_imbalance_kwh.size(); ++s) {
+      EXPECT_EQ(pa.baseline_imbalance_kwh[s], pb.baseline_imbalance_kwh[s]);
+    }
+
+    std::vector<double> ra = RealizedBaselineError(a[i], 3);
+    std::vector<double> rb = RealizedBaselineError(b[i], 3);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t s = 0; s < ra.size(); ++s) EXPECT_EQ(ra[s], rb[s]);
+
+    auto ea = MakeStressEnsemble(a[i], 6);
+    auto eb = MakeStressEnsemble(b[i], 6);
+    ASSERT_TRUE(ea.ok());
+    ASSERT_TRUE(eb.ok());
+    ASSERT_EQ(ea->num_scenarios(), 6);
+    for (int k = 0; k < 6; ++k) {
+      const auto& da = ea->perturbations()[static_cast<size_t>(k)].delta_kwh;
+      const auto& db = eb->perturbations()[static_cast<size_t>(k)].delta_kwh;
+      ASSERT_EQ(da.size(), db.size());
+      for (size_t s = 0; s < da.size(); ++s) EXPECT_EQ(da[s], db[s]);
+    }
+  }
+}
+
+TEST(StressScenariosTest, EnsembleStreamIsDisjointFromRealizations) {
+  StressScenarioSpec spec = NamedStressScenarios(kSeed).front();
+  auto ensemble = MakeStressEnsemble(spec, 4);
+  ASSERT_TRUE(ensemble.ok());
+  // If the streams shared state, ensemble scenario k would equal
+  // realization k. They must differ (noise hits every slice, so identical
+  // curves would mean identical draws).
+  for (int k = 0; k < 4; ++k) {
+    const auto& delta = ensemble->perturbations()[static_cast<size_t>(k)];
+    std::vector<double> realized = RealizedBaselineError(spec, k);
+    ASSERT_EQ(delta.delta_kwh.size(), realized.size());
+    bool differs = false;
+    for (size_t s = 0; s < realized.size(); ++s) {
+      differs = differs || delta.delta_kwh[s] != realized[s];
+    }
+    EXPECT_TRUE(differs) << spec.name << " scenario " << k;
+  }
+}
+
+TEST(StressScenariosTest, ErrorCurvesHaveTheAdvertisedShape) {
+  constexpr int kRealizations = 400;
+  for (const StressScenarioSpec& spec : NamedStressScenarios(kSeed)) {
+    const int h = spec.base.horizon_length;
+    const int center = spec.event_start_slice + spec.event_length / 2;
+    double in_abs = 0.0, out_abs = 0.0, center_signed = 0.0;
+    int events = 0;
+    for (int r = 0; r < kRealizations; ++r) {
+      std::vector<double> error = RealizedBaselineError(spec, r);
+      ASSERT_EQ(error.size(), static_cast<size_t>(h));
+      double in = 0.0, out = 0.0;
+      for (int s = 0; s < h; ++s) {
+        bool inside = s >= spec.event_start_slice &&
+                      s < spec.event_start_slice + spec.event_length;
+        (inside ? in : out) += std::fabs(error[static_cast<size_t>(s)]);
+      }
+      in_abs += in / spec.event_length;
+      out_abs += out / (h - spec.event_length);
+      center_signed += error[static_cast<size_t>(center)];
+      if (std::fabs(error[static_cast<size_t>(center)]) >
+          std::fabs(spec.event_depth_kwh) / 3.0) {
+        ++events;
+      }
+    }
+    in_abs /= kRealizations;
+    out_abs /= kRealizations;
+    center_signed /= kRealizations;
+
+    // The error concentrates in the event window...
+    EXPECT_GT(in_abs, 3.0 * out_abs) << spec.name;
+    // ...carries the event's sign at the window center...
+    EXPECT_GT(center_signed * spec.event_depth_kwh, 0.0) << spec.name;
+    // ...and materializes at roughly the advertised probability.
+    double frequency = static_cast<double>(events) / kRealizations;
+    EXPECT_NEAR(frequency, spec.event_probability, 0.1) << spec.name;
+  }
+}
+
+TEST(StressScenariosTest, PriceSpikeMultipliesPricesInsideWindowOnly) {
+  for (const StressScenarioSpec& spec : NamedStressScenarios(kSeed)) {
+    scheduling::SchedulingProblem planning = MakePlanningProblem(spec);
+    scheduling::SchedulingProblem realized = MakeRealizedProblem(spec, 5);
+    for (int s = 0; s < spec.base.horizon_length; ++s) {
+      size_t i = static_cast<size_t>(s);
+      bool inside = s >= spec.event_start_slice &&
+                    s < spec.event_start_slice + spec.event_length;
+      double factor = inside ? spec.price_spike_factor : 1.0;
+      EXPECT_EQ(realized.market.buy_price_eur[i],
+                planning.market.buy_price_eur[i] * factor);
+      EXPECT_EQ(realized.imbalance_penalty_eur[i],
+                planning.imbalance_penalty_eur[i] * factor);
+      EXPECT_EQ(realized.market.sell_price_eur[i],
+                planning.market.sell_price_eur[i]);
+    }
+  }
+}
+
+TEST(StressScenariosTest, EnsembleRequiresAtLeastOneScenario) {
+  StressScenarioSpec spec = NamedStressScenarios(kSeed).front();
+  EXPECT_FALSE(MakeStressEnsemble(spec, 0).ok());
+}
+
+}  // namespace
+}  // namespace mirabel::datagen

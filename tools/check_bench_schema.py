@@ -77,6 +77,44 @@ def _kernel_legs():
     return legs
 
 
+_UNCERTAINTY_FIELDS = [
+    "point_mean_cost_eur",
+    "robust_mean_cost_eur",
+    "point_cvar_eur",
+    "robust_cvar_eur",
+    "point_regret_mean_eur",
+    "robust_regret_mean_eur",
+    "point_regret_p95_eur",
+    "robust_regret_p95_eur",
+    "robust_win",
+    "realizations",
+]
+
+_STRESS_SCENARIOS = (
+    "ev_charge_surge",
+    "demand_response_event",
+    "prosumer_flash_crowd",
+    "price_spike",
+)
+
+
+def _uncertainty_legs():
+    """Per-stress-scenario legs of BENCH_uncertainty_study.json plus the
+    CVaR-trajectory and summary legs; leg names are independent of
+    MIRABEL_BENCH_SMALL (only realizations/iterations shrink)."""
+    legs = {}
+    trajectory_fields = [
+        f"{who}_cvar_a{alpha}"
+        for who in ("point", "robust")
+        for alpha in ("05", "10", "25", "50", "100")
+    ]
+    for name in _STRESS_SCENARIOS:
+        legs[f"stress/{name}"] = _UNCERTAINTY_FIELDS
+        legs[f"cvar_trajectory/{name}"] = trajectory_fields
+    legs["summary"] = ["robust_wins", "scenarios"]
+    return legs
+
+
 REQUIRED_BY_FILE = {
     "BENCH_scheduler_kernel.json": _kernel_legs(),
     "BENCH_edms_runtime.json": {
@@ -95,6 +133,7 @@ REQUIRED_BY_FILE = {
         + ["nodes_visited", "optimal_proven", "nodes_vs_combinations_pct"],
         "Portfolio": _GAP_FIELDS + ["portfolio_regret_eur", "optimal_proven"],
     },
+    "BENCH_uncertainty_study.json": _uncertainty_legs(),
 }
 
 
@@ -145,6 +184,34 @@ def check(path: str) -> int:
     if "Exhaustive(optimal)" in required and anchor is not None:
         if anchor.get("optimal_proven", 0) != 1:
             errors.append("Exhaustive(optimal): enumeration did not complete")
+    # Sanity: CVaR is a tail mean, so it can never drop below the mean (a
+    # small relative tolerance absorbs float reduction noise); and the
+    # uncertainty layer's acceptance bar is the robust plan beating the
+    # point plan on realized mean or CVaR in at least 3 of the 4 stress
+    # scenarios.
+    if os.path.basename(path) == "BENCH_uncertainty_study.json":
+        for name in _STRESS_SCENARIOS:
+            result = results.get(f"stress/{name}")
+            if result is None:
+                continue
+            for who in ("point", "robust"):
+                mean = result.get(f"{who}_mean_cost_eur")
+                cvar = result.get(f"{who}_cvar_eur")
+                if isinstance(mean, (int, float)) and isinstance(
+                    cvar, (int, float)
+                ):
+                    tol = 1e-9 * max(1.0, abs(mean))
+                    if cvar < mean - tol:
+                        errors.append(
+                            f"stress/{name}: {who} CVaR {cvar} below "
+                            f"mean {mean}"
+                        )
+        summary = results.get("summary")
+        if summary is not None and summary.get("robust_wins", 0) < 3:
+            errors.append(
+                f"summary: robust_wins is {summary.get('robust_wins')} "
+                f"(acceptance requires >= 3 of 4 stress scenarios)"
+            )
     if errors:
         for e in errors:
             print(f"check_bench_schema: {path}: {e}", file=sys.stderr)
